@@ -1,0 +1,94 @@
+"""EXT-ACC — view recovery accuracy vs baselines on planted ground truth.
+
+Extension experiment (the demo paper defers evaluation to the companion
+full paper): plant characteristic views of each effect kind (mean shift,
+spread change, correlation break) at several strengths, and measure
+column-level F1 for Ziggy against the black-box baselines the paper
+cites (KL divergence, centroid distance), PCA, and the exhaustive
+pair-scoring upper bound.
+
+Expected shape: Ziggy ~matches the black-box methods on mean effects,
+beats centroid/PCA decisively on spread and correlation effects (they
+are blind to them by construction), and tracks the exhaustive scorer.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.beam import ExhaustivePairSearch
+from repro.baselines.centroid import CentroidDistanceSearch
+from repro.baselines.kl import KLDivergenceSearch
+from repro.baselines.pca import PCACharacterizer
+from repro.baselines.ziggy_adapter import ZiggyMethod
+from repro.data.planted import make_planted
+from repro.experiments.metrics import column_recovery
+from repro.experiments.reporting import Reporter
+
+METHODS = [
+    ZiggyMethod(),
+    KLDivergenceSearch(),
+    CentroidDistanceSearch(),
+    PCACharacterizer(),
+    ExhaustivePairSearch(),
+]
+
+SETTINGS = [
+    ("mean", 0.6), ("mean", 1.2),
+    ("spread", 0.8), ("spread", 1.5),
+    ("correlation", 0.8), ("correlation", 1.0),
+]
+
+N_SEEDS = 3
+
+
+def _dataset(kind: str, effect: float, seed: int):
+    return make_planted(n_rows=2000, n_columns=36, n_views=3, view_dim=2,
+                        kinds=(kind,), effect=effect, seed=seed)
+
+
+def _mean_f1(method, kind, effect):
+    total = 0.0
+    for seed in range(N_SEEDS):
+        ds = _dataset(kind, effect, seed=100 + seed)
+        views = method.find_views(ds.selection, max_views=4, max_dim=2)
+        total += column_recovery(views, ds.truth).f1
+    return total / N_SEEDS
+
+
+def test_accuracy_vs_baselines(benchmark):
+    benchmark.pedantic(
+        lambda: METHODS[0].find_views(_dataset("mean", 1.2, 100).selection,
+                                      max_views=4, max_dim=2),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    scores: dict[tuple[str, str, float], float] = {}
+    for method in METHODS:
+        for kind, effect in SETTINGS:
+            scores[(method.name, kind, effect)] = _mean_f1(method, kind,
+                                                           effect)
+
+    reporter = Reporter("EXT-ACC", "column-recovery F1 on planted views "
+                        f"(3 planted views, mean of {N_SEEDS} seeds)")
+    header = ["method"] + [f"{k}@{e}" for k, e in SETTINGS]
+    rows = []
+    for method in METHODS:
+        rows.append([method.name] + [
+            round(scores[(method.name, k, e)], 2) for k, e in SETTINGS])
+    reporter.add_table(header, rows, title="F1 by effect kind and strength")
+    reporter.add_text(
+        "expected shape: ziggy ~ kl ~ exhaustive on mean effects; "
+        "centroid and pca collapse on spread/correlation effects "
+        "(blind by construction), ziggy does not.")
+    reporter.flush()
+
+    # Shape assertions.
+    assert scores[("ziggy", "mean", 1.2)] >= 0.6
+    assert scores[("ziggy", "spread", 1.5)] >= 0.6
+    assert scores[("ziggy", "correlation", 1.0)] >= 0.5
+    # Ziggy beats the mean-only baseline where it is blind.
+    assert scores[("ziggy", "spread", 1.5)] > \
+        scores[("centroid_distance", "spread", 1.5)] + 0.2
+    assert scores[("ziggy", "correlation", 1.0)] > \
+        scores[("centroid_distance", "correlation", 1.0)] + 0.2
+    # And PCA (no exploration context) does not dominate anywhere it
+    # matters.
+    assert scores[("ziggy", "mean", 1.2)] >= scores[("pca", "mean", 1.2)]

@@ -1,0 +1,54 @@
+"""FIG2 — Figure 2: the problem setting (inside/outside split).
+
+Paper artifact: a schematic showing columns C1..CM split into C^I (the
+user's selection) and C^O (the rest).  Regenerated as the invariants the
+schematic encodes: for a set of exploration queries, the engine's
+Selection partitions every column into disjoint, covering inside/outside
+slices, and characterization operates on exactly that split.
+
+Benchmark: the cost of producing the split (query execution + masking),
+i.e. the engine layer alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.database import Database
+from repro.experiments.reporting import Reporter
+from repro.experiments.workloads import threshold_sweep_predicates
+
+
+def test_figure2_problem_setting(benchmark, crime_table):
+    db = Database()
+    db.register(crime_table)
+    predicates = threshold_sweep_predicates(
+        crime_table, "violent_crime_rate",
+        quantiles=(0.95, 0.9, 0.8, 0.6, 0.4))
+
+    benchmark(lambda: db.select("us_crime", predicates[1]))
+
+    reporter = Reporter("FIG2", "problem setting: C^I / C^O split "
+                        "(paper Figure 2)")
+    rows = []
+    for pred in predicates:
+        sel = db.select("us_crime", pred)
+        inside = sel.inside()
+        outside = sel.outside()
+        # Partition invariants of the schematic.
+        assert inside.n_rows == sel.n_inside
+        assert outside.n_rows == sel.n_outside
+        assert inside.n_rows + outside.n_rows == crime_table.n_rows
+        assert inside.n_columns == outside.n_columns == crime_table.n_columns
+        pop = crime_table.column("population").numeric_values()
+        assert np.array_equal(
+            np.sort(np.concatenate([pop[sel.mask], pop[~sel.mask]])),
+            np.sort(pop))
+        rows.append([pred.split(">")[1].strip()[:8], sel.n_inside,
+                     sel.n_outside, f"{sel.selectivity:.1%}",
+                     crime_table.n_columns])
+    reporter.add_table(
+        ["crime threshold", "|C^I| rows", "|C^O| rows", "selectivity",
+         "columns M"],
+        rows, title="selection splits for a threshold sweep")
+    reporter.flush()

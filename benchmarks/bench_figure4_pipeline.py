@@ -1,0 +1,61 @@
+"""FIG4 — Figure 4: Ziggy's tuple-description pipeline.
+
+Paper artifact: the three-stage pipeline (Preparation -> View Search ->
+Post-processing), with the note that preparation "is often the most time
+consuming step".  Regenerated as a per-stage timing breakdown on all
+three demo datasets.
+
+Shape check: preparation dominates on every dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import Ziggy
+from repro.experiments.reporting import Reporter
+
+
+def _predicate_for(table, column, quantile=0.9):
+    values = table.column(column).numeric_values()
+    threshold = float(np.nanquantile(values[~np.isnan(values)], quantile))
+    return f"{column} > {threshold:.6f}"
+
+
+def test_figure4_pipeline_stages(benchmark, crime_table, boxoffice_table,
+                                 innovation_table, crime_query):
+    benchmark.pedantic(
+        lambda: Ziggy(crime_table, share_statistics=False).characterize(
+            crime_query),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    cases = [
+        (boxoffice_table, _predicate_for(boxoffice_table, "gross")),
+        (crime_table, crime_query),
+        (innovation_table, _predicate_for(innovation_table, "patents_00")),
+    ]
+    reporter = Reporter("FIG4", "pipeline stage timings (paper Figure 4)")
+    rows = []
+    for table, predicate in cases:
+        result = Ziggy(table, share_statistics=False).characterize(predicate)
+        prep = result.timings["preparation"]
+        search = result.timings["view_search"]
+        post = result.timings["post_processing"]
+        total = result.total_time
+        rows.append([
+            table.name, table.n_rows, table.n_columns,
+            f"{prep * 1000:.0f}", f"{search * 1000:.0f}",
+            f"{post * 1000:.0f}",
+            f"{prep / total:.0%}", len(result.views),
+        ])
+        # The paper's observation must hold.
+        assert prep > search + post, (
+            f"{table.name}: preparation does not dominate")
+    reporter.add_table(
+        ["dataset", "rows", "cols", "prep (ms)", "search (ms)",
+         "post (ms)", "prep share", "views"],
+        rows, title="per-stage wall time (cold cache)")
+    reporter.add_text(
+        "paper: 'During the preparation step ... This is often the most "
+        "time consuming step.' — confirmed on all three datasets.")
+    reporter.flush()

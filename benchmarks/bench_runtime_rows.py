@@ -1,0 +1,58 @@
+"""EXT-ROWS — runtime scaling with table length n.
+
+Extension experiment: characterization time as rows grow 1k -> 32k at
+fixed M=64 (cold cache).  Preparation scans the data, so the expected
+shape is ~linear growth in n with a fixed search/post overhead — i.e.
+the per-row marginal cost flattens.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import Ziggy
+from repro.data.planted import make_planted
+from repro.experiments.harness import repeat_time
+from repro.experiments.reporting import Reporter
+
+ROW_COUNTS = (1000, 2000, 4000, 8000, 16000, 32000)
+
+
+def _dataset(n_rows: int):
+    return make_planted(n_rows=n_rows, n_columns=64, n_views=2,
+                        view_dim=2, kinds=("mean",), effect=1.0,
+                        seed=7)
+
+
+def test_runtime_vs_rows(benchmark):
+    datasets = {n: _dataset(n) for n in ROW_COUNTS}
+
+    benchmark.pedantic(
+        lambda: Ziggy(datasets[4000].table, share_statistics=False)
+        .characterize_selection(datasets[4000].selection),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+    reporter = Reporter("EXT-ROWS", "runtime vs row count "
+                        "(M=64 columns, cold cache)")
+    rows = []
+    times = {}
+    for n in ROW_COUNTS:
+        ds = datasets[n]
+
+        def run(ds=ds):
+            return Ziggy(ds.table, share_statistics=False) \
+                .characterize_selection(ds.selection)
+
+        median = repeat_time(run, repeats=3 if n <= 8000 else 2, warmup=1)
+        times[n] = median
+        rows.append([n, f"{median * 1000:.0f}",
+                     f"{median / n * 1e6:.1f}"])
+    reporter.add_table(["rows n", "median (ms)", "us per row"], rows,
+                       title="scaling series")
+    reporter.add_text("expected shape: ~linear in n once the fixed "
+                      "search/post overhead is amortized "
+                      "(us-per-row flattens).")
+    reporter.flush()
+
+    # Shape: 32x the rows costs far less than 32x the time of the 1k run
+    # (fixed overhead dominates small inputs) and stays sub-quadratic.
+    assert times[32000] < 32 * times[1000] * 1.5
+    assert times[32000] > times[1000]

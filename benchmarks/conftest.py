@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Datasets are generated once per session at the paper's published sizes
+(Box Office 900x12, US Crime 1994x128, Innovation 6823x519).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.boxoffice import make_boxoffice
+from repro.data.crime import high_crime_predicate, make_crime
+from repro.data.innovation import make_innovation
+
+
+@pytest.fixture(scope="session")
+def crime_table():
+    """US Crime at the paper's size: 1994 communities x 128 indicators."""
+    return make_crime()
+
+
+@pytest.fixture(scope="session")
+def boxoffice_table():
+    """Box Office at the paper's size: 900 movies x 12 columns."""
+    return make_boxoffice()
+
+
+@pytest.fixture(scope="session")
+def innovation_table():
+    """Countries & Innovation at the paper's size: 6823 x 519."""
+    return make_innovation()
+
+
+@pytest.fixture(scope="session")
+def crime_query(crime_table):
+    """The running example's predicate: top-decile violent crime."""
+    return high_crime_predicate(crime_table, quantile=0.9)
+
+
+@pytest.fixture(scope="session")
+def noise_table():
+    """Pure-noise table for the false-positive-rate experiment: no column
+    has any real relationship with any selection."""
+    rng = np.random.default_rng(99)
+    n, m = 2000, 40
+    data = {f"noise_{j:02d}": rng.normal(size=n) for j in range(m)}
+    from repro.engine.table import Table
+    return Table.from_dict(data, name="pure_noise")

@@ -1,0 +1,41 @@
+"""Box Office tour: the demo's introductory dataset, via the session API.
+
+Shows the interactive surface (Figure 5): the query box, the ranked view
+list, the detail panel, weight adjustment, and the dendrogram that helps
+tune MIN_tight.
+
+Run:  python examples/boxoffice_tour.py
+"""
+
+from repro import load_dataset
+from repro.app import ZiggySession
+
+session = ZiggySession()
+session.add_table(load_dataset("boxoffice"))
+
+# --- Query 1: what makes a blockbuster? ---------------------------------
+print(">>> session.run('gross > 250000000')\n")
+session.run("gross > 250000000")
+print(session.view_list())
+print()
+print(session.view_detail(1))
+print()
+
+# --- The user cares about spread, not means: reweight -------------------
+print(">>> session.set_weights(mean_shift=0.2, spread_shift=2.0)\n")
+session.set_weights(mean_shift=0.2, spread_shift=2.0)
+session.run("gross > 250000000")
+print(session.view_list())
+print()
+
+# --- Back to defaults; look at flops instead ------------------------------
+session.set_weights(mean_shift=1.0, spread_shift=1.0)
+print(">>> flops: expensive movies that under-performed\n")
+session.run("budget > 100000000 AND gross < budget")
+for line in session.explanations():
+    print(f"* {line}")
+print()
+
+# --- The tuning aid --------------------------------------------------------
+print(">>> session.dendrogram()  (support for setting MIN_tight)\n")
+print(session.dendrogram())

@@ -1,0 +1,75 @@
+"""Tour of the columnar engine substrate (the MonetDB stand-in).
+
+Ziggy's bottom layer: typed columns, the SQL-subset query language,
+selection masks, CSV round-tripping.  Useful when embedding the engine
+under your own exploration front-end.
+
+Run:  python examples/engine_tour.py
+"""
+
+import io
+
+import numpy as np
+
+from repro.engine import Database, Table, read_csv, write_csv
+
+# --- Build a table three different ways ------------------------------------
+t1 = Table.from_dict({
+    "city": ["Utrecht", "Amsterdam", "Rotterdam", "Eindhoven", "Groningen"],
+    "population": [361924, 921402, 656050, 246417, 234649],
+    "density": [3543, 5276, 3144, 2806, 2871],
+    "coastal": [False, True, True, False, False],
+}, name="cities")
+print(t1.preview())
+print()
+
+rows = [("a", 1.0), ("b", 2.0), ("c", None)]
+t2 = Table.from_rows(["key", "value"], rows, name="kv")
+
+csv_text = "name,score,active\nx,1.5,true\ny,2.5,false\nz,,true\n"
+t3 = read_csv(io.StringIO(csv_text), name="from_csv")
+print(f"inferred types: "
+      f"{[f'{c.name}:{c.ctype.value}' for c in t3.columns]}")
+print()
+
+# --- The query language ------------------------------------------------------
+db = Database()
+db.register(t1)
+result = db.query(
+    "SELECT city, population FROM cities "
+    "WHERE density > 3000 AND NOT coastal ORDER BY population DESC LIMIT 3")
+print(result.preview())
+print()
+
+# Selections: the object Ziggy characterizes — a mask over the base table.
+sel = db.select("cities", "population BETWEEN 200000 AND 700000")
+print(sel.describe())
+print(f"inside rows: {sel.n_inside}, fingerprint: {sel.fingerprint}")
+print()
+
+# Expressions support arithmetic, functions, LIKE, IN, IS NULL...
+fancy = db.select(
+    "cities",
+    "log(population) > 12.5 OR city LIKE '%dam' OR city IN ('Eindhoven')")
+print(fancy.describe())
+print()
+
+# Equivalent spellings share a canonical fingerprint (powers the cache):
+a = db.select("cities", "population = 361924")
+b = db.select("cities", "population == 361924.0")
+print(f"fingerprints equal across spellings: {a.fingerprint == b.fingerprint}")
+print()
+
+# --- CSV round-trip -------------------------------------------------------------
+buf = io.StringIO()
+write_csv(t1, buf)
+print("CSV out:")
+print(buf.getvalue())
+
+# --- NULL semantics (SQL three-valued logic) --------------------------------------
+t4 = Table.from_dict({"x": np.array([1.0, np.nan, 3.0])}, name="nulls")
+db.register(t4)
+print("x > 2        ->", db.select("nulls", "x > 2").n_inside, "row(s)")
+print("NOT (x > 2)  ->", db.select("nulls", "NOT (x > 2)").n_inside,
+      "row(s)  (NULL is excluded from both)")
+print("x IS NULL    ->", db.select("nulls", "x IS NULL").n_inside, "row(s)")

@@ -1,0 +1,23 @@
+"""Quickstart: characterize a query in five lines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Ziggy, load_dataset
+
+# 1. Load a dataset (a 1994 x 128 socio-economic table; use read_csv for
+#    your own data).
+table = load_dataset("us_crime")
+
+# 2. Build the engine.
+ziggy = Ziggy(table)
+
+# 3. Characterize a selection: which columns make high-crime communities
+#    different from everything else?
+result = ziggy.characterize("violent_crime_rate > 0.25")
+
+# 4. Inspect.
+print(result.describe())
+print()
+for view in result.views:
+    print(f"* {view.explanation}")

@@ -1,0 +1,56 @@
+"""repro — a reproduction of *Ziggy: Characterizing Query Results for
+Data Explorers* (Sellam & Kersten, VLDB 2016).
+
+Ziggy helps data explorers understand their query results: given a
+selection over a wide table, it detects **characteristic views** — small
+sets of columns on which the selected tuples differ most from the rest of
+the database — scores them with the composite, explainable
+**Zig-Dissimilarity**, checks their statistical robustness, and
+verbalizes why each view was chosen.
+
+Quickstart::
+
+    from repro import Ziggy, load_dataset
+
+    table = load_dataset("us_crime")
+    ziggy = Ziggy(table)
+    result = ziggy.characterize("violent_crime_rate > 0.25")
+    print(result.describe())
+    for view in result.views:
+        print(view.explanation)
+"""
+
+from repro.core.config import ZiggyConfig
+from repro.core.pipeline import Ziggy
+from repro.core.views import (
+    CharacterizationResult,
+    ComponentScore,
+    View,
+    ViewResult,
+)
+from repro.data.registry import dataset_names, load_dataset
+from repro.engine.csvio import read_csv, write_csv
+from repro.engine.database import Database, Selection, selection_from_mask
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ziggy",
+    "ZiggyConfig",
+    "View",
+    "ViewResult",
+    "ComponentScore",
+    "CharacterizationResult",
+    "Table",
+    "Database",
+    "Selection",
+    "selection_from_mask",
+    "read_csv",
+    "write_csv",
+    "load_dataset",
+    "dataset_names",
+    "ReproError",
+    "__version__",
+]

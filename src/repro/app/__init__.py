@@ -1,0 +1,22 @@
+"""The demo application layer.
+
+Stand-in for the paper's Shiny/HTML front-end (Section 4.1, Figure 5):
+an in-process session object with the same three panels — query box,
+ranked view list, per-view detail with explanation — plus a JSON API
+(what the web server would speak) and ASCII renderings of the
+characteristic-view plots of Figure 1.
+"""
+
+from repro.app.render import ascii_scatter, ascii_histogram_pair, view_card
+from repro.app.session import ZiggySession
+from repro.app.api import ZiggyApi
+from repro.app.demo import run_demo_script
+
+__all__ = [
+    "ascii_scatter",
+    "ascii_histogram_pair",
+    "view_card",
+    "ZiggySession",
+    "ZiggyApi",
+    "run_demo_script",
+]

@@ -1,0 +1,136 @@
+"""JSON-able request/response API — what the demo's web server speaks.
+
+The middle layer of the paper's architecture is "the query
+characterization engine and a Web server".  :class:`ZiggyApi` is that
+server's handler, minus the socket: it accepts plain-dict requests and
+returns plain-dict responses (every value JSON-serializable), so an HTTP
+veneer, a notebook, or a test can drive it identically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.app.session import ZiggySession
+from repro.core.views import ComponentScore, ViewResult
+from repro.errors import ReproError
+
+
+def _json_safe(value: float) -> float | None:
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def component_to_dict(score: ComponentScore) -> dict[str, Any]:
+    """Serialize one component score."""
+    return {
+        "component": score.component,
+        "columns": list(score.columns),
+        "raw": _json_safe(score.raw),
+        "normalized": _json_safe(score.normalized),
+        "weight": score.weight,
+        "direction": score.direction,
+        "p_value": _json_safe(score.p_value),
+        "detail": {k: (list(v) if isinstance(v, tuple) else v)
+                   for k, v in score.detail.items()},
+    }
+
+
+def view_to_dict(result: ViewResult, rank: int) -> dict[str, Any]:
+    """Serialize one ranked view."""
+    return {
+        "rank": rank,
+        "columns": list(result.columns),
+        "score": _json_safe(result.score),
+        "tightness": _json_safe(result.tightness),
+        "p_value": _json_safe(result.p_value),
+        "significant": result.significant,
+        "explanation": result.explanation,
+        "components": [component_to_dict(c) for c in result.components],
+    }
+
+
+class ZiggyApi:
+    """Dispatches dict requests onto a :class:`ZiggySession`.
+
+    Supported actions: ``list_tables``, ``query``, ``views``,
+    ``view_detail``, ``dendrogram``, ``set_weights``, ``set_option``.
+    Errors come back as ``{"ok": False, "error": ...}`` rather than
+    raising — a web handler must never 500 on a user typo.
+    """
+
+    def __init__(self, session: ZiggySession | None = None):
+        self.session = session if session is not None else ZiggySession()
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Process one request dict and return the response dict."""
+        action = request.get("action")
+        handler = getattr(self, f"_handle_{action}", None)
+        if action is None or handler is None:
+            return {"ok": False,
+                    "error": f"unknown action {action!r}",
+                    "available": ["list_tables", "query", "views",
+                                  "view_detail", "dendrogram",
+                                  "set_weights", "set_option"]}
+        try:
+            payload = handler(request)
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}
+        except (ValueError, TypeError, KeyError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        payload["ok"] = True
+        return payload
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _handle_list_tables(self, request: dict) -> dict:
+        tables = []
+        for name in self.session.tables():
+            table = self.session.database.table(name)
+            tables.append({
+                "name": name,
+                "rows": table.n_rows,
+                "columns": table.n_columns,
+                "column_names": list(table.column_names),
+            })
+        return {"tables": tables}
+
+    def _handle_query(self, request: dict) -> dict:
+        where = request["where"]
+        table = request.get("table")
+        result = self.session.run(where, table=table)
+        return {
+            "predicate": result.predicate,
+            "n_inside": result.n_inside,
+            "n_outside": result.n_outside,
+            "n_views": len(result.views),
+            "timings_ms": {k: v * 1000.0 for k, v in result.timings.items()},
+            "views": [view_to_dict(v, i)
+                      for i, v in enumerate(result.views, start=1)],
+            "notes": list(result.notes),
+        }
+
+    def _handle_views(self, request: dict) -> dict:
+        result = self.session.current.result
+        return {"views": [view_to_dict(v, i)
+                          for i, v in enumerate(result.views, start=1)]}
+
+    def _handle_view_detail(self, request: dict) -> dict:
+        rank = int(request["rank"])
+        return {"rank": rank, "panel": self.session.view_detail(rank)}
+
+    def _handle_dendrogram(self, request: dict) -> dict:
+        return {"dendrogram": self.session.dendrogram()}
+
+    def _handle_set_weights(self, request: dict) -> dict:
+        weights = {str(k): float(v)
+                   for k, v in request.get("weights", {}).items()}
+        self.session.set_weights(**weights)
+        return {"weights": dict(self.session.config.weights)}
+
+    def _handle_set_option(self, request: dict) -> dict:
+        options = dict(request.get("options", {}))
+        self.session.set_option(**options)
+        return {"applied": sorted(options)}

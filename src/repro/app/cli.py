@@ -1,0 +1,169 @@
+"""Command-line interface: characterize a query from the shell.
+
+Examples::
+
+    python -m repro --dataset us_crime --where "violent_crime_rate > 0.25"
+    python -m repro --csv mydata.csv --where "price > 100" --views 5 --plot
+    python -m repro --dataset boxoffice --sql \
+        "SELECT genre, count(*), avg(gross) FROM boxoffice GROUP BY genre"
+    python -m repro --list-datasets
+
+With ``--sql`` and an aggregate/projection query the result table is
+printed; with ``--where`` (or a SQL query whose WHERE clause selects a
+strict subset) the selection is characterized and the ranked views with
+explanations are printed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.app.render import view_card
+from repro.core.config import ZiggyConfig
+from repro.core.pipeline import Ziggy
+from repro.data.registry import dataset_names, load_dataset
+from repro.engine.csvio import read_csv
+from repro.engine.database import Database
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse definition (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ziggy: characterize query results for data explorers "
+                    "(VLDB 2016 reproduction)")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--dataset", choices=dataset_names(),
+                        help="built-in demo dataset to load")
+    source.add_argument("--csv", metavar="PATH",
+                        help="CSV file to load as the table")
+    parser.add_argument("--list-datasets", action="store_true",
+                        help="list built-in datasets and exit")
+    query = parser.add_mutually_exclusive_group()
+    query.add_argument("--where", metavar="PREDICATE",
+                       help="predicate defining the selection to "
+                            "characterize")
+    query.add_argument("--sql", metavar="QUERY",
+                       help="full SELECT; aggregates/projections print the "
+                            "result table, otherwise the WHERE clause is "
+                            "characterized")
+    parser.add_argument("--views", type=int, default=8,
+                        help="maximum number of views (default 8)")
+    parser.add_argument("--dim", type=int, default=2,
+                        help="maximum view dimension D (default 2)")
+    parser.add_argument("--tightness", type=float, default=0.35,
+                        help="MIN_tight constraint (default 0.35)")
+    parser.add_argument("--strategy", choices=("linkage", "clique"),
+                        default="linkage", help="view-search strategy")
+    parser.add_argument("--aggregation",
+                        choices=("min", "bonferroni", "holm", "fisher"),
+                        default="bonferroni",
+                        help="p-value aggregation scheme")
+    parser.add_argument("--weight", action="append", default=[],
+                        metavar="COMPONENT=W",
+                        help="component weight override (repeatable)")
+    parser.add_argument("--plot", action="store_true",
+                        help="print the ASCII plot panel for each view")
+    parser.add_argument("--dendrogram", action="store_true",
+                        help="print the dependency dendrogram (tuning aid)")
+    parser.add_argument("--exclude", action="append", default=[],
+                        metavar="COLUMN",
+                        help="column to exclude from the search (repeatable)")
+    parser.add_argument("--seed-rows", type=int, default=None,
+                        metavar="N", help="shrink a built-in dataset to N rows")
+    return parser
+
+
+def _parse_weights(pairs: Sequence[str]) -> dict[str, float]:
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"--weight expects COMPONENT=W, got {pair!r}")
+        name, _, value = pair.partition("=")
+        try:
+            weights[name.strip()] = float(value)
+        except ValueError:
+            raise ReproError(f"--weight {pair!r}: {value!r} is not a number") \
+                from None
+    return weights
+
+
+def _load_table(args) -> "Table":  # noqa: F821 - forward name for docs
+    if args.csv:
+        return read_csv(args.csv)
+    name = args.dataset or "us_crime"
+    kwargs = {}
+    if args.seed_rows:
+        kwargs["n_rows"] = args.seed_rows
+    return load_dataset(name, **kwargs)
+
+
+def main(argv: Sequence[str] | None = None, stream=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    def emit(text: str = "") -> None:
+        print(text, file=out)
+
+    try:
+        if args.list_datasets:
+            for name in dataset_names():
+                table = load_dataset(name, **(
+                    {"n_rows": 50} if name != "boxoffice" else {"n_rows": 50}))
+                emit(f"{name:<12} {table.n_columns} columns "
+                     f"(sampled 50 rows; defaults to paper size)")
+            return 0
+        table = _load_table(args)
+        db = Database()
+        db.register(table)
+
+        if args.sql:
+            from repro.engine.parser import parse_query
+            parsed = parse_query(args.sql)
+            if parsed.is_aggregation or parsed.columns is not None:
+                result_table = db.run(parsed)
+                emit(result_table.preview(n=50))
+                return 0
+            where_predicate = parsed.predicate
+        elif args.where:
+            where_predicate = args.where
+        else:
+            parser.error("one of --where, --sql or --list-datasets is required")
+            return 2  # pragma: no cover - argparse exits first
+
+        config = ZiggyConfig(
+            max_views=args.views,
+            max_view_dim=args.dim,
+            min_tightness=args.tightness,
+            search_strategy=args.strategy,
+            aggregation=args.aggregation,
+            weights=_parse_weights(args.weight),
+            excluded_columns=tuple(args.exclude),
+        )
+        ziggy = Ziggy(db, config=config)
+        selection = db.select(table.name, where_predicate)
+        result = ziggy.characterize_selection(selection)
+        emit(result.describe())
+        emit()
+        for i, view in enumerate(result.views, start=1):
+            if args.plot:
+                emit(view_card(view, selection, rank=i))
+                emit()
+            else:
+                emit(f"{i}. {view.explanation}")
+        if args.dendrogram:
+            emit()
+            emit(ziggy.dendrogram_text() or "(no dendrogram)")
+        return 0
+    except ReproError as exc:
+        emit(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

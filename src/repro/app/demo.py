@@ -1,0 +1,98 @@
+"""The scripted demo walkthrough (Section 4.2's three use cases).
+
+Runs the ready-made queries the presenters would use at the demo booth —
+one per dataset — and returns the full transcript: query, ranked views,
+detail panel for the top view, explanations.  Used by the FIG5 benchmark
+and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.app.session import ZiggySession
+from repro.data.registry import load_dataset
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class DemoStep:
+    """One booth interaction: which dataset, which ready-made query."""
+
+    dataset: str
+    description: str
+    predicate: str
+
+
+def _quantile_predicate(table: Table, column: str, q: float) -> str:
+    values = table.column(column).numeric_values()
+    threshold = float(np.nanquantile(values[~np.isnan(values)], q))
+    return f"{column} > {threshold:.6f}"
+
+
+def default_script(tables: dict[str, Table]) -> list[DemoStep]:
+    """The three ready-made queries of the demo."""
+    return [
+        DemoStep(
+            dataset="boxoffice",
+            description="blockbusters: the top-grossing decile",
+            predicate=_quantile_predicate(tables["boxoffice"], "gross", 0.9),
+        ),
+        DemoStep(
+            dataset="us_crime",
+            description="the most dangerous communities (running example)",
+            predicate=_quantile_predicate(tables["us_crime"],
+                                          "violent_crime_rate", 0.9),
+        ),
+        DemoStep(
+            dataset="innovation",
+            description="highly innovative region-years (patent intensity)",
+            predicate=_quantile_predicate(tables["innovation"],
+                                          "patents_00", 0.9),
+        ),
+    ]
+
+
+def run_demo_script(session: ZiggySession | None = None,
+                    small: bool = False,
+                    max_views_shown: int = 4) -> str:
+    """Run the full booth script and return the transcript.
+
+    Args:
+        session: an existing session (a fresh one with the three demo
+            datasets is created when None).
+        small: shrink the datasets (for tests; the shapes stay
+            proportionate).
+        max_views_shown: how many views to print per step.
+    """
+    if session is None:
+        session = ZiggySession()
+        sizes = ({"boxoffice": {"n_rows": 300},
+                  "us_crime": {"n_rows": 600},
+                  "innovation": {"n_rows": 800, "n_columns": 80}}
+                 if small else {})
+        for name in ("boxoffice", "us_crime", "innovation"):
+            session.add_table(load_dataset(name, **sizes.get(name, {})))
+    tables = {name: session.database.table(name)
+              for name in session.tables()}
+    transcript: list[str] = []
+    for step in default_script(tables):
+        transcript.append("=" * 70)
+        transcript.append(f"USE CASE: {step.dataset} — {step.description}")
+        transcript.append(f"query> SELECT * FROM {step.dataset} "
+                          f"WHERE {step.predicate}")
+        result = session.run(step.predicate, table=step.dataset)
+        transcript.append(session.view_list())
+        shown = min(max_views_shown, len(result.views))
+        if shown:
+            transcript.append("")
+            transcript.append(session.view_detail(1))
+            if shown > 1:
+                transcript.append("")
+                transcript.append("other explanations:")
+                for i in range(2, shown + 1):
+                    transcript.append(f"  {i}. {result.views[i - 1].explanation}")
+        transcript.append("")
+    return "\n".join(transcript)

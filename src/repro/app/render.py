@@ -1,0 +1,173 @@
+"""ASCII rendering of characteristic views.
+
+Figure 1 of the paper shows scatter plots where the selection ('+') sits
+against the rest of the data ('·').  These renderers reproduce that in
+plain text: two-column numeric views become scatter plots, single
+columns become back-to-back histograms, categorical columns become
+frequency bars.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.views import ViewResult
+from repro.engine.column import CategoricalColumn
+from repro.engine.database import Selection
+
+#: Glyphs: selection, complement, both-in-cell.
+GLYPH_IN, GLYPH_OUT, GLYPH_BOTH = "+", ".", "#"
+
+
+def _finite_pairs(x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    keep = ~(np.isnan(x) | np.isnan(y))
+    return x[keep], y[keep]
+
+
+def ascii_scatter(x_inside: np.ndarray, y_inside: np.ndarray,
+                  x_outside: np.ndarray, y_outside: np.ndarray,
+                  x_label: str = "x", y_label: str = "y",
+                  width: int = 56, height: int = 18) -> str:
+    """Figure-1-style scatter plot: '+' = selection, '.' = complement.
+
+    Cells containing both groups render '#'.  Axes are annotated with the
+    data ranges so users can "inspect the charts and check whether they
+    hold" (Section 2.2's verifiability argument).
+    """
+    xi, yi = _finite_pairs(np.asarray(x_inside, float),
+                           np.asarray(y_inside, float))
+    xo, yo = _finite_pairs(np.asarray(x_outside, float),
+                           np.asarray(y_outside, float))
+    all_x = np.concatenate([xi, xo])
+    all_y = np.concatenate([yi, yo])
+    if all_x.size == 0:
+        return "(no complete data points to plot)"
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def mark(xs: np.ndarray, ys: np.ndarray, glyph: str) -> None:
+        if xs.size == 0:
+            return
+        cols = np.clip(((xs - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int),
+                       0, width - 1)
+        rows = np.clip(((ys - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int),
+                       0, height - 1)
+        for c, r in zip(cols, rows):
+            row = height - 1 - r  # origin bottom-left
+            cell = grid[row][c]
+            if cell == " ":
+                grid[row][c] = glyph
+            elif cell != glyph:
+                grid[row][c] = GLYPH_BOTH
+
+    mark(xo, yo, GLYPH_OUT)
+    mark(xi, yi, GLYPH_IN)
+
+    lines = [f"{y_label}  ({y_lo:.3g} .. {y_hi:.3g})"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}  ({x_lo:.3g} .. {x_hi:.3g})"
+                 f"    [{GLYPH_IN}]=selection [{GLYPH_OUT}]=others "
+                 f"[{GLYPH_BOTH}]=both")
+    return "\n".join(lines)
+
+
+def ascii_histogram_pair(inside: np.ndarray, outside: np.ndarray,
+                         label: str = "", bins: int = 16,
+                         width: int = 40) -> str:
+    """Back-to-back density bars for a single-column view.
+
+    Both groups are binned on a shared grid and scaled to relative
+    frequency, so different group sizes remain comparable.
+    """
+    ins = np.asarray(inside, float)
+    out = np.asarray(outside, float)
+    ins = ins[~np.isnan(ins)]
+    out = out[~np.isnan(out)]
+    pooled = np.concatenate([ins, out])
+    if pooled.size == 0:
+        return "(no data)"
+    lo, hi = float(pooled.min()), float(pooled.max())
+    if lo == hi:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, bins + 1)
+    dens_in, _ = np.histogram(ins, bins=edges)
+    dens_out, _ = np.histogram(out, bins=edges)
+    f_in = dens_in / dens_in.sum() if dens_in.sum() else dens_in.astype(float)
+    f_out = (dens_out / dens_out.sum() if dens_out.sum()
+             else dens_out.astype(float))
+    peak = max(f_in.max(initial=0.0), f_out.max(initial=0.0), 1e-9)
+    lines = [f"{label}   (left: selection {GLYPH_IN} | right: others {GLYPH_OUT})"]
+    for b in range(bins):
+        left = int(round(f_in[b] / peak * (width // 2)))
+        right = int(round(f_out[b] / peak * (width // 2)))
+        center = f"{edges[b]:>10.3g}"
+        lines.append(
+            f"{GLYPH_IN * left:>{width // 2}} |{center}| {GLYPH_OUT * right}")
+    return "\n".join(lines)
+
+
+def ascii_category_bars(view_result: ViewResult, selection: Selection,
+                        column: str, width: int = 32,
+                        max_categories: int = 10) -> str:
+    """Side-by-side proportion bars for a categorical column."""
+    col = selection.table.column(column)
+    if not isinstance(col, CategoricalColumn):
+        raise TypeError(f"{column!r} is not categorical")
+    codes = col.codes
+    labels = col.labels
+    lines = [f"{column}   (selection vs others, proportions)"]
+    mask = selection.mask
+    n_in = max(int(((codes >= 0) & mask).sum()), 1)
+    n_out = max(int(((codes >= 0) & ~mask).sum()), 1)
+    shown = list(enumerate(labels))[:max_categories]
+    for code, label in shown:
+        p_in = float(((codes == code) & mask).sum()) / n_in
+        p_out = float(((codes == code) & ~mask).sum()) / n_out
+        bar_in = GLYPH_IN * int(round(p_in * width))
+        bar_out = GLYPH_OUT * int(round(p_out * width))
+        lines.append(f"  {str(label)[:18]:<18} {p_in:6.1%} {bar_in}")
+        lines.append(f"  {'':<18} {p_out:6.1%} {bar_out}")
+    if len(labels) > max_categories:
+        lines.append(f"  ... ({len(labels) - max_categories} more categories)")
+    return "\n".join(lines)
+
+
+def view_card(view_result: ViewResult, selection: Selection,
+              rank: int | None = None) -> str:
+    """The full detail panel for one view: header, plot, explanation.
+
+    This is the right-hand side of Figure 5 for the selected view.
+    """
+    header = f"View {rank}: " if rank is not None else "View: "
+    header += ", ".join(view_result.columns)
+    meta = (f"score={view_result.score:.3f}  "
+            f"tightness={view_result.tightness:.3f}  "
+            f"p={view_result.p_value:.2e}")
+    table = selection.table
+    mask = selection.mask
+    numeric = [c for c in view_result.columns
+               if not isinstance(table.column(c), CategoricalColumn)]
+    categorical = [c for c in view_result.columns
+                   if isinstance(table.column(c), CategoricalColumn)]
+    plots: list[str] = []
+    if len(numeric) >= 2:
+        x = table.column(numeric[0]).numeric_values()
+        y = table.column(numeric[1]).numeric_values()
+        plots.append(ascii_scatter(x[mask], y[mask], x[~mask], y[~mask],
+                                   x_label=numeric[0], y_label=numeric[1]))
+    elif len(numeric) == 1:
+        v = table.column(numeric[0]).numeric_values()
+        plots.append(ascii_histogram_pair(v[mask], v[~mask],
+                                          label=numeric[0]))
+    for c in categorical:
+        plots.append(ascii_category_bars(view_result, selection, c))
+    parts = [header, meta] + plots + ["", view_result.explanation]
+    return "\n".join(parts)

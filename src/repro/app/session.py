@@ -1,0 +1,162 @@
+"""The interactive session — Figure 5's panels as a Python object.
+
+A :class:`ZiggySession` is what the demo's web server holds per visitor:
+the registered datasets, the current query, the ranked views, and the
+rendering of any view the user clicks.  It also exposes the dendrogram
+(the paper's tuning aid for ``MIN_tight``) and lets the visitor adjust
+component weights mid-session, reproducing the demo's interactivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.app.render import view_card
+from repro.core.config import ZiggyConfig
+from repro.core.pipeline import Ziggy
+from repro.core.views import CharacterizationResult, ViewResult
+from repro.engine.database import Database, Selection
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+
+@dataclass
+class SessionEntry:
+    """One executed characterization in the session history."""
+
+    query_text: str
+    table_name: str
+    result: CharacterizationResult
+    selection: Selection = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class ZiggySession:
+    """Query box -> ranked views -> detail panel, with history.
+
+    Example::
+
+        session = ZiggySession()
+        session.add_table(load_dataset("boxoffice"))
+        session.run("gross > 200000000", table="boxoffice")
+        print(session.view_list())
+        print(session.view_detail(1))
+    """
+
+    def __init__(self, database: Database | None = None,
+                 config: ZiggyConfig | None = None):
+        self.database = database if database is not None else Database()
+        self.config = config if config is not None else ZiggyConfig()
+        self._engines: dict[str, Ziggy] = {}
+        self.history: list[SessionEntry] = []
+
+    # -- catalog ------------------------------------------------------------------
+
+    def add_table(self, table: Table, name: str | None = None) -> None:
+        """Register a dataset with the session."""
+        self.database.register(table, name=name)
+
+    def tables(self) -> tuple[str, ...]:
+        """Names of the registered datasets."""
+        return self.database.table_names()
+
+    # -- configuration -------------------------------------------------------------
+
+    def set_weights(self, **weights: float) -> None:
+        """Adjust component weights (Section 2.2's user preferences).
+
+        Takes effect for subsequent queries; engines keep their caches.
+        """
+        merged = dict(self.config.weights)
+        merged.update(weights)
+        self.config = self.config.with_overrides(weights=merged)
+
+    def set_option(self, **options) -> None:
+        """Adjust any :class:`ZiggyConfig` field (validated)."""
+        self.config = self.config.with_overrides(**options)
+
+    # -- the query box -----------------------------------------------------------------
+
+    def run(self, where: str, table: str | None = None) -> CharacterizationResult:
+        """Execute a predicate and characterize its selection."""
+        table_name = self._resolve_table(table)
+        engine = self._engine_for(table_name)
+        selection = self.database.select(table_name, where)
+        result = engine.characterize_selection(selection, config=self.config)
+        self.history.append(SessionEntry(
+            query_text=where, table_name=table_name, result=result,
+            selection=selection))
+        return result
+
+    def run_sql(self, sql: str) -> CharacterizationResult:
+        """Execute a full SELECT and characterize its WHERE clause."""
+        selection = self.database.selection_for_query(sql)
+        table_name = selection.table.name
+        engine = self._engine_for(table_name)
+        result = engine.characterize_selection(selection, config=self.config)
+        self.history.append(SessionEntry(
+            query_text=sql, table_name=table_name, result=result,
+            selection=selection))
+        return result
+
+    # -- panels --------------------------------------------------------------------------
+
+    @property
+    def current(self) -> SessionEntry:
+        """The latest executed characterization."""
+        if not self.history:
+            raise ReproError("no query has been run in this session")
+        return self.history[-1]
+
+    def view_list(self) -> str:
+        """The left panel: ranked views, one line each."""
+        entry = self.current
+        lines = [f"table: {entry.table_name}   query: {entry.query_text}",
+                 f"selection: {entry.result.n_inside} rows "
+                 f"({entry.result.n_inside + entry.result.n_outside} total)"]
+        if not entry.result.views:
+            lines.append("  (no significant views found)")
+        for i, vr in enumerate(entry.result.views, start=1):
+            lines.append(f"  {i}. {vr.summary_line()}")
+        return "\n".join(lines)
+
+    def view(self, rank: int) -> ViewResult:
+        """The view at 1-based ``rank`` in the current result."""
+        views = self.current.result.views
+        if not 1 <= rank <= len(views):
+            raise ReproError(
+                f"view rank {rank} out of range (1..{len(views)})")
+        return views[rank - 1]
+
+    def view_detail(self, rank: int) -> str:
+        """The right panel: plot + explanation for one view."""
+        entry = self.current
+        return view_card(self.view(rank), entry.selection, rank=rank)
+
+    def explanations(self) -> list[str]:
+        """All explanations of the current result, in rank order."""
+        return [vr.explanation for vr in self.current.result.views]
+
+    def dendrogram(self) -> str:
+        """The tuning aid: the last search's dendrogram (if linkage ran)."""
+        engine = self._engines.get(self.current.table_name)
+        text = engine.dendrogram_text() if engine is not None else None
+        return text or "(no dendrogram available)"
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _resolve_table(self, table: str | None) -> str:
+        if table is not None:
+            return table
+        names = self.database.table_names()
+        if len(names) == 1:
+            return names[0]
+        raise ReproError(
+            f"session has {len(names)} tables; pass table=... "
+            f"(available: {', '.join(names)})")
+
+    def _engine_for(self, table_name: str) -> Ziggy:
+        engine = self._engines.get(table_name)
+        if engine is None:
+            engine = Ziggy(self.database, config=self.config)
+            self._engines[table_name] = engine
+        return engine

@@ -1,0 +1,46 @@
+"""Baseline characterization methods Ziggy is compared against.
+
+The paper positions Ziggy against two families of alternatives:
+
+* **black-box divergence subspace search** (Section 2.2: "Common examples
+  of divergence functions D are the distance between the centroids and
+  the Kullback-Leibler divergence ... most of these operate in a 'black
+  box' fashion") — implemented as beam searches maximizing KL divergence
+  (:mod:`repro.baselines.kl`) and centroid distance
+  (:mod:`repro.baselines.centroid`);
+* **dimensionality reduction** (Section 1: PCA "transforms the data ...
+  the tuples that the users visualize are not those that they requested"
+  and "ignore the exploration context") —
+  :mod:`repro.baselines.pca` characterizes the selection by the
+  top-loading columns of the principal components of the selection.
+
+Two structural ablations complete the set: exhaustive scoring of every
+column pair (:mod:`repro.baselines.beam` — quality upper bound at
+quadratic cost) and a single full-space divergence score with no view
+structure (:mod:`repro.baselines.fullspace` — what "just compare the
+distributions" gives you).
+
+All baselines implement :class:`BaselineMethod` and return plain
+:class:`~repro.core.views.View` lists, so the recovery metrics in
+:mod:`repro.experiments.metrics` treat every method identically.
+"""
+
+from repro.baselines.base import BaselineMethod, group_matrices
+from repro.baselines.kl import KLDivergenceSearch, gaussian_kl
+from repro.baselines.centroid import CentroidDistanceSearch
+from repro.baselines.pca import PCACharacterizer
+from repro.baselines.beam import ExhaustivePairSearch
+from repro.baselines.fullspace import FullSpaceDivergence
+from repro.baselines.ziggy_adapter import ZiggyMethod
+
+__all__ = [
+    "BaselineMethod",
+    "group_matrices",
+    "KLDivergenceSearch",
+    "gaussian_kl",
+    "CentroidDistanceSearch",
+    "PCACharacterizer",
+    "ExhaustivePairSearch",
+    "FullSpaceDivergence",
+    "ZiggyMethod",
+]

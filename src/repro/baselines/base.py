@@ -1,0 +1,74 @@
+"""Common interface for all characterization methods."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.views import View
+from repro.engine.database import Selection
+
+
+def group_matrices(selection: Selection,
+                   columns: tuple[str, ...] | None = None
+                   ) -> tuple[np.ndarray, np.ndarray, tuple[str, ...]]:
+    """``(inside, outside, names)`` float matrices over numeric columns.
+
+    The shared data-access helper for baselines: rows with NaN are kept
+    (each method decides how to treat them; the Gaussian baselines use
+    column-wise nan-aware moments).
+    """
+    table = selection.table
+    if columns is None:
+        columns = table.numeric_column_names()
+    data = table.numeric_matrix(columns)
+    return data[selection.mask], data[~selection.mask], tuple(columns)
+
+
+class BaselineMethod:
+    """A characterization method: selection in, ranked views out.
+
+    Subclasses set :attr:`name` and implement :meth:`find_views`.  The
+    contract mirrors Ziggy's output shape (ranked, disjoint views of
+    bounded dimension) so recovery metrics compare like with like.
+    """
+
+    name: str = ""
+
+    def find_views(self, selection: Selection, max_views: int = 8,
+                   max_dim: int = 2) -> list[View]:
+        """Return up to ``max_views`` disjoint views, best first."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def pick_disjoint(scored: list[tuple[float, tuple[str, ...]]],
+                  max_views: int) -> list[View]:
+    """Greedy disjoint selection from ``(score, columns)`` candidates.
+
+    Shared by all subspace-search baselines so they apply the same
+    diversity rule as Ziggy (Eq. 4).
+    """
+    scored = sorted(scored, key=lambda t: (-t[0], t[1]))
+    used: set[str] = set()
+    out: list[View] = []
+    for _, columns in scored:
+        if len(out) >= max_views:
+            break
+        if any(c in used for c in columns):
+            continue
+        out.append(View(columns=columns))
+        used.update(columns)
+    return out
+
+
+def nan_mean_cov(data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """NaN-aware mean vector and covariance matrix (pairwise complete)."""
+    mean = np.nanmean(data, axis=0)
+    centered = data - mean
+    filled = np.where(np.isnan(centered), 0.0, centered)
+    valid = (~np.isnan(centered)).astype(np.float64)
+    counts = valid.T @ valid
+    cov = (filled.T @ filled) / np.maximum(counts - 1.0, 1.0)
+    return mean, cov

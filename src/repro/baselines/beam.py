@@ -1,0 +1,63 @@
+"""Exhaustive pair scoring — the quality upper bound at quadratic cost.
+
+Scores *every* single column and every column pair with the same
+Zig-Dissimilarity ingredients Ziggy uses (standardized mean gap, log SD
+ratio, Fisher correlation gap), skipping the dependency-graph pruning
+entirely.  It bounds what candidate generation can lose: if Ziggy's
+clustering-pruned search recovers nearly what this O(M^2)-scorer
+recovers, the pruning is justified (that is the EXT-ACC comparison).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from repro.baselines.base import BaselineMethod, group_matrices, pick_disjoint
+from repro.core.views import View
+from repro.engine.database import Selection
+from repro.stats.correlation import fisher_z, masked_correlation_matrix
+
+
+class ExhaustivePairSearch(BaselineMethod):
+    """Full O(M^2) enumeration with a Ziggy-like composite score."""
+
+    name = "exhaustive_pairs"
+
+    def find_views(self, selection: Selection, max_views: int = 8,
+                   max_dim: int = 2) -> list[View]:
+        inside, outside, names = group_matrices(selection)
+        m = len(names)
+        if m == 0 or inside.shape[0] < 4 or outside.shape[0] < 4:
+            return []
+        mean_in = np.nanmean(inside, axis=0)
+        mean_out = np.nanmean(outside, axis=0)
+        sd_in = np.nanstd(inside, axis=0, ddof=1)
+        sd_out = np.nanstd(outside, axis=0, ddof=1)
+        pooled = np.sqrt((sd_in ** 2 + sd_out ** 2) / 2.0)
+        pooled[~(pooled > 0)] = 1.0
+        mean_gap = np.abs(mean_in - mean_out) / pooled
+        mean_gap[np.isnan(mean_gap)] = 0.0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sd_gap = np.abs(np.log(sd_in / sd_out))
+        sd_gap[~np.isfinite(sd_gap)] = 0.0
+        unary = mean_gap + sd_gap
+
+        scored: list[tuple[float, tuple[str, ...]]] = [
+            (float(unary[j]), (names[j],)) for j in range(m)
+        ]
+        if max_dim >= 2:
+            corr_in, _ = masked_correlation_matrix(inside)
+            corr_out, _ = masked_correlation_matrix(outside)
+            for i, j in itertools.combinations(range(m), 2):
+                r_i, r_o = corr_in[i, j], corr_out[i, j]
+                corr_gap = 0.0
+                if r_i == r_i and r_o == r_o:
+                    corr_gap = abs(fisher_z(r_i) - fisher_z(r_o))
+                score = float(unary[i] + unary[j]) / 2.0 + corr_gap
+                if math.isfinite(score) and score > 0:
+                    scored.append(
+                        (score, tuple(sorted((names[i], names[j])))))
+        return pick_disjoint(scored, max_views)

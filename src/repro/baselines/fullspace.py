@@ -1,0 +1,60 @@
+"""Full-space divergence — the no-views strawman.
+
+One number for the whole table: the symmetrized Gaussian KL divergence
+between the inside and outside distributions over *all* numeric columns.
+As a "characterization" it returns a single view containing the top
+columns by marginal divergence — i.e. what a user gets from a black-box
+"your selection is different, trust me" score.  Exists to quantify the
+paper's Section 2.1 observation that unconstrained divergence
+maximization "favors large, heterogeneous subspaces" and explains
+nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import (
+    BaselineMethod,
+    group_matrices,
+    nan_mean_cov,
+)
+from repro.baselines.kl import gaussian_kl
+from repro.core.views import View
+from repro.engine.database import Selection
+
+
+class FullSpaceDivergence(BaselineMethod):
+    """Single-view baseline: all-columns divergence, top columns reported."""
+
+    name = "fullspace"
+
+    def divergence(self, selection: Selection) -> float:
+        """The one black-box number: symmetrized full-space Gaussian KL."""
+        inside, outside, _ = group_matrices(selection)
+        if inside.shape[0] < 3 or outside.shape[0] < 3:
+            return 0.0
+        mean_i, cov_i = nan_mean_cov(inside)
+        mean_o, cov_o = nan_mean_cov(outside)
+        return 0.5 * (gaussian_kl(mean_i, cov_i, mean_o, cov_o)
+                      + gaussian_kl(mean_o, cov_o, mean_i, cov_i))
+
+    def find_views(self, selection: Selection, max_views: int = 8,
+                   max_dim: int = 2) -> list[View]:
+        inside, outside, names = group_matrices(selection)
+        if inside.shape[0] < 3 or outside.shape[0] < 3 or not names:
+            return []
+        # Marginal (per-column) symmetrized KL for the report.
+        mean_in = np.nanmean(inside, axis=0)
+        mean_out = np.nanmean(outside, axis=0)
+        var_in = np.nanvar(inside, axis=0, ddof=1)
+        var_out = np.nanvar(outside, axis=0, ddof=1)
+        var_in = np.where(var_in > 0, var_in, 1e-9)
+        var_out = np.where(var_out > 0, var_out, 1e-9)
+        kl = 0.5 * ((var_in / var_out + var_out / var_in) / 2.0 - 1.0
+                    + (mean_in - mean_out) ** 2
+                    * (1.0 / var_in + 1.0 / var_out) / 2.0)
+        kl = np.where(np.isnan(kl), 0.0, kl)
+        order = np.argsort(-kl)
+        top = tuple(sorted(names[j] for j in order[:max_dim]))
+        return [View(columns=top)] if top else []

@@ -1,0 +1,42 @@
+"""Adapter exposing Ziggy itself through the baseline interface.
+
+The accuracy harness iterates over :class:`BaselineMethod` objects; this
+adapter lets Ziggy enter the same loop, guaranteeing all methods see the
+identical selection and obey the same ``max_views`` / ``max_dim`` caps.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ZiggyConfig
+from repro.core.pipeline import Ziggy
+from repro.core.views import View
+from repro.engine.database import Selection
+
+
+class ZiggyMethod:
+    """Ziggy as a :class:`~repro.baselines.base.BaselineMethod`.
+
+    Args:
+        config: base configuration; ``max_views`` / ``max_view_dim`` are
+            overridden per call to honour the harness caps.
+        significance_filter: keep the spurious-view filter on (the
+            default in real use) or off (for ablation).
+    """
+
+    name = "ziggy"
+
+    def __init__(self, config: ZiggyConfig | None = None,
+                 significance_filter: bool = True):
+        self._config = config if config is not None else ZiggyConfig()
+        self._significance_filter = significance_filter
+
+    def find_views(self, selection: Selection, max_views: int = 8,
+                   max_dim: int = 2) -> list[View]:
+        config = self._config.with_overrides(
+            max_views=max_views,
+            max_view_dim=max_dim,
+            significance_filter=self._significance_filter,
+        )
+        engine = Ziggy(selection.table, config=config, share_statistics=False)
+        result = engine.characterize_selection(selection)
+        return [vr.view for vr in result.views]

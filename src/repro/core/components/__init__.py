@@ -1,0 +1,48 @@
+"""Zig-Components: simple, verifiable indicators of dissimilarity.
+
+Section 2.2 of the paper: "The idea behind the Zig-Dissimilarity is to
+compute several simple indicators of dissimilarity, the Zig-Components,
+and aggregate them into one synthetic score. ... Most of our
+Zig-Components come from the statistics literature, where they are
+referred to as effect sizes."
+
+Each component is a small strategy object that, given the inside/outside
+slices of one column (arity 1) or one column pair (arity 2), produces a
+signed raw effect, a significance test and display details.  Components
+are looked up through a registry so users can plug their own (the weights
+mechanism in :class:`~repro.core.config.ZiggyConfig` then applies to them
+like to any built-in).
+"""
+
+from repro.core.components.base import (
+    ColumnSlice,
+    PairSlice,
+    ComponentOutcome,
+    ZigComponent,
+    ComponentRegistry,
+    default_registry,
+    DEFAULT_COMPONENTS,
+)
+from repro.core.components.numeric import MeanShiftComponent, SpreadShiftComponent
+from repro.core.components.dominance import DominanceComponent
+from repro.core.components.shape import SkewShiftComponent
+from repro.core.components.correlation import CorrelationShiftComponent
+from repro.core.components.categorical import FrequencyShiftComponent
+from repro.core.components.missing import MissingShiftComponent
+
+__all__ = [
+    "ColumnSlice",
+    "PairSlice",
+    "ComponentOutcome",
+    "ZigComponent",
+    "ComponentRegistry",
+    "default_registry",
+    "DEFAULT_COMPONENTS",
+    "MeanShiftComponent",
+    "SpreadShiftComponent",
+    "DominanceComponent",
+    "SkewShiftComponent",
+    "CorrelationShiftComponent",
+    "FrequencyShiftComponent",
+    "MissingShiftComponent",
+]

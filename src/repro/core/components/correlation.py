@@ -1,0 +1,58 @@
+"""The pairwise Zig-Component: difference of correlation coefficients.
+
+Figure 3, third panel — the component that makes Ziggy's views
+two-dimensional: "Observe that we test dissimilarities in spaces with one
+but also two dimensions.  For instance, the difference between the
+correlation coefficients involves two columns."
+"""
+
+from __future__ import annotations
+
+from repro.core.components.base import ComponentOutcome, PairSlice, ZigComponent
+from repro.errors import StatsError
+from repro.stats.effect_sizes import correlation_gap
+from repro.stats.tests_ import fisher_z_test
+
+
+class CorrelationShiftComponent(ZigComponent):
+    """Fisher-z gap between the inside and outside correlations.
+
+    Effect size: ``atanh(r_in) - atanh(r_out)``.  Significance: the
+    two-sample Fisher z-test with SE ``sqrt(1/(n1-3) + 1/(n2-3))``.
+    """
+
+    name = "correlation_shift"
+    arity = 2
+    applies_to_numeric = True
+    applies_to_categorical = False
+
+    #: Minimum complete pairs per group for the asymptotic test.
+    min_pairs = 4
+
+    def compute(self, data: PairSlice) -> ComponentOutcome | None:
+        if data.n_inside < self.min_pairs or data.n_outside < self.min_pairs:
+            return None
+        r_in, r_out = data.r_inside, data.r_outside
+        if r_in != r_in or r_out != r_out:
+            return None
+        try:
+            gap = correlation_gap(None, None, None, None,
+                                  precomputed=(r_in, r_out))
+            test = fisher_z_test(r_in, data.n_inside, r_out, data.n_outside)
+        except StatsError:
+            return None
+        if abs(r_in) >= abs(r_out):
+            direction = "stronger" if r_in * r_out >= 0 else "reversed"
+        else:
+            direction = "weaker"
+        return ComponentOutcome(
+            raw=gap,
+            direction=direction,
+            test=test,
+            detail={
+                "r_inside": r_in,
+                "r_outside": r_out,
+                "n_inside": data.n_inside,
+                "n_outside": data.n_outside,
+            },
+        )

@@ -1,0 +1,43 @@
+"""Optional non-parametric dominance component.
+
+Not part of the paper's illustrated set but a natural extension component
+(the registry is explicitly pluggable).  Disabled by default — give it a
+positive weight in :attr:`ZiggyConfig.weights` to activate it.
+"""
+
+from __future__ import annotations
+
+from repro.core.components.base import ColumnSlice, ComponentOutcome, ZigComponent
+from repro.errors import StatsError
+from repro.stats.effect_sizes import cliffs_delta
+from repro.stats.tests_ import mann_whitney_u_test
+
+
+class DominanceComponent(ZigComponent):
+    """Cliff's delta: stochastic dominance of the selection.
+
+    Effect size: ``P(X_in > X_out) - P(X_in < X_out)`` in [-1, 1].
+    Significance: Mann–Whitney U (normal approximation, tie-corrected).
+    Requires raw values; slices reconstructed purely from cached moments
+    skip it.
+    """
+
+    name = "dominance"
+    arity = 1
+    applies_to_numeric = True
+    applies_to_categorical = False
+
+    def compute(self, data: ColumnSlice) -> ComponentOutcome | None:
+        if data.inside is None or data.outside is None:
+            return None
+        try:
+            delta = cliffs_delta(data.inside, data.outside)
+            test = mann_whitney_u_test(data.inside, data.outside)
+        except StatsError:
+            return None
+        return ComponentOutcome(
+            raw=delta,
+            direction="higher" if delta >= 0 else "lower",
+            test=test,
+            detail={"cliffs_delta": delta},
+        )

@@ -1,0 +1,61 @@
+"""Missingness Zig-Component.
+
+Missing values are first-class signal in exploration data (a selection
+where a sensor column is suddenly empty is a finding, not a nuisance), so
+the difference of missing-value rates is a component of its own.
+"""
+
+from __future__ import annotations
+
+from repro.core.components.base import ColumnSlice, ComponentOutcome, ZigComponent
+from repro.errors import StatsError
+from repro.stats.effect_sizes import proportion_gap
+from repro.stats.tests_ import two_proportion_z_test
+
+
+class MissingShiftComponent(ZigComponent):
+    """Difference between missing-value rates (inside minus outside).
+
+    Effect size: the raw rate gap in [-1, 1].  Significance: pooled
+    two-proportion z-test.  Returns None when neither group has any
+    missing values — a zero-information component would only dilute the
+    view score.
+    """
+
+    name = "missing_shift"
+    arity = 1
+    applies_to_numeric = True
+    applies_to_categorical = True
+
+    def compute(self, data: ColumnSlice) -> ComponentOutcome | None:
+        if data.is_categorical:
+            pi, po = data.inside_profile, data.outside_profile
+            if pi is None or po is None:
+                return None
+            k_in, n_in = pi.n_missing, pi.n + pi.n_missing
+            k_out, n_out = po.n_missing, po.n + po.n_missing
+        else:
+            data.ensure_stats()
+            a, b = data.inside_stats, data.outside_stats
+            if a is None or b is None:
+                return None
+            k_in, n_in = a.n_missing, a.total
+            k_out, n_out = b.n_missing, b.total
+        if n_in == 0 or n_out == 0:
+            return None
+        if k_in == 0 and k_out == 0:
+            return None
+        try:
+            gap = proportion_gap(k_in, n_in, k_out, n_out)
+            test = two_proportion_z_test(k_in, n_in, k_out, n_out)
+        except StatsError:
+            return None
+        return ComponentOutcome(
+            raw=gap,
+            direction="higher" if gap >= 0 else "lower",
+            test=test,
+            detail={
+                "rate_inside": k_in / n_in,
+                "rate_outside": k_out / n_out,
+            },
+        )

@@ -1,0 +1,90 @@
+"""Numeric Zig-Components: the first two panels of Figure 3."""
+
+from __future__ import annotations
+
+from repro.core.components.base import ColumnSlice, ComponentOutcome, ZigComponent
+from repro.errors import StatsError
+from repro.stats.effect_sizes import hedges_g, log_sd_ratio
+from repro.stats.tests_ import f_test_variances, levene_test, welch_t_test
+
+
+class MeanShiftComponent(ZigComponent):
+    """Difference between the means (Fig. 3, first Zig-Component).
+
+    Effect size: Hedges' g (bias-corrected standardized mean difference,
+    inside minus outside).  Significance: Welch's t-test.
+    """
+
+    name = "mean_shift"
+    arity = 1
+    applies_to_numeric = True
+    applies_to_categorical = False
+
+    def compute(self, data: ColumnSlice) -> ComponentOutcome | None:
+        data.ensure_stats()
+        a, b = data.inside_stats, data.outside_stats
+        if a is None or b is None or a.n < 2 or b.n < 2:
+            return None
+        try:
+            g = hedges_g(a, b)
+            test = welch_t_test(a, b)
+        except StatsError:
+            return None
+        if g != g:
+            return None
+        return ComponentOutcome(
+            raw=g,
+            direction="higher" if g >= 0 else "lower",
+            test=test,
+            detail={
+                "mean_inside": a.mean,
+                "mean_outside": b.mean,
+                "sd_inside": a.std,
+                "sd_outside": b.std,
+            },
+        )
+
+
+class SpreadShiftComponent(ZigComponent):
+    """Difference between the standard deviations (Fig. 3, second panel).
+
+    Effect size: log SD ratio ``ln(sd_in / sd_out)``.  Significance:
+    Brown–Forsythe (Levene) when raw values are available, falling back
+    to the moment-based F-test when the slice came from cached sufficient
+    statistics only.
+    """
+
+    name = "spread_shift"
+    arity = 1
+    applies_to_numeric = True
+    applies_to_categorical = False
+
+    def compute(self, data: ColumnSlice) -> ComponentOutcome | None:
+        data.ensure_stats()
+        a, b = data.inside_stats, data.outside_stats
+        if a is None or b is None or a.n < 2 or b.n < 2:
+            return None
+        try:
+            ratio = log_sd_ratio(a, b)
+        except StatsError:
+            return None
+        test = None
+        if data.inside is not None and data.outside is not None:
+            try:
+                test = levene_test(data.inside, data.outside)
+            except StatsError:
+                test = None
+        if test is None:
+            try:
+                test = f_test_variances(a, b)
+            except StatsError:
+                return None
+        return ComponentOutcome(
+            raw=ratio,
+            direction="higher" if ratio >= 0 else "lower",
+            test=test,
+            detail={
+                "sd_inside": a.std,
+                "sd_outside": b.std,
+            },
+        )

@@ -1,0 +1,68 @@
+"""Optional distribution-shape Zig-Component: skewness shift.
+
+An extension component (the registry is explicitly pluggable): compares
+the *asymmetry* of the two groups.  A selection whose values pile
+against one edge (e.g. "cheap flights" selections hugging the price
+floor) shows a skewness shift even when mean and spread barely move.
+
+Disabled by default; give it a positive weight in
+:attr:`ZiggyConfig.weights` to activate it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.components.base import ColumnSlice, ComponentOutcome, ZigComponent
+from repro.errors import StatsError
+from repro.stats.tests_ import mann_whitney_u_test
+
+
+class SkewShiftComponent(ZigComponent):
+    """Difference of adjusted Fisher–Pearson skewness, inside - outside.
+
+    Significance proxy: Mann–Whitney on cubed standardized deviations
+    (sensitive to asymmetry shifts, robust to pure location/scale moves).
+    Requires raw values for the test; pure-summary slices still get the
+    effect (tests become None and the validator treats the component as
+    unverified).
+    """
+
+    name = "skew_shift"
+    arity = 1
+    applies_to_numeric = True
+    applies_to_categorical = False
+
+    #: Minimum per-group size for a stable skewness estimate.
+    min_n = 12
+
+    def compute(self, data: ColumnSlice) -> ComponentOutcome | None:
+        data.ensure_stats()
+        a, b = data.inside_stats, data.outside_stats
+        if a is None or b is None or a.n < self.min_n or b.n < self.min_n:
+            return None
+        gap = a.skewness - b.skewness
+        if gap != gap:
+            return None
+        test = None
+        if data.inside is not None and data.outside is not None:
+            try:
+                dev_in = self._cubed_deviations(data.inside, a.mean, a.std)
+                dev_out = self._cubed_deviations(data.outside, b.mean, b.std)
+                test = mann_whitney_u_test(dev_in, dev_out)
+            except StatsError:
+                test = None
+        return ComponentOutcome(
+            raw=gap,
+            direction="higher" if gap >= 0 else "lower",
+            test=test,
+            detail={"skewness_inside": a.skewness,
+                    "skewness_outside": b.skewness},
+        )
+
+    @staticmethod
+    def _cubed_deviations(values: np.ndarray, mean: float,
+                          std: float) -> np.ndarray:
+        scale = std if std and std == std else 1.0
+        z = (values - mean) / scale
+        return z ** 3

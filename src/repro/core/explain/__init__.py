@@ -1,0 +1,24 @@
+"""Explanation generation — Ziggy's distinguishing feature.
+
+Section 2.2: the Zig-Dissimilarity "lets Ziggy explain its choices ...
+it comments the view as follows: 'On the columns Population and Density,
+your selection has particularly high values and a low variance'".
+Section 3: "Ziggy choses the Zig-Components associated with the highest
+levels of confidence, and it describes them with text.  We implemented
+the text generation functionalities with handwritten rules and regular
+expressions."
+
+Faithful to that: a vocabulary of handwritten per-component phrase rules
+(:mod:`repro.core.explain.vocabulary`) plus a sentence assembler
+(:mod:`repro.core.explain.generator`).
+"""
+
+from repro.core.explain.vocabulary import phrase_for, register_phrase_rule
+from repro.core.explain.generator import ExplanationGenerator, explain_view
+
+__all__ = [
+    "phrase_for",
+    "register_phrase_rule",
+    "ExplanationGenerator",
+    "explain_view",
+]

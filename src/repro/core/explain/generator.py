@@ -1,0 +1,89 @@
+"""Sentence assembly for view explanations."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import ZiggyConfig
+from repro.core.explain.vocabulary import phrase_for
+from repro.core.views import ComponentScore, ViewResult
+
+
+def _join_names(names: tuple[str, ...]) -> str:
+    if len(names) == 1:
+        return names[0]
+    return ", ".join(names[:-1]) + " and " + names[-1]
+
+
+def _join_phrases(phrases: list[str]) -> str:
+    if not phrases:
+        return "no measurable difference"
+    if len(phrases) == 1:
+        return phrases[0]
+    return ", ".join(phrases[:-1]) + " and " + phrases[-1]
+
+
+def _qualified_phrase(score: ComponentScore, view_columns: tuple[str, ...]) -> str:
+    """Phrase with a column qualifier when it covers only part of the view.
+
+    In a two-column view a unary component speaks about one column only;
+    "(on Population)" disambiguates, matching how the demo UI annotates
+    its right-hand panel.
+    """
+    phrase = phrase_for(score)
+    if len(view_columns) > 1 and len(score.columns) < len(view_columns):
+        phrase += f" (on {_join_names(score.columns)})"
+    return phrase
+
+
+class ExplanationGenerator:
+    """Generates the textual explanation for each view.
+
+    The selection rule follows Section 3: keep the components "associated
+    with the highest levels of confidence" — ranked by ``1 - p``, with
+    weighted score as the tiebreak — and verbalize the top
+    ``config.explanation_components`` of them.
+    """
+
+    def __init__(self, config: ZiggyConfig):
+        self.config = config
+
+    def explain(self, result: ViewResult) -> str:
+        """Build the explanation sentence(s) for one view."""
+        chosen = self._select_components(result)
+        columns_text = _join_names(result.columns)
+        noun = "column" if len(result.columns) == 1 else "columns"
+        phrases = [_qualified_phrase(c, result.columns) for c in chosen]
+        sentence = (f"On the {noun} {columns_text}, your selection has "
+                    f"{_join_phrases(phrases)}.")
+        if result.p_value <= self.config.alpha:
+            confidence = (1.0 - result.p_value) * 100.0
+            qualifier = ">" if confidence > 99.9 else ""
+            sentence += (f" (confidence {qualifier}"
+                         f"{min(confidence, 99.9):.1f}%"
+                         f", {self.config.aggregation} aggregation)")
+        else:
+            sentence += " (warning: not statistically significant)"
+        return sentence
+
+    def annotate(self, results: list[ViewResult]) -> list[ViewResult]:
+        """Attach explanations to a ranked list of views."""
+        return [replace(r, explanation=self.explain(r)) for r in results]
+
+    def _select_components(self, result: ViewResult) -> list[ComponentScore]:
+        ranked = sorted(
+            result.components,
+            key=lambda c: (-c.confidence, -c.weighted, c.component, c.columns))
+        chosen = ranked[: self.config.explanation_components]
+        # Keep stable narrative order: means before spreads before the rest.
+        narrative_order = {"mean_shift": 0, "spread_shift": 1, "dominance": 2,
+                           "correlation_shift": 3, "frequency_shift": 4,
+                           "missing_shift": 5}
+        chosen.sort(key=lambda c: (narrative_order.get(c.component, 9),
+                                   c.columns))
+        return chosen
+
+
+def explain_view(result: ViewResult, config: ZiggyConfig | None = None) -> str:
+    """One-shot convenience wrapper around :class:`ExplanationGenerator`."""
+    return ExplanationGenerator(config or ZiggyConfig()).explain(result)

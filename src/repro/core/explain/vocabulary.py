@@ -1,0 +1,124 @@
+"""Handwritten phrase rules, one per Zig-Component.
+
+Each rule maps a :class:`~repro.core.views.ComponentScore` to a noun
+phrase that can follow "your selection has ..." — e.g. "particularly
+high values".  Rules are registered by component name so custom
+components plug into explanations the same way they plug into scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.views import ComponentScore
+
+#: Normalized-score threshold above which adjectives intensify
+#: ("higher values" -> "particularly high values").
+EMPHASIS_THRESHOLD = 2.0
+
+PhraseRule = Callable[[ComponentScore], str]
+
+_RULES: dict[str, PhraseRule] = {}
+
+
+def register_phrase_rule(component_name: str, rule: PhraseRule,
+                         replace: bool = False) -> None:
+    """Register the phrase rule for a component.
+
+    Args:
+        component_name: the component's registry name.
+        rule: callable producing the phrase.
+        replace: allow overwriting an existing rule.
+    """
+    if component_name in _RULES and not replace:
+        raise ValueError(
+            f"phrase rule for {component_name!r} already registered")
+    _RULES[component_name] = rule
+
+
+def phrase_for(score: ComponentScore) -> str:
+    """The phrase for one component score (with a generic fallback)."""
+    rule = _RULES.get(score.component)
+    if rule is not None:
+        return rule(score)
+    return (f"an unusual {score.component.replace('_', ' ')} "
+            f"(effect {score.raw:+.2f})")
+
+
+def _emphatic(score: ComponentScore) -> bool:
+    return score.normalized >= EMPHASIS_THRESHOLD
+
+
+def _mean_shift(score: ComponentScore) -> str:
+    if score.direction == "higher":
+        return ("particularly high values" if _emphatic(score)
+                else "higher values")
+    return ("particularly low values" if _emphatic(score)
+            else "lower values")
+
+
+def _spread_shift(score: ComponentScore) -> str:
+    if score.direction == "lower":
+        return ("a remarkably low variance" if _emphatic(score)
+                else "a low variance")
+    return ("a remarkably high variance" if _emphatic(score)
+            else "a high variance")
+
+
+def _correlation_shift(score: ComponentScore) -> str:
+    r_in = score.detail.get("r_inside", float("nan"))
+    r_out = score.detail.get("r_outside", float("nan"))
+    detail = f" (r={r_in:+.2f} inside vs {r_out:+.2f} outside)"
+    if score.direction == "reversed":
+        return "a correlation that flips sign" + detail
+    if score.direction == "stronger":
+        return "a stronger correlation" + detail
+    return "a weaker correlation" + detail
+
+
+def _frequency_shift(score: ComponentScore) -> str:
+    over = score.detail.get("over_represented", [])
+    under = score.detail.get("under_represented", [])
+    bits = []
+    if over:
+        names = ", ".join(f"'{c}'" for c, _ in over[:3])
+        bits.append(f"over-represented: {names}")
+    if under:
+        names = ", ".join(f"'{c}'" for c, _ in under[:3])
+        bits.append(f"under-represented: {names}")
+    inner = "; ".join(bits)
+    base = ("a markedly different mix of categories" if _emphatic(score)
+            else "a different mix of categories")
+    return f"{base} ({inner})" if inner else base
+
+
+def _missing_shift(score: ComponentScore) -> str:
+    rate_in = score.detail.get("rate_inside", float("nan"))
+    rate_out = score.detail.get("rate_outside", float("nan"))
+    detail = f" ({rate_in:.0%} vs {rate_out:.0%})"
+    if score.direction == "higher":
+        return "more missing values" + detail
+    return "fewer missing values" + detail
+
+
+def _skew_shift(score: ComponentScore) -> str:
+    if score.direction == "higher":
+        return "a distribution leaning towards low values with a long " \
+               "high tail (more right-skewed)"
+    return "a distribution leaning towards high values with a long " \
+           "low tail (more left-skewed)"
+
+
+def _dominance(score: ComponentScore) -> str:
+    if score.direction == "higher":
+        return "values that tend to rank above the rest of the data"
+    return "values that tend to rank below the rest of the data"
+
+
+register_phrase_rule("mean_shift", _mean_shift)
+register_phrase_rule("spread_shift", _spread_shift)
+register_phrase_rule("correlation_shift", _correlation_shift)
+register_phrase_rule("frequency_shift", _frequency_shift)
+register_phrase_rule("missing_shift", _missing_shift)
+register_phrase_rule("dominance", _dominance)
+register_phrase_rule("skew_shift", _skew_shift)

@@ -1,0 +1,147 @@
+"""The Ziggy pipeline facade (Figure 4).
+
+``Ziggy`` wires the three stages — preparation, view search,
+post-processing — around a shared statistics cache, and exposes the
+library-style API the paper's conclusion promises ("we intend to
+distribute our tuple description engine as a library, to be included
+into external exploration systems")::
+
+    from repro import Ziggy, ZiggyConfig
+    ziggy = Ziggy(table)
+    result = ziggy.characterize("violent_crime_rate > 0.8")
+    for view in result.views:
+        print(view.explanation)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.components.base import ComponentRegistry, default_registry
+from repro.core.config import ZiggyConfig
+from repro.core.explain.generator import ExplanationGenerator
+from repro.core.preparation import PreparationEngine, PreparedData
+from repro.core.search.searcher import SearchOutput, ViewSearcher
+from repro.core.significance.validator import validate_views
+from repro.core.stats_cache import StatsCache
+from repro.core.views import CharacterizationResult
+from repro.engine.database import Database, Selection
+from repro.engine.table import Table
+
+
+class Ziggy:
+    """The tuple-characterization engine.
+
+    Args:
+        source: a :class:`Table` (characterize predicates against it) or
+            a :class:`Database` (characterize ``(table_name, predicate)``
+            pairs or full SELECT statements).
+        config: pipeline configuration; defaults are the paper's.
+        registry: component registry; defaults to the paper's set.
+        share_statistics: keep a cross-query :class:`StatsCache` (the
+            paper's computation-sharing strategy).  Disable to measure
+            cold-start behaviour.
+    """
+
+    def __init__(self, source: Table | Database,
+                 config: ZiggyConfig | None = None,
+                 registry: ComponentRegistry | None = None,
+                 share_statistics: bool = True):
+        if isinstance(source, Table):
+            self.database = Database()
+            self.database.register(source)
+            self._default_table: str | None = source.name
+        elif isinstance(source, Database):
+            self.database = source
+            names = source.table_names()
+            self._default_table = names[0] if len(names) == 1 else None
+        else:
+            raise TypeError(
+                f"source must be a Table or Database, got {type(source).__name__}")
+        self.config = config if config is not None else ZiggyConfig()
+        self.registry = registry if registry is not None else default_registry()
+        self.cache: StatsCache | None = StatsCache() if share_statistics else None
+        self._preparation = PreparationEngine(registry=self.registry,
+                                              cache=self.cache)
+        self.last_prepared: PreparedData | None = None
+        self.last_search: SearchOutput | None = None
+
+    # -- public API -----------------------------------------------------------
+
+    def characterize(self, where: str | None, table: str | None = None,
+                     config: ZiggyConfig | None = None) -> CharacterizationResult:
+        """Characterize the selection defined by a predicate.
+
+        Args:
+            where: predicate text (the body of a WHERE clause), or None
+                to select everything (which raises — a selection must
+                have a complement).
+            table: table name; optional when the source holds one table.
+            config: per-call config override.
+
+        Returns:
+            The ranked, validated, explained views plus stage timings.
+        """
+        table_name = table or self._default_table
+        if table_name is None:
+            raise ValueError("multiple tables registered; pass table=...")
+        selection = self.database.select(table_name, where)
+        return self.characterize_selection(selection, config=config)
+
+    def characterize_query(self, sql: str,
+                           config: ZiggyConfig | None = None) -> CharacterizationResult:
+        """Characterize a full SELECT statement's WHERE clause."""
+        selection = self.database.selection_for_query(sql)
+        return self.characterize_selection(selection, config=config)
+
+    def characterize_selection(self, selection: Selection,
+                               config: ZiggyConfig | None = None
+                               ) -> CharacterizationResult:
+        """Characterize an explicit :class:`Selection` (the core path)."""
+        cfg = config if config is not None else self.config
+        timings: dict[str, float] = {}
+        notes: list[str] = []
+
+        t0 = time.perf_counter()
+        prepared = self._preparation.prepare(selection, cfg)
+        timings["preparation"] = time.perf_counter() - t0
+        notes.extend(prepared.notes)
+        self.last_prepared = prepared
+
+        t1 = time.perf_counter()
+        search = ViewSearcher(cfg).search(prepared)
+        timings["view_search"] = time.perf_counter() - t1
+        notes.extend(search.notes)
+        self.last_search = search
+
+        t2 = time.perf_counter()
+        validated, val_notes = validate_views(
+            search.views, cfg, n_candidates=search.n_candidates)
+        explained = ExplanationGenerator(cfg).annotate(validated)
+        timings["post_processing"] = time.perf_counter() - t2
+        notes.extend(val_notes)
+
+        predicate_text = (selection.predicate.canonical()
+                          if selection.predicate is not None else "TRUE")
+        return CharacterizationResult(
+            views=tuple(explained),
+            n_inside=selection.n_inside,
+            n_outside=selection.n_outside,
+            n_columns_considered=len(prepared.active_columns),
+            timings=timings,
+            predicate=predicate_text,
+            notes=tuple(notes),
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def dendrogram_text(self) -> str | None:
+        """ASCII dendrogram of the last linkage search (tuning support
+        for ``MIN_tight``), or None when unavailable."""
+        if self.last_search is None or self.last_search.dendrogram is None:
+            return None
+        return self.last_search.dendrogram.render()
+
+    def cache_counters(self):
+        """The shared cache's hit/miss counters (None when sharing off)."""
+        return self.cache.counters if self.cache is not None else None

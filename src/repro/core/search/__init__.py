@@ -1,0 +1,36 @@
+"""View search — stage 2 of the pipeline.
+
+Section 3: "First, it enumerates the groups of columns which satisfy the
+constraints of Equation 5.  It does so with a graph-based algorithm: it
+materializes the graph formed by the column's pairwise dependencies, and
+partitions it with a clique search or clustering algorithm.  In our
+implementation, we used complete linkage clustering.  This method is
+simple, well established, and it provides a dendrogram, i.e., visual
+support to help setting the parameter.  From this step, Ziggy obtains a
+set of candidate views.  It scores them using the Zig-Components obtained
+previously, and it ranks the set accordingly."
+
+Both partitioning strategies are implemented: complete-linkage
+agglomerative clustering (:mod:`repro.core.search.linkage`, the paper's
+choice, with an ASCII dendrogram) and maximal-clique enumeration
+(:mod:`repro.core.search.clique`, the alternative it names).
+"""
+
+from repro.core.search.linkage import Dendrogram, DendrogramNode, complete_linkage
+from repro.core.search.clique import clique_candidates
+from repro.core.search.candidates import linkage_candidates, trim_to_dimension
+from repro.core.search.ranking import rank_candidates, enforce_disjointness
+from repro.core.search.searcher import ViewSearcher, SearchOutput
+
+__all__ = [
+    "Dendrogram",
+    "DendrogramNode",
+    "complete_linkage",
+    "clique_candidates",
+    "linkage_candidates",
+    "trim_to_dimension",
+    "rank_candidates",
+    "enforce_disjointness",
+    "ViewSearcher",
+    "SearchOutput",
+]

@@ -1,0 +1,56 @@
+"""Candidate-view generation from the dendrogram.
+
+Cut the dendrogram at distance ``1 - MIN_tight`` (giving clusters whose
+minimum pairwise dependency satisfies Eq. 3 by the complete-linkage
+diameter guarantee), then split any cluster larger than the dimension
+cap ``D`` by *descending its own subtree* — each further split keeps the
+tightest columns together, which is exactly the semantics the dendrogram
+encodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ZiggyConfig
+from repro.core.dissimilarity import ComponentCatalog
+from repro.core.search.linkage import Dendrogram, DendrogramNode
+from repro.core.views import View
+
+
+def trim_to_dimension(node: DendrogramNode, labels: tuple[str, ...],
+                      max_dim: int) -> list[tuple[str, ...]]:
+    """Split a dendrogram node into groups of at most ``max_dim`` leaves.
+
+    Descends the subtree: children small enough become groups, larger
+    ones are split recursively.  Leaf order inside each group follows the
+    dendrogram, so the tightest columns stay together.
+    """
+    if node.size <= max_dim:
+        return [tuple(labels[i] for i in node.leaves)]
+    out: list[tuple[str, ...]] = []
+    for child in node.children:
+        out.extend(trim_to_dimension(child, labels, max_dim))
+    return out
+
+
+def linkage_candidates(dendrogram: Dendrogram,
+                       config: ZiggyConfig,
+                       catalog: ComponentCatalog) -> list[View]:
+    """Candidate views from the dendrogram cut (deduplicated, in cut order).
+
+    ``catalog`` is accepted for signature parity with the clique strategy
+    (which needs scores to trim oversized cliques); the dendrogram split
+    needs no scores because the subtree structure already ranks cohesion.
+    """
+    del catalog  # structure, not scores, drives the linkage split
+    cut_height = 1.0 - config.min_tightness
+    seen: set[tuple[str, ...]] = set()
+    candidates: list[View] = []
+    for node in dendrogram.cut_nodes(cut_height):
+        for group in trim_to_dimension(node, dendrogram.labels,
+                                       config.max_view_dim):
+            key = tuple(sorted(group))
+            if key in seen:
+                continue
+            seen.add(key)
+            candidates.append(View(columns=key))
+    return candidates

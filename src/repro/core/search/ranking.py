@@ -1,0 +1,59 @@
+"""Scoring, ranking and the disjointness constraint (Eq. 4 & 5)."""
+
+from __future__ import annotations
+
+from repro.core.config import ZiggyConfig
+from repro.core.dependency import DependencyMatrix
+from repro.core.dissimilarity import ComponentCatalog, score_view
+from repro.core.views import View, ViewResult
+
+
+def rank_candidates(candidates: list[View],
+                    catalog: ComponentCatalog,
+                    dependency: DependencyMatrix,
+                    config: ZiggyConfig) -> list[ViewResult]:
+    """Score every candidate and sort by decreasing Zig-Dissimilarity.
+
+    Candidates violating the tightness constraint are dropped here as a
+    final guard (both generators respect it by construction, but custom
+    candidate lists go through this same path).  Ties break on smaller
+    dimension (prefer the simpler view), then lexicographic columns, so
+    ranking is fully deterministic.
+    """
+    results: list[ViewResult] = []
+    for view in candidates:
+        tightness = dependency.tightness(view.columns)
+        if view.dimension > 1 and tightness < config.min_tightness:
+            continue
+        score, components = score_view(view, catalog, config)
+        if not components:
+            continue  # nothing measurable on these columns
+        results.append(ViewResult(
+            view=view,
+            score=score,
+            tightness=tightness,
+            components=components,
+        ))
+    results.sort(key=lambda r: (-r.score, r.view.dimension, r.view.columns))
+    return results
+
+
+def enforce_disjointness(ranked: list[ViewResult],
+                         max_views: int) -> list[ViewResult]:
+    """Greedy selection of disjoint views (Eq. 4).
+
+    Walk the ranking top-down, keeping a view only when it shares no
+    column with anything already kept — "the results will contain every
+    possible subset of a few dominant variables" otherwise.  Stops at
+    ``max_views``.
+    """
+    used: set[str] = set()
+    kept: list[ViewResult] = []
+    for result in ranked:
+        if len(kept) >= max_views:
+            break
+        if any(c in used for c in result.columns):
+            continue
+        kept.append(result)
+        used.update(result.columns)
+    return kept

@@ -1,0 +1,76 @@
+"""The view-search facade tying generation, scoring and ranking together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ZiggyConfig
+from repro.core.preparation import PreparedData
+from repro.core.search.candidates import linkage_candidates
+from repro.core.search.clique import clique_candidates
+from repro.core.search.linkage import Dendrogram, complete_linkage
+from repro.core.search.ranking import enforce_disjointness, rank_candidates
+from repro.core.views import View, ViewResult
+from repro.errors import SearchError
+
+
+@dataclass
+class SearchOutput:
+    """What the search stage hands to post-processing.
+
+    Attributes:
+        views: ranked, disjoint view results (not yet validated or
+            explained).
+        n_candidates: candidate count before ranking/pruning (reported in
+            the pipeline's diagnostics).
+        dendrogram: the linkage dendrogram when that strategy ran (the
+            demo surfaces it as tuning support for ``MIN_tight``).
+    """
+
+    views: list[ViewResult]
+    n_candidates: int
+    dendrogram: Dendrogram | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+class ViewSearcher:
+    """Runs the configured candidate-generation strategy and the ranker."""
+
+    def __init__(self, config: ZiggyConfig):
+        self.config = config
+
+    def search(self, prepared: PreparedData) -> SearchOutput:
+        """Produce the ranked disjoint views for one prepared selection."""
+        config = self.config
+        if not prepared.active_columns:
+            return SearchOutput(views=[], n_candidates=0,
+                                notes=["no columns to search"])
+        dendrogram: Dendrogram | None = None
+        if config.search_strategy == "linkage":
+            dendrogram = complete_linkage(
+                prepared.dependency.distance_matrix(),
+                prepared.dependency.names)
+            candidates = linkage_candidates(dendrogram, config,
+                                            prepared.catalog)
+        elif config.search_strategy == "clique":
+            candidates = clique_candidates(prepared.dependency, config,
+                                           prepared.catalog)
+        else:  # pragma: no cover - config validates this upstream
+            raise SearchError(f"unknown strategy {config.search_strategy!r}")
+        ranked = rank_candidates(candidates, prepared.catalog,
+                                 prepared.dependency, config)
+        disjoint = enforce_disjointness(ranked, config.max_views)
+        return SearchOutput(
+            views=disjoint,
+            n_candidates=len(candidates),
+            dendrogram=dendrogram,
+            notes=[f"{len(candidates)} candidates, {len(ranked)} scored, "
+                   f"{len(disjoint)} kept"],
+        )
+
+    def rescore(self, views: list[View], prepared: PreparedData) -> list[ViewResult]:
+        """Score an explicit list of views (bypassing generation) — used
+        by the ablation benchmarks and by front-ends that let users pin
+        their own column sets."""
+        return rank_candidates(views, prepared.catalog, prepared.dependency,
+                               self.config)

@@ -1,0 +1,31 @@
+"""Post-processing: statistical robustness of the views.
+
+Section 3: "During the final phase, Ziggy evaluates the statistical
+robustness of the views.  The aim is to control spurious findings, that
+is, differences caused by chance.  For each view, it tests the
+significance of the Zig-Component separately, using asymptotic bounds
+from the literature.  Then it aggregates the confidence scores associated
+with each component.  Depending on the users' preferences, it retains the
+lowest value, or it uses more advanced aggregation schemes such as the
+Bonferroni correction."
+
+The per-component tests live with the components themselves (each
+component knows its own asymptotic bound); this package aggregates their
+p-values and applies the spurious-view filter.
+"""
+
+from repro.core.significance.aggregation import (
+    aggregate_p_values,
+    bonferroni,
+    holm,
+    fisher_combination,
+)
+from repro.core.significance.validator import validate_views
+
+__all__ = [
+    "aggregate_p_values",
+    "bonferroni",
+    "holm",
+    "fisher_combination",
+    "validate_views",
+]

@@ -1,0 +1,47 @@
+"""The spurious-view filter."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import ZiggyConfig
+from repro.core.significance.aggregation import aggregate_p_values
+from repro.core.views import ViewResult
+
+
+def validate_views(views: list[ViewResult], config: ZiggyConfig,
+                   n_candidates: int = 1
+                   ) -> tuple[list[ViewResult], list[str]]:
+    """Attach aggregated p-values and apply the significance filter.
+
+    Returns the surviving views (all of them, flagged, when
+    ``config.significance_filter`` is off) plus diagnostic notes.  Views
+    whose components all lack tests aggregate to p = 1 and are therefore
+    dropped by the filter — a view with no verifiable evidence is exactly
+    the "spurious finding" the stage exists to control.
+
+    Args:
+        n_candidates: number of views the search *scored* (not just the
+            ones returned).  Under ``multiplicity="table_wide"`` the
+            aggregated p is Bonferroni-corrected by this count, bounding
+            the expected false-view count per query by ``alpha``.
+    """
+    validated: list[ViewResult] = []
+    dropped = 0
+    family = max(int(n_candidates), 1)
+    for result in views:
+        p_values = [c.p_value for c in result.components if c.test is not None]
+        p = aggregate_p_values(p_values, config.aggregation)
+        if config.multiplicity == "table_wide":
+            p = min(1.0, p * family)
+        significant = p <= config.alpha
+        if config.significance_filter and not significant:
+            dropped += 1
+            continue
+        validated.append(replace(result, p_value=p, significant=significant))
+    notes = []
+    if dropped:
+        notes.append(
+            f"significance filter dropped {dropped} view(s) at "
+            f"alpha={config.alpha} ({config.aggregation} aggregation)")
+    return validated, notes

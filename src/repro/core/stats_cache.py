@@ -1,0 +1,210 @@
+"""Cross-query statistics cache — the paper's computation-sharing strategy.
+
+Section 3 ("Preparation"): "This is often the most time consuming step.
+In our full paper, we present a strategy to share computations between
+queries, and therefore reduce the amount of data to read."
+
+The cache exploits two algebraic facts:
+
+1. :class:`~repro.stats.descriptive.SummaryStats` (centered moments up to
+   order 4) and :class:`~repro.stats.correlation.PairwiseMoments` are
+   *additive over disjoint row sets*.  Whole-table ("global") statistics
+   are computed once per table; for each query only the **inside** group
+   is scanned, and the **outside** group's statistics are derived as
+   ``global - inside``.  Since explorers' selections are typically small
+   slices of a big table, this removes the dominant share of the scan.
+2. Inside-group statistics depend only on the predicate's canonical
+   fingerprint, so re-running, refining the projection of, or re-ranking
+   the same selection costs nothing.
+
+Tables are immutable in this engine, so cache entries never go stale; the
+cache holds a strong reference to each table it has entries for, keeping
+``id(table)`` stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dependency import DependencyMatrix, compute_dependency_matrix
+from repro.engine.database import Selection
+from repro.engine.table import Table
+from repro.stats.correlation import PairwiseMoments
+from repro.stats.descriptive import SummaryStats, summarize
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss counters, exposed for the caching benchmark (EXT-CACHE)."""
+
+    column_hits: int = 0
+    column_misses: int = 0
+    inside_hits: int = 0
+    inside_misses: int = 0
+    moments_hits: int = 0
+    moments_misses: int = 0
+    dependency_hits: int = 0
+    dependency_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total hits across all entry kinds."""
+        return (self.column_hits + self.inside_hits + self.moments_hits
+                + self.dependency_hits)
+
+    @property
+    def misses(self) -> int:
+        """Total misses across all entry kinds."""
+        return (self.column_misses + self.inside_misses + self.moments_misses
+                + self.dependency_misses)
+
+
+@dataclass
+class StatsCache:
+    """Shared statistics across queries over immutable tables.
+
+    All accessors take the objects (table / selection) rather than keys;
+    key construction is internal.  Thread-unsafe by design (the pipeline
+    is single-threaded, like the paper's R engine).
+    """
+
+    counters: CacheCounters = field(default_factory=CacheCounters)
+
+    def __post_init__(self):
+        self._tables: dict[int, Table] = {}
+        self._column_stats: dict[tuple[int, str], SummaryStats] = {}
+        self._inside_stats: dict[tuple[int, str, str], SummaryStats] = {}
+        self._global_moments: dict[tuple[int, tuple[str, ...]], PairwiseMoments] = {}
+        self._inside_moments: dict[tuple[int, str, tuple[str, ...]], PairwiseMoments] = {}
+        self._dependency: dict[tuple[int, str, int, tuple[str, ...]], DependencyMatrix] = {}
+
+    # -- keys -------------------------------------------------------------------
+
+    def _pin(self, table: Table) -> int:
+        key = id(table)
+        self._tables[key] = table  # keep id() stable for the cache's life
+        return key
+
+    # -- per-column summaries ------------------------------------------------------
+
+    def global_column_stats(self, table: Table, column: str) -> SummaryStats:
+        """Whole-table summary of one numeric column (computed once)."""
+        key = (self._pin(table), column)
+        cached = self._column_stats.get(key)
+        if cached is not None:
+            self.counters.column_hits += 1
+            return cached
+        self.counters.column_misses += 1
+        stats = summarize(table.column(column).numeric_values())
+        self._column_stats[key] = stats
+        return stats
+
+    def inside_column_stats(self, selection: Selection, column: str) -> SummaryStats:
+        """Summary of the selected rows of one column (per-predicate memo)."""
+        key = (self._pin(selection.table), selection.fingerprint, column)
+        cached = self._inside_stats.get(key)
+        if cached is not None:
+            self.counters.inside_hits += 1
+            return cached
+        self.counters.inside_misses += 1
+        values = selection.table.column(column).numeric_values()[selection.mask]
+        stats = summarize(values)
+        self._inside_stats[key] = stats
+        return stats
+
+    def outside_column_stats(self, selection: Selection, column: str) -> SummaryStats:
+        """Complement summary, derived without scanning the complement."""
+        return self.global_column_stats(selection.table, column).subtract(
+            self.inside_column_stats(selection, column))
+
+    # -- pairwise moments ------------------------------------------------------------
+
+    def global_moments(self, table: Table,
+                       columns: tuple[str, ...]) -> PairwiseMoments:
+        """Whole-table pairwise moments over the numeric columns."""
+        key = (self._pin(table), columns)
+        cached = self._global_moments.get(key)
+        if cached is not None:
+            self.counters.moments_hits += 1
+            return cached
+        self.counters.moments_misses += 1
+        moments = PairwiseMoments.from_matrix(table.numeric_matrix(columns))
+        self._global_moments[key] = moments
+        return moments
+
+    def inside_moments(self, selection: Selection,
+                       columns: tuple[str, ...]) -> PairwiseMoments:
+        """Pairwise moments of the selected rows (per-predicate memo)."""
+        key = (self._pin(selection.table), selection.fingerprint, columns)
+        cached = self._inside_moments.get(key)
+        if cached is not None:
+            self.counters.moments_hits += 1
+            return cached
+        self.counters.moments_misses += 1
+        data = selection.table.numeric_matrix(columns)[selection.mask]
+        moments = PairwiseMoments.from_matrix(data)
+        self._inside_moments[key] = moments
+        return moments
+
+    def group_correlations(self, selection: Selection,
+                           columns: tuple[str, ...]) -> tuple[
+                               np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(corr_in, n_in, corr_out, n_out)`` for the numeric columns.
+
+        The outside matrices come from moment subtraction — the core of
+        the sharing strategy.
+        """
+        inside = self.inside_moments(selection, columns)
+        global_ = self.global_moments(selection.table, columns)
+        outside = global_.subtract(inside)
+        corr_in, n_in = inside.correlations()
+        corr_out, n_out = outside.correlations()
+        return corr_in, n_in, corr_out, n_out
+
+    # -- dependency matrix -------------------------------------------------------------
+
+    def dependency_matrix(self, table: Table, columns: tuple[str, ...],
+                          method: str, mi_bins: int) -> DependencyMatrix:
+        """Whole-table dependency matrix (query-independent, so shared)."""
+        key = (self._pin(table), method, mi_bins, columns)
+        cached = self._dependency.get(key)
+        if cached is not None:
+            self.counters.dependency_hits += 1
+            return cached
+        self.counters.dependency_misses += 1
+        matrix = compute_dependency_matrix(table, columns, method=method,
+                                           mi_bins=mi_bins)
+        self._dependency[key] = matrix
+        return matrix
+
+    # -- maintenance ---------------------------------------------------------------------
+
+    def invalidate_table(self, table: Table) -> None:
+        """Drop every entry for one table (for completeness; tables are
+        immutable so this is rarely needed)."""
+        key = id(table)
+        self._tables.pop(key, None)
+        for store in (self._column_stats, self._inside_stats,
+                      self._global_moments, self._inside_moments,
+                      self._dependency):
+            stale = [k for k in store if k[0] == key]
+            for k in stale:
+                del store[k]
+
+    def clear(self) -> None:
+        """Drop everything (counters are preserved)."""
+        self._tables.clear()
+        self._column_stats.clear()
+        self._inside_stats.clear()
+        self._global_moments.clear()
+        self._inside_moments.clear()
+        self._dependency.clear()
+
+    @property
+    def size(self) -> int:
+        """Total number of cached entries."""
+        return (len(self._column_stats) + len(self._inside_stats)
+                + len(self._global_moments) + len(self._inside_moments)
+                + len(self._dependency))

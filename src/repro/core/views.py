@@ -1,0 +1,182 @@
+"""Result types: views, component scores, characterization results.
+
+These are the objects the public API returns.  They are plain frozen
+dataclasses so front-ends (the demo app, the JSON API, tests) can consume
+them without touching pipeline internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stats.tests_ import TestResult
+
+
+@dataclass(frozen=True)
+class View:
+    """A candidate characteristic view: a small set of columns.
+
+    Column order is normalized at construction so views compare equal
+    regardless of the order the search produced them in.
+    """
+
+    columns: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise ValueError("a view must contain at least one column")
+        object.__setattr__(self, "columns", tuple(sorted(self.columns)))
+
+    @property
+    def dimension(self) -> int:
+        """Number of columns in the view."""
+        return len(self.columns)
+
+    def overlaps(self, other: "View") -> bool:
+        """Whether the two views share any column (Eq. 4 forbids it)."""
+        return bool(set(self.columns) & set(other.columns))
+
+    def __str__(self) -> str:
+        return "{" + ", ".join(self.columns) + "}"
+
+
+@dataclass(frozen=True)
+class ComponentScore:
+    """One evaluated Zig-Component on a column (or column pair).
+
+    Attributes:
+        component: registered component name (e.g. ``"mean_shift"``).
+        columns: the column(s) the component was computed on.
+        raw: the signed raw effect size (inside minus outside convention).
+        normalized: the magnitude after normalization, >= 0, comparable
+            across component types.
+        weight: the user weight applied in the final sum.
+        test: the significance test outcome, or None when the component
+            has no test (degenerate data).
+        direction: "higher" / "lower" / "different" — drives explanations.
+        detail: component-specific extras (group means, proportions, the
+            two correlation coefficients, ...), for rendering.
+    """
+
+    component: str
+    columns: tuple[str, ...]
+    raw: float
+    normalized: float
+    weight: float
+    test: TestResult | None
+    direction: str
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def weighted(self) -> float:
+        """Weight times normalized magnitude — the score contribution."""
+        return self.weight * self.normalized
+
+    @property
+    def p_value(self) -> float:
+        """The component's p-value (1.0 when no test could run)."""
+        return self.test.p_value if self.test is not None else 1.0
+
+    @property
+    def confidence(self) -> float:
+        """``1 - p`` — what the explanation generator ranks by."""
+        return 1.0 - self.p_value
+
+
+@dataclass(frozen=True)
+class ViewResult:
+    """A scored, validated, explained characteristic view.
+
+    Attributes:
+        view: the column set.
+        score: the Zig-Dissimilarity (Eq. 1) under the user's weights.
+        tightness: min pairwise dependency among the view's columns
+            (Eq. 2); 1.0 by convention for single-column views.
+        components: all component scores contributing to the view.
+        p_value: aggregated significance of the view (post-processing).
+        significant: whether the view passed the spurious-findings filter.
+        explanation: generated natural-language description.
+    """
+
+    view: View
+    score: float
+    tightness: float
+    components: tuple[ComponentScore, ...]
+    p_value: float = 1.0
+    significant: bool = False
+    explanation: str = ""
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Shortcut for ``view.columns``."""
+        return self.view.columns
+
+    def top_components(self, k: int = 3) -> tuple[ComponentScore, ...]:
+        """The ``k`` components with the highest confidence, then weight.
+
+        This is the selection rule of Section 3: "Ziggy choses the
+        Zig-Components associated with the highest levels of confidence".
+        """
+        ranked = sorted(self.components,
+                        key=lambda c: (-c.confidence, -c.weighted, c.component))
+        return tuple(ranked[:k])
+
+    def summary_line(self) -> str:
+        """Compact one-line rendering for list panels."""
+        cols = ", ".join(self.columns)
+        flag = "" if self.significant else "  (not significant)"
+        return f"[{self.score:7.3f}] {cols}{flag}"
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Everything one call to :meth:`Ziggy.characterize` produces.
+
+    Attributes:
+        views: ranked view results (best first).
+        n_inside: selected-row count.
+        n_outside: complement-row count.
+        n_columns_considered: columns that entered the search.
+        timings: seconds per pipeline stage
+            (``preparation`` / ``view_search`` / ``post_processing``).
+        predicate: canonical text of the characterized predicate.
+        notes: warnings accumulated along the way (skipped columns,
+            degenerate components, ...).
+    """
+
+    views: tuple[ViewResult, ...]
+    n_inside: int
+    n_outside: int
+    n_columns_considered: int
+    timings: dict[str, float]
+    predicate: str
+    notes: tuple[str, ...] = ()
+
+    @property
+    def total_time(self) -> float:
+        """Wall-clock seconds across all stages."""
+        return sum(self.timings.values())
+
+    def best(self) -> ViewResult | None:
+        """The top-ranked view, or None when nothing was found."""
+        return self.views[0] if self.views else None
+
+    def view_for(self, column: str) -> ViewResult | None:
+        """The view containing ``column``, if any (views are disjoint)."""
+        for vr in self.views:
+            if column in vr.columns:
+                return vr
+        return None
+
+    def describe(self) -> str:
+        """Multi-line text summary (what the demo's left panel shows)."""
+        lines = [
+            f"query: {self.predicate}",
+            f"selection: {self.n_inside} rows inside, {self.n_outside} outside",
+            f"{len(self.views)} characteristic view(s) "
+            f"over {self.n_columns_considered} columns "
+            f"in {self.total_time * 1000:.1f} ms",
+        ]
+        for i, vr in enumerate(self.views, start=1):
+            lines.append(f"  {i}. {vr.summary_line()}")
+        return "\n".join(lines)

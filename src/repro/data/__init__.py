@@ -1,0 +1,44 @@
+"""Dataset substrate.
+
+The demo uses three real datasets (Section 4.2): Box Office (900 x 12),
+US Crime (1994 communities x 128 indicators, UCI "Communities and
+Crime") and Countries & Innovation (6,823 x 519, OECD).  With no network
+access we cannot download them, so this package provides *faithful
+synthetic generators*: same shapes, same column families, and — crucially
+— the same planted phenomena the paper narrates (Fig. 1's four views,
+the "boarded windows" proxy variable, block-correlated indicator
+families).  Real CSV files load through :func:`repro.engine.read_csv`
+and run through the identical pipeline.
+
+:mod:`repro.data.planted` generates ground-truth-labelled data for the
+accuracy experiments: known characteristic views are planted into noise
+so recovery can be measured.
+"""
+
+from repro.data.synthetic import (
+    correlated_block,
+    gaussian_mixture_column,
+    lognormal_column,
+    proportion_column,
+)
+from repro.data.boxoffice import make_boxoffice
+from repro.data.crime import make_crime, CRIME_PHENOMENA
+from repro.data.innovation import make_innovation
+from repro.data.planted import PlantedView, PlantedDataset, make_planted
+from repro.data.registry import load_dataset, dataset_names
+
+__all__ = [
+    "correlated_block",
+    "gaussian_mixture_column",
+    "lognormal_column",
+    "proportion_column",
+    "make_boxoffice",
+    "make_crime",
+    "CRIME_PHENOMENA",
+    "make_innovation",
+    "PlantedView",
+    "PlantedDataset",
+    "make_planted",
+    "load_dataset",
+    "dataset_names",
+]

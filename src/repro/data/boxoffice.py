@@ -1,0 +1,86 @@
+"""The Box Office dataset generator (Hollywood movies 2007-2013).
+
+Section 4.2: "The Box Office dataset describes Hollywood movies released
+between 2007 and 2013.  We will use it to introduce the main concepts
+behind Ziggy ...  The data contains 900 tuples and 12 columns."
+
+Structure: budget, marketing and gross form a tight money block; critic
+and audience scores form a quality block weakly coupled to money; genre
+and studio are categorical with genre-dependent economics (so categorical
+components have something to find).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import lognormal_column
+from repro.engine.column import BooleanColumn, CategoricalColumn, NumericColumn
+from repro.engine.table import Table
+
+_GENRES = ("action", "comedy", "drama", "horror", "animation", "documentary")
+_GENRE_PROBS = (0.22, 0.24, 0.26, 0.10, 0.10, 0.08)
+#: Genre effects on (log-budget, log-gross multiplier, quality shift).
+_GENRE_EFFECTS = {
+    "action": (0.9, 0.3, -0.2),
+    "comedy": (0.0, 0.1, -0.1),
+    "drama": (-0.3, -0.2, 0.4),
+    "horror": (-0.8, 0.4, -0.5),
+    "animation": (0.7, 0.5, 0.3),
+    "documentary": (-1.6, -0.9, 0.6),
+}
+_STUDIOS = ("Paramount", "Universal", "WarnerBros", "Disney", "Sony",
+            "Fox", "Lionsgate", "Independent")
+
+
+def make_boxoffice(n_rows: int = 900, seed: int = 29) -> Table:
+    """Generate the synthetic Box Office table (``n_rows`` x 12)."""
+    rng = np.random.default_rng(seed)
+    n = n_rows
+
+    genre_idx = rng.choice(len(_GENRES), size=n, p=np.asarray(_GENRE_PROBS))
+    genres = [_GENRES[k] for k in genre_idx]
+    effects = np.array([_GENRE_EFFECTS[g] for g in genres])
+    budget_shift, gross_shift, quality_shift = effects.T
+
+    money = rng.normal(size=n)          # latent "production scale"
+    quality = rng.normal(size=n)        # latent "how good it is"
+
+    budget = lognormal_column(rng, n, base=0.9 * money + budget_shift,
+                              scale=4.0e7, sigma=0.35)
+    marketing = budget * (0.45 + 0.12 * rng.normal(size=n)).clip(0.1, 1.2)
+    screens = np.floor(800 + 900 * (money - money.min())
+                       + rng.normal(scale=300, size=n)).clip(5, 4500)
+    gross = lognormal_column(
+        rng, n,
+        base=0.8 * money + 0.45 * quality + gross_shift,
+        scale=9.0e7, sigma=0.45)
+    opening = gross * (0.3 + 0.08 * rng.normal(size=n)).clip(0.05, 0.7)
+    critic_score = (58 + 14 * quality + 8 * quality_shift
+                    + rng.normal(scale=7, size=n)).clip(2, 100)
+    audience_rating = (6.2 + 0.9 * quality + 0.4 * quality_shift
+                       + rng.normal(scale=0.5, size=n)).clip(1.0, 9.8)
+    runtime = (104 + 9 * money + 6 * quality
+               + rng.normal(scale=10, size=n)).clip(62, 210)
+    year = rng.integers(2007, 2014, size=n).astype(np.float64)
+    is_sequel = (rng.random(n) < (0.12 + 0.1 * (money > 0.8))).tolist()
+    studios = [
+        _STUDIOS[int(k)] for k in
+        np.minimum(rng.integers(0, len(_STUDIOS), size=n)
+                   + (money > 1.0).astype(int) * 0, len(_STUDIOS) - 1)
+    ]
+
+    return Table([
+        NumericColumn("budget", budget),
+        NumericColumn("marketing_spend", marketing),
+        NumericColumn("gross", gross),
+        NumericColumn("opening_weekend", opening),
+        NumericColumn("n_screens", screens),
+        NumericColumn("critic_score", critic_score),
+        NumericColumn("audience_rating", audience_rating),
+        NumericColumn("runtime_minutes", runtime),
+        NumericColumn("release_year", year),
+        CategoricalColumn("genre", genres),
+        CategoricalColumn("studio", studios),
+        BooleanColumn("is_sequel", is_sequel),
+    ], name="boxoffice")

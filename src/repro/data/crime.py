@@ -1,0 +1,170 @@
+"""The US Crime dataset generator (stand-in for UCI Communities & Crime).
+
+Section 4.2: "The US Crime database contains 128 crime and socio-economic
+indicators for 1994 US Cities. ... We hope to surprise our visitors by
+showing that seemingly superfluous variables can have a strong predictive
+power - such as the number of boarded windows in a given neighborhood."
+
+The generator plants exactly the phenomena Figure 1 displays, driven by
+three latent community factors:
+
+* ``U`` (urbanization): high-crime cities have **high population and
+  density** (view 1);
+* ``D`` (deprivation): they have **low education and salary** (view 2)
+  and **low rent and home-ownership** (view 3), plus the "boarded
+  windows" proxy;
+* ``Y`` (youth): they are **younger with more mono-parental families**
+  (view 4).
+
+``violent_crime_rate`` combines the three factors, so selecting the
+top-crime communities shifts all four views at once — and ~100 filler
+indicator columns (block-correlated weather/geography/administration
+families plus pure noise) provide the haystack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.synthetic import (
+    correlated_block,
+    inject_missing,
+    lognormal_column,
+    proportion_column,
+)
+from repro.engine.column import CategoricalColumn, NumericColumn
+from repro.engine.table import Table
+
+#: The four phenomena of Figure 1, as (column names, expected directions
+#: inside a high-crime selection).  The figure-1 benchmark checks that
+#: each pair lands in some reported view with the right direction.
+CRIME_PHENOMENA = {
+    "density": (("population", "pop_density"), ("higher", "higher")),
+    "education": (("pct_college_educated", "avg_salary"), ("lower", "lower")),
+    "housing": (("avg_rent", "pct_home_owners"), ("lower", "lower")),
+    "family": (("pct_under_25", "pct_monoparental_families"),
+               ("higher", "higher")),
+}
+
+_REGIONS = ("Northeast", "Midwest", "South", "West")
+
+_FILLER_FAMILIES = (
+    ("weather", 12), ("geo", 12), ("transit", 10), ("admin", 10),
+    ("retail", 10), ("health", 10), ("school_infra", 9), ("utility", 9),
+    ("culture", 8), ("parks", 8),
+)
+
+
+def make_crime(n_rows: int = 1994, seed: int = 13,
+               missing: bool = True) -> Table:
+    """Generate the synthetic US Crime table (``n_rows`` x 128).
+
+    Args:
+        n_rows: number of communities (paper: 1994).
+        seed: RNG seed; generation is fully deterministic.
+        missing: inject realistic missing values into a few indicator
+            families (UCI Communities & Crime is famously gappy).
+    """
+    rng = np.random.default_rng(seed)
+    n = n_rows
+
+    # Latent community factors.
+    urban = rng.normal(size=n)
+    deprivation = 0.3 * urban + rng.normal(size=n) * 0.95
+    youth = 0.2 * deprivation + rng.normal(size=n) * 0.97
+
+    cols: dict[str, np.ndarray] = {}
+
+    # -- Figure 1, view 1: size & density ------------------------------------
+    cols["population"] = lognormal_column(rng, n, base=1.1 * urban,
+                                          scale=5e4, sigma=0.45)
+    cols["pop_density"] = lognormal_column(rng, n, base=1.4 * urban,
+                                           scale=2e3, sigma=0.5)
+    cols["n_households"] = cols["population"] / (
+        2.4 + 0.2 * rng.normal(size=n))
+
+    # -- Figure 1, view 2: education & income ---------------------------------
+    edu_base = -0.9 * deprivation + 0.25 * urban
+    cols["pct_college_educated"] = proportion_column(
+        rng, n, base=edu_base, center=0.28, slope=0.18, noise=0.04)
+    cols["avg_salary"] = lognormal_column(
+        rng, n, base=0.35 * edu_base + 0.15 * urban, scale=4.6e4, sigma=0.18)
+    cols["pct_unemployed"] = proportion_column(
+        rng, n, base=0.8 * deprivation, center=0.07, slope=0.2, noise=0.05)
+
+    # -- Figure 1, view 3: housing ---------------------------------------------
+    housing_base = -0.85 * deprivation + 0.1 * urban
+    cols["avg_rent"] = lognormal_column(rng, n, base=0.55 * housing_base
+                                        + 0.1 * urban, scale=900.0, sigma=0.12)
+    cols["pct_home_owners"] = proportion_column(
+        rng, n, base=housing_base - 0.2 * urban, center=0.62, slope=0.15,
+        noise=0.04)
+    cols["median_home_value"] = lognormal_column(
+        rng, n, base=0.5 * housing_base + 0.3 * urban, scale=1.6e5, sigma=0.3)
+
+    # -- Figure 1, view 4: age & family structure --------------------------------
+    cols["pct_under_25"] = proportion_column(
+        rng, n, base=0.85 * youth, center=0.32, slope=0.12, noise=0.04)
+    cols["pct_monoparental_families"] = proportion_column(
+        rng, n, base=0.7 * youth + 0.45 * deprivation, center=0.18,
+        slope=0.14, noise=0.04)
+    cols["avg_household_age"] = 48.0 - 6.0 * youth + rng.normal(
+        scale=3.0, size=n)
+
+    # -- The "seemingly superfluous" proxy -----------------------------------------
+    cols["pct_boarded_windows"] = proportion_column(
+        rng, n, base=0.9 * deprivation, center=0.04, slope=0.22, noise=0.05)
+    cols["n_vacant_buildings"] = lognormal_column(
+        rng, n, base=0.8 * deprivation + 0.3 * urban, scale=120.0, sigma=0.5)
+
+    # -- The driving variable and companions ------------------------------------------
+    crime_signal = (0.8 * deprivation + 0.55 * urban + 0.5 * youth
+                    + 0.6 * rng.normal(size=n))
+    cols["violent_crime_rate"] = proportion_column(
+        rng, n, base=crime_signal, center=0.06, slope=0.2, noise=0.02)
+    cols["property_crime_rate"] = proportion_column(
+        rng, n, base=0.8 * crime_signal, center=0.12, slope=0.18, noise=0.04)
+    cols["n_murders"] = np.floor(lognormal_column(
+        rng, n, base=0.9 * crime_signal + 0.6 * urban, scale=6.0, sigma=0.7))
+    cols["n_police_officers"] = np.floor(lognormal_column(
+        rng, n, base=0.9 * urban + 0.2 * crime_signal, scale=150.0, sigma=0.5))
+
+    # -- Filler indicator families (the haystack) ----------------------------------------
+    for family, width in _FILLER_FAMILIES:
+        block = correlated_block(rng, n, width, loading=0.75, noise=0.8)
+        for j in range(width):
+            cols[f"{family}_indicator_{j:02d}"] = block[:, j]
+
+    # -- Pure-noise singletons to round out 128 ---------------------------------------------
+    filler_so_far = sum(w for _, w in _FILLER_FAMILIES)
+    n_named = len(cols) - filler_so_far
+    remaining = 128 - n_named - filler_so_far - 2  # 2 categoricals below
+    for j in range(max(remaining, 0)):
+        cols[f"misc_indicator_{j:02d}"] = rng.normal(size=n)
+
+    if missing:
+        # Informative gaps in two families plus uniform gaps elsewhere.
+        cols["pct_boarded_windows"] = inject_missing(
+            rng, cols["pct_boarded_windows"], 0.06, driver=-deprivation)
+        for name in ("health_indicator_00", "health_indicator_01",
+                     "utility_indicator_00"):
+            cols[name] = inject_missing(rng, cols[name], 0.05)
+
+    table_cols = [NumericColumn(name, values) for name, values in cols.items()]
+    region_codes = rng.integers(0, len(_REGIONS), size=n)
+    table_cols.append(CategoricalColumn(
+        "region", [_REGIONS[k] for k in region_codes]))
+    sizes = np.digitize(cols["population"],
+                        np.quantile(cols["population"], [0.5, 0.85, 0.97]))
+    size_labels = ("town", "small_city", "city", "metropolis")
+    table_cols.append(CategoricalColumn(
+        "community_type", [size_labels[k] for k in sizes]))
+
+    return Table(table_cols, name="us_crime")
+
+
+def high_crime_predicate(table: Table, quantile: float = 0.9) -> str:
+    """The running example's seed query: top-decile violent crime."""
+    values = table.column("violent_crime_rate").numeric_values()
+    threshold = float(np.nanquantile(values, quantile))
+    return f"violent_crime_rate > {threshold:.6f}"

@@ -1,0 +1,35 @@
+"""Dataset registry: the three demo datasets by name."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.boxoffice import make_boxoffice
+from repro.data.crime import make_crime
+from repro.data.innovation import make_innovation
+from repro.engine.table import Table
+from repro.errors import UnknownDatasetError
+
+_DATASETS: dict[str, Callable[..., Table]] = {
+    "boxoffice": make_boxoffice,
+    "us_crime": make_crime,
+    "innovation": make_innovation,
+}
+
+
+def dataset_names() -> tuple[str, ...]:
+    """Names accepted by :func:`load_dataset`."""
+    return tuple(sorted(_DATASETS))
+
+
+def load_dataset(name: str, **kwargs) -> Table:
+    """Build one of the demo datasets by name.
+
+    Args:
+        name: "boxoffice", "us_crime" or "innovation".
+        **kwargs: forwarded to the generator (``seed``, ``n_rows``, ...).
+    """
+    maker = _DATASETS.get(name)
+    if maker is None:
+        raise UnknownDatasetError(name, dataset_names())
+    return maker(**kwargs)

@@ -1,0 +1,104 @@
+"""Low-level synthetic column builders shared by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def correlated_block(rng: np.random.Generator, n_rows: int, n_cols: int,
+                     factor: np.ndarray | None = None,
+                     loading: float = 0.8,
+                     noise: float = 1.0) -> np.ndarray:
+    """Columns sharing one latent factor (a thematically tight block).
+
+    ``x_j = loading_j * factor + noise_j`` with per-column loadings
+    jittered around ``loading`` — the structure view tightness is meant
+    to detect.
+
+    Args:
+        rng: the random generator.
+        n_rows / n_cols: block shape.
+        factor: latent factor values (drawn i.i.d. N(0,1) when None).
+        loading: mean factor loading.
+        noise: noise standard deviation.
+
+    Returns:
+        ``(n_rows, n_cols)`` float matrix.
+    """
+    if factor is None:
+        factor = rng.normal(size=n_rows)
+    loadings = loading * (1.0 + 0.2 * rng.normal(size=n_cols))
+    return factor[:, None] * loadings[None, :] + rng.normal(
+        scale=noise, size=(n_rows, n_cols))
+
+
+def lognormal_column(rng: np.random.Generator, n_rows: int,
+                     base: np.ndarray | float = 0.0,
+                     scale: float = 1.0,
+                     sigma: float = 0.5) -> np.ndarray:
+    """Positive, right-skewed column (populations, budgets, rents).
+
+    ``scale * exp(base + sigma * eps)`` — the latent ``base`` carries the
+    correlation structure, the log-normal noise carries the skew.
+    """
+    return scale * np.exp(np.asarray(base, dtype=np.float64)
+                          + sigma * rng.normal(size=n_rows))
+
+
+def proportion_column(rng: np.random.Generator, n_rows: int,
+                      base: np.ndarray | float = 0.0,
+                      center: float = 0.5,
+                      slope: float = 0.15,
+                      noise: float = 0.05) -> np.ndarray:
+    """A percentage-like column squashed into (0, 1) by a logistic.
+
+    ``sigmoid(logit(center) + slope_scaled * base + eps)`` — used for all
+    "% population ..." indicators.
+    """
+    center = min(max(center, 1e-3), 1.0 - 1e-3)
+    logit = np.log(center / (1.0 - center))
+    z = logit + 4.0 * slope * np.asarray(base, dtype=np.float64) \
+        + rng.normal(scale=4.0 * noise, size=n_rows)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def gaussian_mixture_column(rng: np.random.Generator, n_rows: int,
+                            means: tuple[float, ...] = (-1.5, 1.5),
+                            weights: tuple[float, ...] | None = None,
+                            sigma: float = 0.6) -> np.ndarray:
+    """Multi-modal column (for datasets that should defeat mean-only
+    summaries — spread and shape components earn their keep here)."""
+    k = len(means)
+    if weights is None:
+        probs = np.full(k, 1.0 / k)
+    else:
+        probs = np.asarray(weights, dtype=np.float64)
+        probs = probs / probs.sum()
+    component = rng.choice(k, size=n_rows, p=probs)
+    return np.asarray(means)[component] + rng.normal(scale=sigma, size=n_rows)
+
+
+def inject_missing(rng: np.random.Generator, values: np.ndarray,
+                   rate: float,
+                   driver: np.ndarray | None = None) -> np.ndarray:
+    """Return a copy with ~``rate`` of entries set to NaN.
+
+    When ``driver`` is given, missingness probability increases with the
+    driver (informative missingness — what the missing-rate component is
+    for); otherwise it is uniform.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"missing rate must be in [0, 1), got {rate}")
+    out = np.asarray(values, dtype=np.float64).copy()
+    if rate == 0.0:
+        return out
+    n = out.size
+    if driver is None:
+        mask = rng.random(n) < rate
+    else:
+        d = np.asarray(driver, dtype=np.float64)
+        ranks = d.argsort().argsort() / max(n - 1, 1)
+        probs = rate * 2.0 * ranks  # mean ~= rate, increasing in driver
+        mask = rng.random(n) < probs
+    out[mask] = np.nan
+    return out

@@ -1,0 +1,65 @@
+"""In-memory columnar engine — the storage substrate under Ziggy.
+
+The demo system of the paper uses MonetDB to "store and deliver the data".
+This package is our stand-in: a small, fully functional in-memory columnar
+store with
+
+* typed columns (numeric, categorical, boolean) with missing values;
+* a SQL-subset query language (``SELECT ... FROM ... WHERE ... ORDER BY
+  ... LIMIT ...``) with a tokenizer, recursive-descent parser, typed
+  expression AST and vectorized numpy evaluator;
+* selection *masks*: Ziggy characterizes a selection against its
+  complement, so the engine's central product is a boolean row mask plus a
+  canonical predicate fingerprint for the statistics cache;
+* CSV import/export with type inference.
+"""
+
+from repro.engine.types import ColumnType
+from repro.engine.column import Column, NumericColumn, CategoricalColumn, BooleanColumn
+from repro.engine.table import Table
+from repro.engine.expr import (
+    Expression,
+    ColumnRef,
+    Literal,
+    BinaryOp,
+    UnaryOp,
+    FunctionCall,
+    InList,
+    Between,
+    IsNull,
+    Like,
+)
+from repro.engine.parser import parse_query, parse_predicate, ParsedQuery
+from repro.engine.eval import evaluate_predicate, evaluate_expression
+from repro.engine.database import Database, Selection, selection_from_mask
+from repro.engine.csvio import read_csv, write_csv, infer_column
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "NumericColumn",
+    "CategoricalColumn",
+    "BooleanColumn",
+    "Table",
+    "Expression",
+    "ColumnRef",
+    "Literal",
+    "BinaryOp",
+    "UnaryOp",
+    "FunctionCall",
+    "InList",
+    "Between",
+    "IsNull",
+    "Like",
+    "parse_query",
+    "parse_predicate",
+    "ParsedQuery",
+    "evaluate_predicate",
+    "evaluate_expression",
+    "Database",
+    "Selection",
+    "selection_from_mask",
+    "read_csv",
+    "write_csv",
+    "infer_column",
+]

@@ -1,0 +1,170 @@
+"""Aggregate functions and GROUP BY execution.
+
+Exploration front-ends summarize before they select — "average crime by
+region" is the query that precedes "the dangerous communities".  The
+engine therefore supports the classic aggregate set (COUNT, SUM, AVG,
+MIN, MAX, STDDEV, MEDIAN) with an optional GROUP BY over one or more
+columns, all vectorized per group.
+
+NULL semantics follow SQL: aggregates skip NULLs; ``COUNT(*)`` counts
+rows, ``COUNT(col)`` counts non-NULL values; an empty group yields NULL
+for everything except counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.column import CategoricalColumn, NumericColumn, column_from_values
+from repro.engine.table import Table
+from repro.errors import QueryTypeError
+
+#: Aggregate names accepted by the parser (COUNT additionally accepts *).
+AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max", "stddev",
+                       "median")
+
+
+@dataclass(frozen=True)
+class AggregateItem:
+    """One aggregate in a select list, e.g. ``avg(budget)``.
+
+    ``column`` is None only for ``count(*)``.
+    """
+
+    function: str
+    column: str | None
+
+    def __post_init__(self):
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise QueryTypeError(
+                f"unknown aggregate {self.function!r}; available: "
+                f"{', '.join(AGGREGATE_FUNCTIONS)}")
+        if self.column is None and self.function != "count":
+            raise QueryTypeError(f"{self.function}(*) is not defined; "
+                                 "only count(*) accepts '*'")
+
+    @property
+    def output_name(self) -> str:
+        """Column name of the aggregate in the result table."""
+        inner = self.column if self.column is not None else "*"
+        return f"{self.function}({inner})"
+
+    def canonical(self) -> str:
+        """Canonical text (lower-case function, bare column name)."""
+        return self.output_name
+
+
+def _aggregate_values(function: str, values: np.ndarray) -> float | None:
+    """Apply one aggregate to a (possibly empty) float array with NaNs."""
+    data = values[~np.isnan(values)]
+    if function == "count":
+        return float(data.size)
+    if data.size == 0:
+        return None
+    if function == "sum":
+        return float(data.sum())
+    if function == "avg":
+        return float(data.mean())
+    if function == "min":
+        return float(data.min())
+    if function == "max":
+        return float(data.max())
+    if function == "median":
+        return float(np.median(data))
+    if function == "stddev":
+        if data.size < 2:
+            return None
+        return float(data.std(ddof=1))
+    raise QueryTypeError(f"unknown aggregate {function!r}")
+
+
+def _group_keys(table: Table, group_by: tuple[str, ...]) -> tuple[np.ndarray, list[tuple]]:
+    """Group id per row plus the distinct key tuples, in first-seen order."""
+    n = table.n_rows
+    if not group_by:
+        return np.zeros(n, dtype=np.int64), [()]
+    key_columns = []
+    for name in group_by:
+        col = table.column(name)
+        if isinstance(col, CategoricalColumn):
+            key_columns.append(col.values())
+        else:
+            vals = col.numeric_values()
+            key_columns.append([None if v != v else float(v) for v in vals])
+    ids = np.empty(n, dtype=np.int64)
+    index: dict[tuple, int] = {}
+    keys: list[tuple] = []
+    for r in range(n):
+        key = tuple(kc[r] for kc in key_columns)
+        gid = index.get(key)
+        if gid is None:
+            gid = len(keys)
+            index[key] = gid
+            keys.append(key)
+        ids[r] = gid
+    return ids, keys
+
+
+def execute_aggregation(table: Table, aggregates: tuple[AggregateItem, ...],
+                        group_by: tuple[str, ...]) -> Table:
+    """Run an aggregate query against (already filtered) rows.
+
+    Args:
+        table: the input rows (WHERE already applied).
+        aggregates: the aggregate select items, in output order.
+        group_by: grouping columns (empty = one global group).
+
+    Returns:
+        A result table with the group-by columns first, then one column
+        per aggregate.
+    """
+    for item in aggregates:
+        if item.column is not None:
+            col = table.column(item.column)
+            if isinstance(col, CategoricalColumn) and item.function != "count":
+                raise QueryTypeError(
+                    f"{item.function}() requires a numeric column, "
+                    f"{item.column!r} is categorical")
+    ids, keys = _group_keys(table, group_by)
+    n_groups = len(keys)
+
+    # Pre-split row indices per group.
+    order = np.argsort(ids, kind="stable")
+    sorted_ids = ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [ids.size])) if ids.size else boundaries
+    rows_of_group: dict[int, np.ndarray] = {}
+    for s, e in zip(starts, ends):
+        if s < e:
+            rows_of_group[int(sorted_ids[s])] = order[s:e]
+
+    out_columns = []
+    for j, name in enumerate(group_by):
+        values = [keys[g][j] for g in range(n_groups)]
+        out_columns.append(column_from_values(name, values))
+    for item in aggregates:
+        results: list[float | None] = []
+        if item.column is None:
+            for g in range(n_groups):
+                results.append(float(rows_of_group.get(g, np.empty(0)).size))
+        else:
+            col = table.column(item.column)
+            if isinstance(col, CategoricalColumn):
+                missing = col.missing_mask()
+                for g in range(n_groups):
+                    rows = rows_of_group.get(g)
+                    count = 0 if rows is None else int((~missing[rows]).sum())
+                    results.append(float(count))
+            else:
+                values = col.numeric_values()
+                for g in range(n_groups):
+                    rows = rows_of_group.get(g)
+                    group_values = (values[rows] if rows is not None
+                                    else np.empty(0))
+                    results.append(_aggregate_values(item.function,
+                                                     group_values))
+        out_columns.append(NumericColumn(item.output_name, results))
+    return Table(out_columns, name=f"{table.name}/agg")

@@ -1,0 +1,240 @@
+"""Typed column storage.
+
+Columns are immutable after construction (the arrays are set read-only),
+which is what makes the statistics cache sound: a cached summary can never
+drift from its column.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+#: Code used for missing values in dictionary-encoded categorical columns.
+MISSING_CODE = -1
+
+
+class Column:
+    """Abstract base for typed columns.
+
+    Subclasses store their data in numpy arrays and expose:
+
+    * ``values()`` — a float64 view for numeric/boolean columns, an object
+      array of labels for categorical ones;
+    * ``numeric_values()`` — a float64 array usable by the statistics
+      layer (categorical columns raise);
+    * ``missing_mask()`` — boolean mask of missing entries;
+    * ``take(mask)`` — a new column restricted to ``mask``.
+    """
+
+    name: str
+    ctype: ColumnType
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def values(self) -> np.ndarray:
+        """Raw values (dtype depends on the column type)."""
+        raise NotImplementedError
+
+    def numeric_values(self) -> np.ndarray:
+        """Float64 representation; raises for categorical columns."""
+        raise NotImplementedError
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask, True where the value is missing."""
+        raise NotImplementedError
+
+    def take(self, selector: np.ndarray) -> "Column":
+        """New column with the rows selected by a mask or index array."""
+        raise NotImplementedError
+
+    @property
+    def n_missing(self) -> int:
+        """Number of missing entries."""
+        return int(self.missing_mask().sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<{type(self).__name__} {self.name!r} "
+                f"len={len(self)} missing={self.n_missing}>")
+
+
+class NumericColumn(Column):
+    """Float64 column; NaN marks missing values."""
+
+    ctype = ColumnType.NUMERIC
+
+    def __init__(self, name: str, data: Iterable[float]):
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        arr = np.asarray(
+            [np.nan if v is None else v for v in data] if not isinstance(data, np.ndarray) else data,
+            dtype=np.float64,
+        ).ravel()
+        arr.setflags(write=False)
+        self._data = arr
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def values(self) -> np.ndarray:
+        return self._data
+
+    def numeric_values(self) -> np.ndarray:
+        return self._data
+
+    def missing_mask(self) -> np.ndarray:
+        return np.isnan(self._data)
+
+    def take(self, selector: np.ndarray) -> "NumericColumn":
+        return NumericColumn(self.name, self._data[selector])
+
+
+class BooleanColumn(Column):
+    """Boolean column stored as float64 {0, 1, NaN}."""
+
+    ctype = ColumnType.BOOLEAN
+
+    def __init__(self, name: str, data: Iterable):
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        if isinstance(data, np.ndarray) and data.dtype == np.bool_:
+            arr = data.astype(np.float64)
+        elif isinstance(data, np.ndarray) and np.issubdtype(data.dtype, np.number):
+            # Numeric arrays must already be 0/1/NaN encoded; validated below.
+            arr = data.astype(np.float64)
+        else:
+            converted = []
+            for v in data:
+                if v is None or (isinstance(v, float) and v != v):
+                    converted.append(np.nan)
+                else:
+                    converted.append(1.0 if bool(v) else 0.0)
+            arr = np.asarray(converted, dtype=np.float64)
+        arr = arr.ravel()
+        bad = ~(np.isnan(arr) | (arr == 0.0) | (arr == 1.0))
+        if bad.any():
+            raise SchemaError(
+                f"boolean column {name!r} contains non-boolean values")
+        arr.setflags(write=False)
+        self._data = arr
+
+    def __len__(self) -> int:
+        return int(self._data.size)
+
+    def values(self) -> np.ndarray:
+        return self._data
+
+    def numeric_values(self) -> np.ndarray:
+        return self._data
+
+    def missing_mask(self) -> np.ndarray:
+        return np.isnan(self._data)
+
+    def take(self, selector: np.ndarray) -> "BooleanColumn":
+        return BooleanColumn(self.name, self._data[selector])
+
+
+class CategoricalColumn(Column):
+    """Dictionary-encoded text column.
+
+    Stores int32 codes into a tuple of labels; ``MISSING_CODE`` marks
+    missing entries.  The label dictionary is deduplicated and ordered by
+    first appearance, so round-tripping through ``take`` is stable.
+    """
+
+    ctype = ColumnType.CATEGORICAL
+
+    def __init__(self, name: str, data: Sequence | None = None, *,
+                 codes: np.ndarray | None = None,
+                 labels: tuple[str, ...] | None = None):
+        if not name:
+            raise SchemaError("column name must be non-empty")
+        self.name = name
+        if codes is not None:
+            if labels is None:
+                raise SchemaError("codes require labels")
+            codes = np.asarray(codes, dtype=np.int32).ravel()
+            if codes.size and (codes.max(initial=MISSING_CODE) >= len(labels)
+                               or codes.min(initial=MISSING_CODE) < MISSING_CODE):
+                raise SchemaError(f"categorical codes out of range for {name!r}")
+            self._labels = tuple(labels)
+        else:
+            if data is None:
+                raise SchemaError("either data or codes must be provided")
+            label_index: dict[str, int] = {}
+            code_list = np.empty(len(data), dtype=np.int32)
+            for i, v in enumerate(data):
+                if v is None or (isinstance(v, float) and v != v):
+                    code_list[i] = MISSING_CODE
+                    continue
+                label = str(v)
+                idx = label_index.get(label)
+                if idx is None:
+                    idx = len(label_index)
+                    label_index[label] = idx
+                code_list[i] = idx
+            self._labels = tuple(label_index)
+            codes = code_list
+        codes.setflags(write=False)
+        self._codes = codes
+
+    @property
+    def labels(self) -> tuple[str, ...]:
+        """The dictionary of distinct labels."""
+        return self._labels
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Int32 codes; ``MISSING_CODE`` (-1) marks missing."""
+        return self._codes
+
+    def __len__(self) -> int:
+        return int(self._codes.size)
+
+    def values(self) -> np.ndarray:
+        """Object array of labels with None for missing entries."""
+        out = np.empty(self._codes.size, dtype=object)
+        lab = self._labels
+        for i, c in enumerate(self._codes):
+            out[i] = lab[c] if c >= 0 else None
+        return out
+
+    def numeric_values(self) -> np.ndarray:
+        raise SchemaError(
+            f"column {self.name!r} is categorical; no numeric view exists")
+
+    def missing_mask(self) -> np.ndarray:
+        return self._codes == MISSING_CODE
+
+    def take(self, selector: np.ndarray) -> "CategoricalColumn":
+        return CategoricalColumn(self.name, codes=self._codes[selector].copy(),
+                                 labels=self._labels)
+
+    def label_list(self) -> list:
+        """Python list of labels (None for missing) — convenient for tests."""
+        return list(self.values())
+
+
+def column_from_values(name: str, values: Sequence) -> Column:
+    """Build the most specific column type for a sequence of values.
+
+    Booleans (only ``True``/``False``/missing) become
+    :class:`BooleanColumn`; anything fully numeric becomes
+    :class:`NumericColumn`; everything else is categorical.
+    """
+    non_missing = [v for v in values
+                   if v is not None and not (isinstance(v, float) and v != v)]
+    if non_missing and all(isinstance(v, bool) for v in non_missing):
+        return BooleanColumn(name, values)
+    if non_missing and all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                           for v in non_missing):
+        return NumericColumn(name, [float(v) if v is not None else None
+                                    for v in values])
+    return CategoricalColumn(name, values)

@@ -1,0 +1,139 @@
+"""CSV import/export with type inference.
+
+The demo datasets (UCI Communities & Crime, OECD innovation tables) ship
+as CSV; :func:`read_csv` loads such files into engine tables, inferring
+numeric / boolean / categorical types per column and mapping the usual
+missing-value tokens to NULL.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.column import (
+    BooleanColumn,
+    CategoricalColumn,
+    Column,
+    NumericColumn,
+)
+from repro.engine.table import Table
+from repro.errors import CsvFormatError
+
+#: Tokens treated as missing on import (case-insensitive).
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "?", "-"})
+
+_TRUE_TOKENS = frozenset({"true", "t", "yes", "y"})
+_FALSE_TOKENS = frozenset({"false", "f", "no", "n"})
+
+
+def infer_column(name: str, raw: Sequence[str]) -> Column:
+    """Infer the best column type for a list of raw CSV strings.
+
+    Order of preference: boolean (only true/false tokens), numeric (all
+    entries parse as floats), else categorical.  Missing tokens never
+    influence the choice.
+    """
+    present = [(i, s.strip()) for i, s in enumerate(raw)
+               if s is not None and s.strip().lower() not in MISSING_TOKENS]
+    values = [s for _, s in present]
+    lowered = [s.lower() for s in values]
+    if values and all(s in _TRUE_TOKENS | _FALSE_TOKENS for s in lowered):
+        data: list = [None] * len(raw)
+        for (i, _), s in zip(present, lowered):
+            data[i] = s in _TRUE_TOKENS
+        return BooleanColumn(name, data)
+    if values:
+        parsed: list[float] = []
+        numeric = True
+        for s in values:
+            try:
+                parsed.append(float(s.replace(",", "")))
+            except ValueError:
+                numeric = False
+                break
+        if numeric:
+            data = [None] * len(raw)
+            for (i, _), v in zip(present, parsed):
+                data[i] = v
+            return NumericColumn(name, data)
+    data = [None] * len(raw)
+    for i, s in present:
+        data[i] = s
+    return CategoricalColumn(name, data)
+
+
+def read_csv(path_or_buffer, name: str | None = None,
+             delimiter: str = ",") -> Table:
+    """Load a CSV file (with a header row) into a :class:`Table`.
+
+    Args:
+        path_or_buffer: file path or an open text stream.
+        name: table name (defaults to the file stem or "table").
+        delimiter: field separator.
+    """
+    if isinstance(path_or_buffer, (str, Path)):
+        path = Path(path_or_buffer)
+        with path.open("r", newline="", encoding="utf-8") as fh:
+            return _read_stream(fh, name or path.stem, delimiter)
+    return _read_stream(path_or_buffer, name or "table", delimiter)
+
+
+def _read_stream(stream, name: str, delimiter: str) -> Table:
+    reader = csv.reader(stream, delimiter=delimiter)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise CsvFormatError("CSV input is empty (no header row)") from None
+    header = [h.strip() for h in header]
+    if any(not h for h in header):
+        raise CsvFormatError("CSV header contains empty column names")
+    buffers: list[list[str]] = [[] for _ in header]
+    for lineno, row in enumerate(reader, start=2):
+        if not row or all(not cell.strip() for cell in row):
+            continue  # skip blank lines
+        if len(row) != len(header):
+            raise CsvFormatError(
+                f"line {lineno}: expected {len(header)} fields, got {len(row)}")
+        for buf, cell in zip(buffers, row):
+            buf.append(cell)
+    columns = [infer_column(h, buf) for h, buf in zip(header, buffers)]
+    return Table(columns, name=name)
+
+
+def write_csv(table: Table, path_or_buffer, delimiter: str = ",") -> None:
+    """Write a table as CSV (missing values become empty fields)."""
+    if isinstance(path_or_buffer, (str, Path)):
+        with Path(path_or_buffer).open("w", newline="", encoding="utf-8") as fh:
+            _write_stream(table, fh, delimiter)
+        return
+    _write_stream(table, path_or_buffer, delimiter)
+
+
+def _write_stream(table: Table, stream, delimiter: str) -> None:
+    from repro.engine.types import ColumnType
+
+    writer = csv.writer(stream, delimiter=delimiter, lineterminator="\n")
+    writer.writerow(table.column_names)
+    is_bool = [c.ctype is ColumnType.BOOLEAN for c in table.columns]
+    for row in table.rows():
+        out = []
+        for v, boolean in zip(row, is_bool):
+            if v is None:
+                out.append("")
+            elif boolean:
+                out.append("true" if v else "false")
+            elif isinstance(v, float) and v == int(v) and abs(v) < 1e15:
+                out.append(str(int(v)))
+            else:
+                out.append(str(v))
+        writer.writerow(out)
+
+
+def table_to_csv_text(table: Table) -> str:
+    """Render a table as a CSV string (used by the JSON API layer)."""
+    buf = io.StringIO()
+    write_csv(table, buf)
+    return buf.getvalue()

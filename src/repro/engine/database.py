@@ -1,0 +1,212 @@
+"""The Database: named tables plus query execution.
+
+The central product for Ziggy is :class:`Selection` — a base table, a
+boolean row mask and a canonical predicate fingerprint.  Characterization
+always happens against a selection, never against a detached result set,
+because the outside group (the complement) must stay addressable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.eval import evaluate_predicate
+from repro.engine.expr import Expression
+from repro.engine.parser import ParsedQuery, parse_predicate, parse_query
+from repro.engine.table import Table
+from repro.errors import UnknownTableError
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A query's selection over a base table.
+
+    Attributes:
+        table: the *base* table the query ran against.
+        mask: boolean array over the base table's rows (True = selected).
+        predicate: the parsed WHERE expression (None = all rows).
+        fingerprint: stable hash of the canonical predicate text; the
+            statistics cache keys per-query artifacts on it.
+    """
+
+    table: Table
+    mask: np.ndarray
+    predicate: Expression | None
+    fingerprint: str
+
+    @property
+    def n_inside(self) -> int:
+        """Number of selected rows."""
+        return int(self.mask.sum())
+
+    @property
+    def n_outside(self) -> int:
+        """Number of rows in the complement."""
+        return int(self.table.n_rows - self.n_inside)
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of rows selected (0 when the table is empty)."""
+        n = self.table.n_rows
+        return self.n_inside / n if n else 0.0
+
+    def inside(self) -> Table:
+        """The selected rows as a table."""
+        return self.table.select(self.mask, name=f"{self.table.name}/inside")
+
+    def outside(self) -> Table:
+        """The complement rows as a table."""
+        return self.table.select(~self.mask, name=f"{self.table.name}/outside")
+
+    def describe(self) -> str:
+        """One-line human-readable description of the selection."""
+        text = self.predicate.canonical() if self.predicate is not None else "TRUE"
+        return (f"{self.table.name}: {text} -> {self.n_inside}/"
+                f"{self.table.n_rows} rows")
+
+
+def predicate_fingerprint(predicate: Expression | None, table_name: str) -> str:
+    """Stable fingerprint of (table, canonical predicate text)."""
+    text = predicate.canonical() if predicate is not None else "TRUE"
+    digest = hashlib.sha256(f"{table_name}\x00{text}".encode()).hexdigest()
+    return digest[:16]
+
+
+def selection_from_mask(table: Table, mask: np.ndarray,
+                        label: str | None = None) -> Selection:
+    """Build a :class:`Selection` from an explicit row mask.
+
+    Used by synthetic experiments (planted ground truth) and by
+    front-ends that select rows interactively (brushing) rather than
+    through a predicate.  The fingerprint hashes the mask itself so the
+    statistics cache keys stay sound.
+    """
+    mask = np.asarray(mask)
+    if mask.dtype != np.bool_ or mask.shape != (table.n_rows,):
+        raise ValueError(
+            f"mask must be a boolean array of length {table.n_rows}")
+    payload = mask.tobytes() + (label or "").encode()
+    digest = hashlib.sha256(f"{table.name}\x00mask\x00".encode() + payload)
+    return Selection(table=table, mask=mask, predicate=None,
+                     fingerprint=digest.hexdigest()[:16])
+
+
+@dataclass
+class QueryStats:
+    """Execution counters, exposed for the benchmarks."""
+
+    queries_run: int = 0
+    rows_scanned: int = 0
+
+
+class Database:
+    """A named collection of tables with query execution.
+
+    Example::
+
+        db = Database()
+        db.register(table)
+        sel = db.select("crime", "violent_crime_rate > 0.8")
+        result = db.query("SELECT pop_density FROM crime WHERE state = 'CA'")
+    """
+
+    def __init__(self):
+        self._tables: dict[str, Table] = {}
+        self.stats = QueryStats()
+
+    # -- catalog ---------------------------------------------------------------
+
+    def register(self, table: Table, name: str | None = None) -> None:
+        """Add (or replace) a table under ``name`` (default: ``table.name``)."""
+        self._tables[name or table.name] = table
+
+    def drop(self, name: str) -> None:
+        """Remove a table; raises :class:`UnknownTableError` if absent."""
+        if name not in self._tables:
+            raise UnknownTableError(name, tuple(self._tables))
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        tbl = self._tables.get(name)
+        if tbl is None:
+            raise UnknownTableError(name, tuple(self._tables))
+        return tbl
+
+    def table_names(self) -> tuple[str, ...]:
+        """All registered table names, sorted."""
+        return tuple(sorted(self._tables))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # -- execution ---------------------------------------------------------------
+
+    def select(self, table_name: str, where: str | Expression | None) -> Selection:
+        """Run a predicate against a table and return the :class:`Selection`.
+
+        Args:
+            table_name: registered table to select from.
+            where: predicate text, a parsed expression, or ``None``
+                (select everything).
+        """
+        table = self.table(table_name)
+        if where is None:
+            predicate = None
+            mask = np.ones(table.n_rows, dtype=bool)
+        else:
+            predicate = parse_predicate(where) if isinstance(where, str) else where
+            mask = evaluate_predicate(table, predicate)
+        self.stats.queries_run += 1
+        self.stats.rows_scanned += table.n_rows
+        return Selection(
+            table=table,
+            mask=mask,
+            predicate=predicate,
+            fingerprint=predicate_fingerprint(predicate, table_name),
+        )
+
+    def query(self, sql: str) -> Table:
+        """Run a full SELECT statement and return the result table."""
+        parsed = parse_query(sql)
+        return self.run(parsed)
+
+    def run(self, parsed: ParsedQuery) -> Table:
+        """Execute an already-parsed query."""
+        table = self.table(parsed.table)
+        self.stats.queries_run += 1
+        self.stats.rows_scanned += table.n_rows
+        result = table
+        if parsed.predicate is not None:
+            mask = evaluate_predicate(table, parsed.predicate)
+            result = result.select(mask)
+        if parsed.is_aggregation:
+            from repro.engine.aggregates import execute_aggregation
+            result = execute_aggregation(result, parsed.aggregates,
+                                         parsed.group_by)
+            if parsed.order_by is not None:
+                result = result.sort_by(parsed.order_by,
+                                        descending=parsed.descending)
+            if parsed.limit is not None:
+                result = result.head(parsed.limit)
+            return result
+        if parsed.order_by is not None:
+            result = result.sort_by(parsed.order_by, descending=parsed.descending)
+        if parsed.columns is not None:
+            result = result.project(parsed.columns)
+        if parsed.limit is not None:
+            result = result.head(parsed.limit)
+        return result
+
+    def selection_for_query(self, sql: str) -> Selection:
+        """Parse a full SELECT and return its :class:`Selection`.
+
+        Projection/order/limit do not affect which rows are "inside", so
+        Ziggy's session accepts any SELECT and characterizes its WHERE
+        clause.
+        """
+        parsed = parse_query(sql)
+        return self.select(parsed.table, parsed.predicate)

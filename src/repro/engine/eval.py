@@ -1,0 +1,296 @@
+"""Vectorized expression evaluation with SQL three-valued logic.
+
+Boolean results use Kleene logic encoded as float64:
+``0.0`` = false, ``0.5`` = unknown (NULL), ``1.0`` = true.  With this
+encoding ``AND`` is elementwise ``min``, ``OR`` is ``max`` and ``NOT`` is
+``1 - x`` — exactly Kleene's strong three-valued connectives.  A WHERE
+clause keeps the rows whose value is exactly ``1.0`` (SQL's "NULL is not
+selected" rule), which :func:`evaluate_predicate` applies at the end.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.column import CategoricalColumn
+from repro.engine.expr import (
+    ARITHMETIC_OPS,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    LOGICAL_OPS,
+    UnaryOp,
+)
+from repro.engine.functions import apply_function
+from repro.engine.table import Table
+from repro.errors import QueryTypeError
+
+FALSE, UNKNOWN, TRUE = 0.0, 0.5, 1.0
+
+
+@dataclass(frozen=True)
+class Value:
+    """An evaluated expression: a typed, table-length numpy array.
+
+    ``kind`` is one of ``"num"`` (float64, NaN = NULL), ``"str"`` (object
+    array, None = NULL) or ``"bool"`` (float64 Kleene encoding).
+    """
+
+    kind: str
+    data: np.ndarray
+
+    def __post_init__(self):
+        if self.kind not in ("num", "str", "bool"):
+            raise ValueError(f"bad value kind {self.kind!r}")
+
+
+def _num_const(x: float, n: int) -> Value:
+    return Value("num", np.full(n, x, dtype=np.float64))
+
+
+def _str_const(s: str | None, n: int) -> Value:
+    arr = np.empty(n, dtype=object)
+    arr[:] = s
+    return Value("str", arr)
+
+
+def _bool_from_mask(true_mask: np.ndarray, unknown_mask: np.ndarray) -> Value:
+    out = np.where(true_mask, TRUE, FALSE)
+    out = np.where(unknown_mask, UNKNOWN, out)
+    return Value("bool", out.astype(np.float64))
+
+
+def _to_bool(value: Value, what: str) -> np.ndarray:
+    """Coerce a value to the Kleene encoding (numbers: nonzero = true)."""
+    if value.kind == "bool":
+        return value.data
+    if value.kind == "num":
+        unknown = np.isnan(value.data)
+        return _bool_from_mask(value.data != 0.0, unknown).data
+    raise QueryTypeError(f"{what}: expected a boolean, got a string expression")
+
+
+def _to_num(value: Value, what: str) -> np.ndarray:
+    if value.kind == "num":
+        return value.data
+    if value.kind == "bool":
+        # Kleene unknown (0.5) maps back to NaN for arithmetic.
+        data = value.data.copy()
+        data[data == UNKNOWN] = np.nan
+        return data
+    raise QueryTypeError(f"{what}: expected a numeric operand, got a string")
+
+
+class Evaluator:
+    """Evaluates an :class:`Expression` over one table."""
+
+    def __init__(self, table: Table):
+        self.table = table
+        self.n = table.n_rows
+
+    # -- dispatch --------------------------------------------------------------
+
+    def evaluate(self, expr: Expression) -> Value:
+        method = getattr(self, "_eval_" + type(expr).__name__.lower(), None)
+        if method is None:
+            raise QueryTypeError(f"cannot evaluate node {type(expr).__name__}")
+        return method(expr)
+
+    # -- leaves ------------------------------------------------------------------
+
+    def _eval_literal(self, expr: Literal) -> Value:
+        v = expr.value
+        if v is None:
+            return _num_const(np.nan, self.n)
+        if isinstance(v, bool):
+            return Value("bool", np.full(self.n, TRUE if v else FALSE))
+        if isinstance(v, str):
+            return _str_const(v, self.n)
+        return _num_const(float(v), self.n)
+
+    def _eval_columnref(self, expr: ColumnRef) -> Value:
+        col = self.table.column(expr.name)
+        if isinstance(col, CategoricalColumn):
+            return Value("str", col.values())
+        return Value("num", col.numeric_values())
+
+    # -- operators ----------------------------------------------------------------
+
+    def _eval_unaryop(self, expr: UnaryOp) -> Value:
+        operand = self.evaluate(expr.operand)
+        if expr.op == "NEG":
+            return Value("num", -_to_num(operand, "unary '-'"))
+        mask = _to_bool(operand, "NOT")
+        return Value("bool", 1.0 - mask)
+
+    def _eval_binaryop(self, expr: BinaryOp) -> Value:
+        if expr.op in LOGICAL_OPS:
+            left = _to_bool(self.evaluate(expr.left), expr.op)
+            right = _to_bool(self.evaluate(expr.right), expr.op)
+            if expr.op == "AND":
+                return Value("bool", np.minimum(left, right))
+            return Value("bool", np.maximum(left, right))
+        left = self.evaluate(expr.left)
+        right = self.evaluate(expr.right)
+        if expr.op in ARITHMETIC_OPS:
+            return self._arithmetic(expr.op, left, right)
+        return self._comparison(expr.op, left, right)
+
+    def _arithmetic(self, op: str, left: Value, right: Value) -> Value:
+        a = _to_num(left, f"'{op}'")
+        b = _to_num(right, f"'{op}'")
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            if op == "+":
+                out = a + b
+            elif op == "-":
+                out = a - b
+            elif op == "*":
+                out = a * b
+            elif op == "/":
+                out = a / b
+            else:  # "%"
+                out = np.mod(a, b)
+        out = np.asarray(out, dtype=np.float64)
+        out[~np.isfinite(out)] = np.nan
+        return Value("num", out)
+
+    def _comparison(self, op: str, left: Value, right: Value) -> Value:
+        if left.kind == "str" or right.kind == "str":
+            return self._string_comparison(op, left, right)
+        a = _to_num(left, f"'{op}'")
+        b = _to_num(right, f"'{op}'")
+        unknown = np.isnan(a) | np.isnan(b)
+        with np.errstate(invalid="ignore"):
+            if op == "=":
+                mask = a == b
+            elif op == "!=":
+                mask = a != b
+            elif op == "<":
+                mask = a < b
+            elif op == "<=":
+                mask = a <= b
+            elif op == ">":
+                mask = a > b
+            else:  # ">="
+                mask = a >= b
+        return _bool_from_mask(mask, unknown)
+
+    def _string_comparison(self, op: str, left: Value, right: Value) -> Value:
+        if left.kind != "str" or right.kind != "str":
+            raise QueryTypeError(
+                f"'{op}': cannot compare a string with a number")
+        a, b = left.data, right.data
+        unknown = np.array([x is None or y is None for x, y in zip(a, b)])
+        if op in ("=", "!="):
+            eq = np.array([x == y for x, y in zip(a, b)], dtype=bool)
+            mask = eq if op == "=" else ~eq
+        elif op in ("<", "<=", ">", ">="):
+            import operator as _op
+            fn = {"<": _op.lt, "<=": _op.le, ">": _op.gt, ">=": _op.ge}[op]
+            mask = np.array([bool(fn(x, y)) if x is not None and y is not None
+                             else False for x, y in zip(a, b)])
+        else:  # pragma: no cover - parser only emits the above
+            raise QueryTypeError(f"unsupported string comparison {op!r}")
+        return _bool_from_mask(mask, unknown)
+
+    # -- special predicates ---------------------------------------------------------
+
+    def _eval_isnull(self, expr: IsNull) -> Value:
+        operand = self.evaluate(expr.operand)
+        if operand.kind == "str":
+            missing = np.array([v is None for v in operand.data], dtype=bool)
+        else:
+            data = operand.data
+            if operand.kind == "bool":
+                missing = data == UNKNOWN
+            else:
+                missing = np.isnan(data)
+        if expr.negated:
+            missing = ~missing
+        return Value("bool", missing.astype(np.float64))
+
+    def _eval_inlist(self, expr: InList) -> Value:
+        operand = self.evaluate(expr.operand)
+        values = [item.value for item in expr.items]
+        if operand.kind == "str":
+            wanted = {v for v in values if isinstance(v, str)}
+            unknown = np.array([v is None for v in operand.data], dtype=bool)
+            mask = np.array([v in wanted if v is not None else False
+                             for v in operand.data], dtype=bool)
+        else:
+            data = _to_num(operand, "IN")
+            nums = [float(v) for v in values
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)]
+            nums += [1.0 if v else 0.0 for v in values if isinstance(v, bool)]
+            unknown = np.isnan(data)
+            mask = np.zeros(data.size, dtype=bool)
+            for v in nums:
+                mask |= data == v
+        if expr.negated:
+            mask = ~mask & ~unknown
+        return _bool_from_mask(mask, unknown)
+
+    def _eval_between(self, expr: Between) -> Value:
+        operand = _to_num(self.evaluate(expr.operand), "BETWEEN")
+        low = _to_num(self.evaluate(expr.low), "BETWEEN")
+        high = _to_num(self.evaluate(expr.high), "BETWEEN")
+        unknown = np.isnan(operand) | np.isnan(low) | np.isnan(high)
+        with np.errstate(invalid="ignore"):
+            mask = (operand >= low) & (operand <= high)
+        if expr.negated:
+            mask = ~mask & ~unknown
+        return _bool_from_mask(mask, unknown)
+
+    def _eval_like(self, expr: Like) -> Value:
+        operand = self.evaluate(expr.operand)
+        if operand.kind != "str":
+            raise QueryTypeError("LIKE applies to string expressions only")
+        regex = _like_to_regex(expr.pattern)
+        unknown = np.array([v is None for v in operand.data], dtype=bool)
+        mask = np.array([bool(regex.fullmatch(v)) if v is not None else False
+                         for v in operand.data], dtype=bool)
+        if expr.negated:
+            mask = ~mask & ~unknown
+        return _bool_from_mask(mask, unknown)
+
+    def _eval_functioncall(self, expr: FunctionCall) -> Value:
+        args = [_to_num(self.evaluate(a), f"{expr.name}()") for a in expr.args]
+        return Value("num", apply_function(expr.name, args))
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern (``%``, ``_``) into a regex."""
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out), flags=re.IGNORECASE)
+
+
+def evaluate_expression(table: Table, expr: Expression) -> Value:
+    """Evaluate any expression over ``table`` and return the typed Value."""
+    return Evaluator(table).evaluate(expr)
+
+
+def evaluate_predicate(table: Table, expr: Expression) -> np.ndarray:
+    """Evaluate a predicate and return the boolean selection mask.
+
+    Rows where the predicate is NULL (unknown) are *not* selected, per
+    SQL semantics.
+    """
+    value = Evaluator(table).evaluate(expr)
+    kleene = _to_bool(value, "WHERE")
+    return kleene == TRUE

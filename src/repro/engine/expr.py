@@ -1,0 +1,233 @@
+"""Typed expression AST for the query language.
+
+Every node knows how to print a *canonical form* of itself
+(:meth:`Expression.canonical`), which normalizes whitespace, case of
+keywords and operator synonyms (``=``/``==``, ``<>``/``!=``).  The
+canonical form is the statistics cache's fingerprint: two syntactically
+different spellings of the same predicate share cached inside-group
+statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+class Expression:
+    """Base class for AST nodes."""
+
+    def canonical(self) -> str:
+        """Canonical textual form (stable across spelling variants)."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        """Names of all columns mentioned anywhere under this node."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.canonical()}>"
+
+
+@dataclass(frozen=True, repr=False)
+class ColumnRef(Expression):
+    """Reference to a column by name."""
+
+    name: str
+
+    def canonical(self) -> str:
+        if self.name.isidentifier():
+            return self.name
+        return '"' + self.name.replace('"', '""') + '"'
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+
+@dataclass(frozen=True, repr=False)
+class Literal(Expression):
+    """A constant: number, string, boolean or NULL (None)."""
+
+    value: float | str | bool | None
+
+    def canonical(self) -> str:
+        v = self.value
+        if v is None:
+            return "NULL"
+        if isinstance(v, bool):
+            return "TRUE" if v else "FALSE"
+        if isinstance(v, str):
+            return "'" + v.replace("'", "''") + "'"
+        # Normalize 2.0 -> 2 so numerically equal literals fingerprint equal.
+        f = float(v)
+        if f == int(f) and abs(f) < 1e15:
+            return str(int(f))
+        return repr(f)
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+#: Operator synonym table used at parse time; canonical spellings only
+#: ever appear in the AST.
+CANONICAL_OPERATORS = {
+    "==": "=",
+    "=": "=",
+    "<>": "!=",
+    "!=": "!=",
+    "<": "<",
+    "<=": "<=",
+    ">": ">",
+    ">=": ">=",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "%": "%",
+    "AND": "AND",
+    "OR": "OR",
+}
+
+COMPARISON_OPS = frozenset({"=", "!=", "<", "<=", ">", ">="})
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+LOGICAL_OPS = frozenset({"AND", "OR"})
+
+
+@dataclass(frozen=True, repr=False)
+class BinaryOp(Expression):
+    """Binary operator (comparison, arithmetic or logical)."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self):
+        if self.op not in COMPARISON_OPS | ARITHMETIC_OPS | LOGICAL_OPS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def canonical(self) -> str:
+        return f"({self.left.canonical()} {self.op} {self.right.canonical()})"
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+
+@dataclass(frozen=True, repr=False)
+class UnaryOp(Expression):
+    """Unary operator: ``NOT`` or arithmetic negation (``NEG``)."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self):
+        if self.op not in ("NOT", "NEG"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def canonical(self) -> str:
+        if self.op == "NOT":
+            return f"(NOT {self.operand.canonical()})"
+        return f"(- {self.operand.canonical()})"
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True, repr=False)
+class FunctionCall(Expression):
+    """Scalar function call, e.g. ``abs(x)``, ``log(price)``."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    def canonical(self) -> str:
+        inner = ", ".join(a.canonical() for a in self.args)
+        return f"{self.name.lower()}({inner})"
+
+    def referenced_columns(self) -> set[str]:
+        out: set[str] = set()
+        for a in self.args:
+            out |= a.referenced_columns()
+        return out
+
+
+@dataclass(frozen=True, repr=False)
+class InList(Expression):
+    """``expr [NOT] IN (v1, v2, ...)``."""
+
+    operand: Expression
+    items: tuple[Expression, ...]
+    negated: bool = False
+
+    def canonical(self) -> str:
+        items = sorted(i.canonical() for i in self.items)
+        kw = "NOT IN" if self.negated else "IN"
+        return f"({self.operand.canonical()} {kw} ({', '.join(items)}))"
+
+    def referenced_columns(self) -> set[str]:
+        out = self.operand.referenced_columns()
+        for i in self.items:
+            out |= i.referenced_columns()
+        return out
+
+
+@dataclass(frozen=True, repr=False)
+class Between(Expression):
+    """``expr [NOT] BETWEEN low AND high`` (inclusive both ends)."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+    def canonical(self) -> str:
+        kw = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return (f"({self.operand.canonical()} {kw} "
+                f"{self.low.canonical()} AND {self.high.canonical()})")
+
+    def referenced_columns(self) -> set[str]:
+        return (self.operand.referenced_columns()
+                | self.low.referenced_columns()
+                | self.high.referenced_columns())
+
+
+@dataclass(frozen=True, repr=False)
+class IsNull(Expression):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+    def canonical(self) -> str:
+        kw = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"({self.operand.canonical()} {kw})"
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+@dataclass(frozen=True, repr=False)
+class Like(Expression):
+    """``expr [NOT] LIKE pattern`` with ``%`` and ``_`` wildcards."""
+
+    operand: Expression
+    pattern: str
+    negated: bool = False
+
+    def canonical(self) -> str:
+        kw = "NOT LIKE" if self.negated else "LIKE"
+        pat = "'" + self.pattern.replace("'", "''") + "'"
+        return f"({self.operand.canonical()} {kw} {pat})"
+
+    def referenced_columns(self) -> set[str]:
+        return self.operand.referenced_columns()
+
+
+def conjunction(parts: Sequence[Expression]) -> Expression:
+    """AND-combine a sequence of predicates (empty -> TRUE literal)."""
+    parts = list(parts)
+    if not parts:
+        return Literal(True)
+    expr = parts[0]
+    for p in parts[1:]:
+        expr = BinaryOp("AND", expr, p)
+    return expr

@@ -1,0 +1,99 @@
+"""Scalar functions available in query expressions.
+
+All functions are vectorized over float64 arrays and propagate NaN.
+Domain violations (log of a non-positive number, sqrt of a negative)
+yield NaN rather than raising, matching SQL semantics where a bad row
+becomes NULL instead of killing the query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QueryTypeError
+
+
+def _log(x: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.log(x)
+    out[~np.isfinite(out)] = np.nan
+    return out
+
+
+def _log2(x: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.log2(x)
+    out[~np.isfinite(out)] = np.nan
+    return out
+
+
+def _log10(x: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore", divide="ignore"):
+        out = np.log10(x)
+    out[~np.isfinite(out)] = np.nan
+    return out
+
+
+def _sqrt(x: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        return np.sqrt(x)
+
+
+def _exp(x: np.ndarray) -> np.ndarray:
+    with np.errstate(over="ignore"):
+        out = np.exp(x)
+    out[np.isinf(out)] = np.nan
+    return out
+
+
+def _sign(x: np.ndarray) -> np.ndarray:
+    return np.sign(x)
+
+
+_UNARY: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "abs": np.abs,
+    "log": _log,
+    "ln": _log,
+    "log2": _log2,
+    "log10": _log10,
+    "sqrt": _sqrt,
+    "exp": _exp,
+    "floor": np.floor,
+    "ceil": np.ceil,
+    "round": np.round,
+    "sign": _sign,
+}
+
+
+def apply_function(name: str, args: list[np.ndarray]) -> np.ndarray:
+    """Apply the scalar function ``name`` to evaluated float64 arguments.
+
+    Raises :class:`QueryTypeError` for unknown functions or arity
+    mismatches; the error lists the available functions so typos in an
+    interactive session are self-explanatory.
+    """
+    fn = _UNARY.get(name)
+    if fn is not None:
+        if len(args) != 1:
+            raise QueryTypeError(f"{name}() takes exactly 1 argument, "
+                                 f"got {len(args)}")
+        return fn(np.asarray(args[0], dtype=np.float64))
+    if name == "pow":
+        if len(args) != 2:
+            raise QueryTypeError(f"pow() takes exactly 2 arguments, got {len(args)}")
+        with np.errstate(invalid="ignore", over="ignore", divide="ignore"):
+            out = np.power(np.asarray(args[0], dtype=np.float64),
+                           np.asarray(args[1], dtype=np.float64))
+        out = np.asarray(out, dtype=np.float64)
+        out[~np.isfinite(out)] = np.nan
+        return out
+    available = sorted(list(_UNARY) + ["pow"])
+    raise QueryTypeError(
+        f"unknown function {name!r}; available: {', '.join(available)}")
+
+
+def known_functions() -> tuple[str, ...]:
+    """Names of all scalar functions the evaluator supports."""
+    return tuple(sorted(list(_UNARY) + ["pow"]))

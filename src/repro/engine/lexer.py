@@ -1,0 +1,145 @@
+"""Tokenizer for the SQL-subset query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "BETWEEN",
+    "IS", "NULL", "LIKE", "TRUE", "FALSE", "ORDER", "BY", "ASC",
+    "DESC", "LIMIT", "GROUP",
+})
+
+#: Multi-character operators, longest first so the scanner is greedy.
+OPERATORS = ("<=", ">=", "<>", "!=", "==", "=", "<", ">", "+", "-", "*",
+             "/", "%", "(", ")", ",")
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    STAR = "star"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: TokenKind
+    text: str
+    position: int
+    value: float | str | None = None
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan ``text`` into a token list ending with an END token.
+
+    Raises :class:`QuerySyntaxError` on unterminated strings or unknown
+    characters, pointing at the offending position.
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # String literal: single quotes, '' escapes a quote.
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            while True:
+                if j >= n:
+                    raise QuerySyntaxError("unterminated string literal",
+                                           position=i, text=text)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenKind.STRING, text[i:j + 1], i,
+                                value="".join(buf)))
+            i = j + 1
+            continue
+        # Quoted identifier: double quotes, "" escapes a quote.
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise QuerySyntaxError("unterminated quoted identifier",
+                                           position=i, text=text)
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        buf.append('"')
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token(TokenKind.IDENT, text[i:j + 1], i,
+                                value="".join(buf)))
+            i = j + 1
+            continue
+        # Number: digits with optional decimal part and exponent.
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            literal = text[i:j]
+            try:
+                value = float(literal)
+            except ValueError:
+                raise QuerySyntaxError(f"malformed number {literal!r}",
+                                       position=i, text=text) from None
+            tokens.append(Token(TokenKind.NUMBER, literal, i, value=value))
+            i = j
+            continue
+        # Identifier or keyword.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i, value=word))
+            i = j
+            continue
+        # Operator / punctuation.
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                kind = TokenKind.STAR if op == "*" else TokenKind.OPERATOR
+                tokens.append(Token(kind, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r}",
+                               position=i, text=text)
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

@@ -1,0 +1,377 @@
+"""Recursive-descent parser for the SQL-subset query language.
+
+Grammar (informally)::
+
+    query       := SELECT select_list FROM ident [WHERE predicate]
+                   [ORDER BY ident [ASC|DESC]] [LIMIT number]
+    select_list := '*' | ident (',' ident)*
+    predicate   := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | comparison
+    comparison  := additive comp_tail?
+    comp_tail   := ('='|'=='|'!='|'<>'|'<'|'<='|'>'|'>=') additive
+                 | IS [NOT] NULL
+                 | [NOT] IN '(' literal (',' literal)* ')'
+                 | [NOT] BETWEEN additive AND additive
+                 | [NOT] LIKE string
+    additive    := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary (('*'|'/'|'%') unary)*
+    unary       := '-' unary | primary
+    primary     := NUMBER | STRING | TRUE | FALSE | NULL
+                 | ident '(' args ')' | ident | '(' predicate ')'
+
+``parse_predicate`` parses a bare predicate (the text of a WHERE clause),
+which is what the Ziggy session passes around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.expr import (
+    Between,
+    BinaryOp,
+    CANONICAL_OPERATORS,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.engine.lexer import Token, TokenKind, tokenize
+from repro.errors import QuerySyntaxError
+
+
+@dataclass(frozen=True)
+class ParsedQuery:
+    """A parsed SELECT statement.
+
+    Attributes:
+        table: name of the table in the FROM clause.
+        columns: projected column names, or ``None`` for ``*``.  When
+            aggregates are present these are the grouping columns to
+            echo in the output.
+        predicate: the WHERE expression, or ``None``.
+        aggregates: aggregate select items (``avg(x)``, ``count(*)``).
+        group_by: GROUP BY columns (empty = one global group when
+            aggregates are present).
+        order_by: column to sort by, or ``None``.
+        descending: sort direction when ``order_by`` is set.
+        limit: row limit, or ``None``.
+    """
+
+    table: str
+    columns: tuple[str, ...] | None
+    predicate: Expression | None
+    aggregates: tuple["AggregateItem", ...] = ()
+    group_by: tuple[str, ...] = ()
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+
+    @property
+    def is_aggregation(self) -> bool:
+        """Whether this query has an aggregate select list."""
+        return bool(self.aggregates)
+
+    def canonical(self) -> str:
+        """Canonical text of the full query (used in logs and tests)."""
+        items: list[str] = []
+        if self.columns is None and not self.aggregates:
+            items.append("*")
+        else:
+            items.extend(self.columns or ())
+            items.extend(a.canonical() for a in self.aggregates)
+        parts = [f"SELECT {', '.join(items)} FROM {self.table}"]
+        if self.predicate is not None:
+            parts.append(f"WHERE {self.predicate.canonical()}")
+        if self.group_by:
+            parts.append(f"GROUP BY {', '.join(self.group_by)}")
+        if self.order_by is not None:
+            parts.append(f"ORDER BY {self.order_by} "
+                         f"{'DESC' if self.descending else 'ASC'}")
+        if self.limit is not None:
+            parts.append(f"LIMIT {self.limit}")
+        return " ".join(parts)
+
+
+class _Parser:
+    """Token-stream cursor with the grammar methods."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # -- cursor helpers -------------------------------------------------------
+
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def error(self, message: str) -> QuerySyntaxError:
+        tok = self.peek()
+        return QuerySyntaxError(message, position=tok.position, text=self.text)
+
+    def expect_keyword(self, word: str) -> Token:
+        tok = self.peek()
+        if tok.kind is TokenKind.KEYWORD and tok.text == word:
+            return self.advance()
+        raise self.error(f"expected {word}, found {tok.text or 'end of input'!r}")
+
+    def match_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        if tok.kind is TokenKind.KEYWORD and tok.text == word:
+            self.advance()
+            return True
+        return False
+
+    def match_operator(self, *ops: str) -> Token | None:
+        tok = self.peek()
+        if tok.kind is TokenKind.OPERATOR and tok.text in ops:
+            return self.advance()
+        return None
+
+    def expect_ident(self) -> str:
+        tok = self.peek()
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            return str(tok.value)
+        raise self.error(f"expected identifier, found {tok.text or 'end of input'!r}")
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_select_item(self, names: list[str],
+                          aggregates: list["AggregateItem"]) -> None:
+        """One select-list entry: a column or an aggregate call."""
+        from repro.engine.aggregates import AGGREGATE_FUNCTIONS, AggregateItem
+
+        name = self.expect_ident()
+        if (name.lower() in AGGREGATE_FUNCTIONS
+                and self.peek().kind is TokenKind.OPERATOR
+                and self.peek().text == "("):
+            self.advance()  # '('
+            if self.peek().kind is TokenKind.STAR:
+                self.advance()
+                column: str | None = None
+            else:
+                column = self.expect_ident()
+            if not self.match_operator(")"):
+                raise self.error(f"expected ')' closing {name}(...)")
+            try:
+                aggregates.append(AggregateItem(name.lower(), column))
+            except Exception as exc:
+                raise self.error(str(exc)) from None
+            return
+        names.append(name)
+
+    def parse_query(self) -> ParsedQuery:
+        self.expect_keyword("SELECT")
+        columns: tuple[str, ...] | None
+        aggregates: list = []
+        if self.peek().kind is TokenKind.STAR:
+            self.advance()
+            columns = None
+        else:
+            names: list[str] = []
+            self.parse_select_item(names, aggregates)
+            while self.match_operator(","):
+                self.parse_select_item(names, aggregates)
+            columns = tuple(names) if (names or not aggregates) else tuple(names)
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        predicate = None
+        if self.match_keyword("WHERE"):
+            predicate = self.parse_or()
+        group_by: tuple[str, ...] = ()
+        if self.match_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_names = [self.expect_ident()]
+            while self.match_operator(","):
+                group_names.append(self.expect_ident())
+            group_by = tuple(group_names)
+        if group_by and not aggregates:
+            raise self.error("GROUP BY requires at least one aggregate "
+                             "in the select list")
+        if aggregates and columns:
+            missing = [c for c in columns if c not in group_by]
+            if missing:
+                raise self.error(
+                    f"column(s) {', '.join(missing)} must appear in "
+                    "GROUP BY when aggregates are present")
+        order_by = None
+        descending = False
+        if self.match_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by = self.expect_ident()
+            if self.match_keyword("DESC"):
+                descending = True
+            else:
+                self.match_keyword("ASC")
+        limit = None
+        if self.match_keyword("LIMIT"):
+            tok = self.peek()
+            if tok.kind is not TokenKind.NUMBER:
+                raise self.error("expected a number after LIMIT")
+            self.advance()
+            limit = int(tok.value)
+            if limit < 0:
+                raise self.error("LIMIT must be non-negative")
+        self.expect_end()
+        return ParsedQuery(table=table, columns=columns, predicate=predicate,
+                           aggregates=tuple(aggregates), group_by=group_by,
+                           order_by=order_by, descending=descending,
+                           limit=limit)
+
+    def expect_end(self):
+        tok = self.peek()
+        if tok.kind is not TokenKind.END:
+            raise self.error(f"unexpected trailing input {tok.text!r}")
+
+    def parse_or(self) -> Expression:
+        expr = self.parse_and()
+        while self.match_keyword("OR"):
+            expr = BinaryOp("OR", expr, self.parse_and())
+        return expr
+
+    def parse_and(self) -> Expression:
+        expr = self.parse_not()
+        while self.match_keyword("AND"):
+            expr = BinaryOp("AND", expr, self.parse_not())
+        return expr
+
+    def parse_not(self) -> Expression:
+        if self.match_keyword("NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expression:
+        left = self.parse_additive()
+        tok = self.match_operator("=", "==", "!=", "<>", "<", "<=", ">", ">=")
+        if tok is not None:
+            right = self.parse_additive()
+            return BinaryOp(CANONICAL_OPERATORS[tok.text], left, right)
+        if self.match_keyword("IS"):
+            negated = self.match_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=negated)
+        negated = self.match_keyword("NOT")
+        if self.match_keyword("IN"):
+            if not self.match_operator("("):
+                raise self.error("expected '(' after IN")
+            items = [self.parse_literal()]
+            while self.match_operator(","):
+                items.append(self.parse_literal())
+            if not self.match_operator(")"):
+                raise self.error("expected ')' closing IN list")
+            return InList(left, tuple(items), negated=negated)
+        if self.match_keyword("BETWEEN"):
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated=negated)
+        if self.match_keyword("LIKE"):
+            tok = self.peek()
+            if tok.kind is not TokenKind.STRING:
+                raise self.error("LIKE requires a string pattern")
+            self.advance()
+            return Like(left, str(tok.value), negated=negated)
+        if negated:
+            raise self.error("expected IN, BETWEEN or LIKE after NOT")
+        return left
+
+    def parse_literal(self) -> Literal:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Literal(float(tok.value))
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(str(tok.value))
+        if tok.kind is TokenKind.KEYWORD and tok.text in ("TRUE", "FALSE", "NULL"):
+            self.advance()
+            return Literal({"TRUE": True, "FALSE": False, "NULL": None}[tok.text])
+        if tok.kind is TokenKind.OPERATOR and tok.text == "-":
+            self.advance()
+            inner = self.parse_literal()
+            if not isinstance(inner.value, float):
+                raise self.error("'-' must precede a number")
+            return Literal(-inner.value)
+        raise self.error(f"expected literal, found {tok.text or 'end of input'!r}")
+
+    def parse_additive(self) -> Expression:
+        expr = self.parse_multiplicative()
+        while True:
+            tok = self.match_operator("+", "-")
+            if tok is None:
+                return expr
+            expr = BinaryOp(tok.text, expr, self.parse_multiplicative())
+
+    def parse_multiplicative(self) -> Expression:
+        expr = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokenKind.STAR:
+                self.advance()
+                expr = BinaryOp("*", expr, self.parse_unary())
+                continue
+            tok = self.match_operator("/", "%")
+            if tok is None:
+                return expr
+            expr = BinaryOp(tok.text, expr, self.parse_unary())
+
+    def parse_unary(self) -> Expression:
+        if self.match_operator("-"):
+            return UnaryOp("NEG", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        tok = self.peek()
+        if tok.kind is TokenKind.NUMBER:
+            self.advance()
+            return Literal(float(tok.value))
+        if tok.kind is TokenKind.STRING:
+            self.advance()
+            return Literal(str(tok.value))
+        if tok.kind is TokenKind.KEYWORD and tok.text in ("TRUE", "FALSE", "NULL"):
+            self.advance()
+            return Literal({"TRUE": True, "FALSE": False, "NULL": None}[tok.text])
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.match_operator("("):
+                args: list[Expression] = []
+                if not self.match_operator(")"):
+                    args.append(self.parse_or())
+                    while self.match_operator(","):
+                        args.append(self.parse_or())
+                    if not self.match_operator(")"):
+                        raise self.error("expected ')' closing argument list")
+                return FunctionCall(str(tok.value).lower(), tuple(args))
+            return ColumnRef(str(tok.value))
+        if self.match_operator("("):
+            inner = self.parse_or()
+            if not self.match_operator(")"):
+                raise self.error("expected ')'")
+            return inner
+        raise self.error(f"unexpected token {tok.text or 'end of input'!r}")
+
+
+def parse_query(text: str) -> ParsedQuery:
+    """Parse a full SELECT statement."""
+    return _Parser(text).parse_query()
+
+
+def parse_predicate(text: str) -> Expression:
+    """Parse a bare predicate (the body of a WHERE clause)."""
+    parser = _Parser(text)
+    expr = parser.parse_or()
+    parser.expect_end()
+    return expr

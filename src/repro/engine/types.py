@@ -1,0 +1,27 @@
+"""Column type system for the columnar engine."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ColumnType(enum.Enum):
+    """Logical type of a column.
+
+    NUMERIC covers integers and floats (stored as float64 so NaN can mark
+    missing values — the same choice MonetDB-to-R bridges make).
+    CATEGORICAL is dictionary-encoded text.  BOOLEAN is stored as float64
+    {0.0, 1.0, NaN} so it composes with numeric expressions.
+    """
+
+    NUMERIC = "numeric"
+    CATEGORICAL = "categorical"
+    BOOLEAN = "boolean"
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support arithmetic."""
+        return self in (ColumnType.NUMERIC, ColumnType.BOOLEAN)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

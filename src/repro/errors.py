@@ -1,0 +1,216 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single exception type at the API boundary.  Subsystem
+errors derive from intermediate classes (engine, statistics, search, ...)
+to allow finer-grained handling.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Engine (columnar store / query language)
+# ---------------------------------------------------------------------------
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the columnar engine."""
+
+
+class SchemaError(EngineError):
+    """A table or column definition is inconsistent.
+
+    Examples: duplicate column names, mismatched column lengths, or an
+    unknown column type.
+    """
+
+
+class UnknownColumnError(EngineError):
+    """A query or API call referenced a column that does not exist."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        hint = ""
+        if available:
+            close = _closest(name, available)
+            if close:
+                hint = f" (did you mean {close!r}?)"
+        super().__init__(f"unknown column {name!r}{hint}")
+
+
+class UnknownTableError(EngineError):
+    """A query referenced a table that is not registered in the database."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        super().__init__(f"unknown table {name!r}")
+
+
+class QuerySyntaxError(EngineError):
+    """The query text could not be parsed.
+
+    Carries the offending position so front-ends can point at the error.
+    """
+
+    def __init__(self, message: str, position: int | None = None, text: str | None = None):
+        self.position = position
+        self.text = text
+        if position is not None and text is not None:
+            caret = " " * position + "^"
+            message = f"{message}\n  {text}\n  {caret}"
+        super().__init__(message)
+
+
+class QueryTypeError(EngineError):
+    """An expression combined operand types that are not compatible."""
+
+
+class CsvFormatError(EngineError):
+    """A CSV file could not be interpreted as a table."""
+
+
+# ---------------------------------------------------------------------------
+# Statistics substrate
+# ---------------------------------------------------------------------------
+
+
+class StatsError(ReproError):
+    """Base class for statistics-layer errors."""
+
+
+class InsufficientDataError(StatsError):
+    """Not enough observations to compute the requested statistic.
+
+    The statistics layer raises this instead of silently returning NaN so
+    that callers can decide whether to skip a component or fail loudly.
+    """
+
+    def __init__(self, what: str, needed: int, got: int):
+        self.what = what
+        self.needed = needed
+        self.got = got
+        super().__init__(f"{what}: need at least {needed} observations, got {got}")
+
+
+class DegenerateDataError(StatsError):
+    """The data is degenerate for the requested statistic (e.g. zero
+    variance where a scale estimate is required)."""
+
+
+# ---------------------------------------------------------------------------
+# Core (components, search, significance, pipeline)
+# ---------------------------------------------------------------------------
+
+
+class CoreError(ReproError):
+    """Base class for errors raised by the characterization core."""
+
+
+class ComponentError(CoreError):
+    """A Zig-Component was mis-declared or mis-applied."""
+
+
+class UnknownComponentError(ComponentError):
+    """A component name was not found in the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        msg = f"unknown Zig-Component {name!r}"
+        if available:
+            msg += f"; available: {', '.join(sorted(available))}"
+        super().__init__(msg)
+
+
+class ConfigError(CoreError):
+    """A :class:`~repro.core.config.ZiggyConfig` value is invalid."""
+
+
+class SearchError(CoreError):
+    """View search failed (e.g. empty candidate set with impossible
+    constraints, or a malformed dependency matrix)."""
+
+
+class EmptySelectionError(CoreError):
+    """The user's query selected no tuples (or all tuples), leaving one of
+    the two groups empty; characterization is undefined in that case."""
+
+    def __init__(self, n_inside: int, n_total: int):
+        self.n_inside = n_inside
+        self.n_total = n_total
+        super().__init__(
+            f"selection covers {n_inside} of {n_total} tuples; "
+            "characterization requires both a non-empty selection and a "
+            "non-empty complement"
+        )
+
+
+class ExplanationError(CoreError):
+    """The explanation generator could not verbalize a view."""
+
+
+# ---------------------------------------------------------------------------
+# Data generators / loaders
+# ---------------------------------------------------------------------------
+
+
+class DataError(ReproError):
+    """Base class for dataset-layer errors."""
+
+
+class UnknownDatasetError(DataError):
+    """An unknown dataset name was requested from the registry."""
+
+    def __init__(self, name: str, available: tuple[str, ...] = ()):
+        self.name = name
+        self.available = tuple(available)
+        msg = f"unknown dataset {name!r}"
+        if available:
+            msg += f"; available: {', '.join(sorted(available))}"
+        super().__init__(msg)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _closest(name: str, candidates: tuple[str, ...]) -> str | None:
+    """Return the candidate with the smallest edit distance to ``name``.
+
+    Only used to decorate error messages; returns ``None`` when nothing is
+    reasonably close (distance greater than half the name length).
+    """
+    best: str | None = None
+    best_d = len(name) // 2 + 1
+    for cand in candidates:
+        d = _edit_distance(name.lower(), cand.lower(), cutoff=best_d)
+        if d < best_d:
+            best, best_d = cand, d
+    return best
+
+
+def _edit_distance(a: str, b: str, cutoff: int = 1 << 30) -> int:
+    """Levenshtein distance with an early-exit ``cutoff``."""
+    if abs(len(a) - len(b)) >= cutoff:
+        return cutoff
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i]
+        row_min = i
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            val = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost)
+            cur.append(val)
+            row_min = min(row_min, val)
+        if row_min >= cutoff:
+            return cutoff
+        prev = cur
+    return prev[-1]

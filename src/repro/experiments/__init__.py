@@ -1,0 +1,33 @@
+"""Experiment harness: metrics, workloads, reporting.
+
+Shared by the benchmark suite (``benchmarks/``), which regenerates every
+figure of the paper plus the extension experiments indexed in DESIGN.md.
+"""
+
+from repro.experiments.metrics import (
+    RecoveryScore,
+    column_recovery,
+    view_recovery,
+    best_jaccard_matching,
+    rank_of_first_hit,
+)
+from repro.experiments.reporting import Reporter, format_table
+from repro.experiments.workloads import (
+    threshold_sweep_predicates,
+    random_predicates,
+)
+from repro.experiments.harness import Timer, repeat_time
+
+__all__ = [
+    "RecoveryScore",
+    "column_recovery",
+    "view_recovery",
+    "best_jaccard_matching",
+    "rank_of_first_hit",
+    "Reporter",
+    "format_table",
+    "threshold_sweep_predicates",
+    "random_predicates",
+    "Timer",
+    "repeat_time",
+]

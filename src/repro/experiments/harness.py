@@ -1,0 +1,64 @@
+"""Timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch with named laps.
+
+    Example::
+
+        timer = Timer()
+        with timer.lap("prepare"):
+            ...
+        print(timer.laps["prepare"])
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    class _Lap:
+        def __init__(self, timer: "Timer", name: str):
+            self._timer = timer
+            self._name = name
+
+        def __enter__(self):
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc):
+            elapsed = time.perf_counter() - self._start
+            self._timer.laps[self._name] = (
+                self._timer.laps.get(self._name, 0.0) + elapsed)
+            return False
+
+    def lap(self, name: str) -> "Timer._Lap":
+        """Context manager accumulating wall time under ``name``."""
+        return Timer._Lap(self, name)
+
+    @property
+    def total(self) -> float:
+        """Sum of all laps."""
+        return sum(self.laps.values())
+
+
+def repeat_time(fn: Callable[[], object], repeats: int = 3,
+                warmup: int = 1) -> float:
+    """Median wall time of ``fn`` over ``repeats`` runs (after warmup).
+
+    Used where pytest-benchmark's fixture does not fit (per-sweep-point
+    timing inside a single benchmark body).
+    """
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    times.sort()
+    return times[len(times) // 2]

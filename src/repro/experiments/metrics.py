@@ -1,0 +1,111 @@
+"""Recovery metrics for the planted-view accuracy experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.views import View
+from repro.data.planted import PlantedView
+
+
+@dataclass(frozen=True)
+class RecoveryScore:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        if p + r == 0.0:
+            return 0.0
+        return 2.0 * p * r / (p + r)
+
+
+def column_recovery(predicted: Sequence[View],
+                    truth: Sequence[PlantedView]) -> RecoveryScore:
+    """Column-level recovery: does the method surface the right columns?
+
+    Precision = fraction of reported columns that are planted;
+    recall = fraction of planted columns that are reported.
+    """
+    pred_cols: set[str] = set()
+    for view in predicted:
+        pred_cols.update(view.columns)
+    true_cols: set[str] = set()
+    for pv in truth:
+        true_cols.update(pv.columns)
+    if not pred_cols:
+        return RecoveryScore(0.0, 0.0 if true_cols else 1.0)
+    hit = len(pred_cols & true_cols)
+    precision = hit / len(pred_cols)
+    recall = hit / len(true_cols) if true_cols else 1.0
+    return RecoveryScore(precision, recall)
+
+
+def jaccard(a: Sequence[str], b: Sequence[str]) -> float:
+    """Jaccard similarity of two column sets."""
+    sa, sb = set(a), set(b)
+    union = sa | sb
+    if not union:
+        return 1.0
+    return len(sa & sb) / len(union)
+
+
+def best_jaccard_matching(predicted: Sequence[View],
+                          truth: Sequence[PlantedView]
+                          ) -> list[tuple[int, int, float]]:
+    """Greedy one-to-one matching of predicted to planted views.
+
+    Returns ``(predicted_index, truth_index, jaccard)`` triples in
+    decreasing similarity order; each side is matched at most once.
+    """
+    pairs: list[tuple[float, int, int]] = []
+    for i, view in enumerate(predicted):
+        for j, pv in enumerate(truth):
+            s = jaccard(view.columns, pv.columns)
+            if s > 0.0:
+                pairs.append((s, i, j))
+    pairs.sort(key=lambda t: (-t[0], t[1], t[2]))
+    used_pred: set[int] = set()
+    used_truth: set[int] = set()
+    matching: list[tuple[int, int, float]] = []
+    for s, i, j in pairs:
+        if i in used_pred or j in used_truth:
+            continue
+        used_pred.add(i)
+        used_truth.add(j)
+        matching.append((i, j, s))
+    return matching
+
+
+def view_recovery(predicted: Sequence[View], truth: Sequence[PlantedView],
+                  min_jaccard: float = 0.5) -> RecoveryScore:
+    """View-level recovery: a planted view counts as found when some
+    predicted view matches it with Jaccard >= ``min_jaccard``.
+
+    With 2-column views the default threshold means "at least one of the
+    two planted columns, with at most one stray column" — strict enough
+    to punish scattershot output, lenient enough not to punish a method
+    for splitting a planted pair across two reported views.
+    """
+    matching = best_jaccard_matching(predicted, truth)
+    found = sum(1 for _, _, s in matching if s >= min_jaccard)
+    recall = found / len(truth) if truth else 1.0
+    precision = found / len(predicted) if predicted else (1.0 if not truth else 0.0)
+    return RecoveryScore(precision, recall)
+
+
+def rank_of_first_hit(predicted: Sequence[View], truth: Sequence[PlantedView],
+                      min_jaccard: float = 0.5) -> int | None:
+    """1-based rank of the first predicted view matching any planted view,
+    or None when nothing matches — a user-facing quality signal (how far
+    down the list the first real finding sits)."""
+    for rank, view in enumerate(predicted, start=1):
+        for pv in truth:
+            if jaccard(view.columns, pv.columns) >= min_jaccard:
+                return rank
+    return None

@@ -1,0 +1,77 @@
+"""Fixed-width table/series reporting for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper artifact
+shows, in a stable plain-text format (so ``bench_output.txt`` diffs are
+meaningful run-to-run).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _fmt_cell(value, width: int) -> str:
+    if value is None:
+        text = "-"
+    elif isinstance(value, float):
+        if value != value:
+            text = "nan"
+        elif abs(value) >= 1e5 or (abs(value) < 1e-3 and value != 0.0):
+            text = f"{value:.3e}"
+        else:
+            text = f"{value:.4g}"
+    else:
+        text = str(value)
+    if len(text) > width:
+        text = text[: width - 1] + "…"
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None, min_width: int = 8) -> str:
+    """Render a fixed-width table as text."""
+    widths = []
+    for j, head in enumerate(headers):
+        cells = [str(head)] + [
+            _fmt_cell(row[j], 999).strip() for row in rows
+        ]
+        widths.append(max(min_width, max(len(c) for c in cells)))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt_cell(v, w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+class Reporter:
+    """Accumulates and prints experiment tables.
+
+    Benchmarks create one Reporter per experiment, add rows as the sweep
+    runs, and flush once — keeping pytest-benchmark timing output and the
+    experiment tables visually separate in ``bench_output.txt``.
+    """
+
+    def __init__(self, experiment_id: str, description: str = ""):
+        self.experiment_id = experiment_id
+        self.description = description
+        self._sections: list[str] = []
+
+    def add_table(self, headers: Sequence[str], rows: Sequence[Sequence],
+                  title: str | None = None) -> None:
+        """Queue one table for the final flush."""
+        self._sections.append(format_table(headers, rows, title=title))
+
+    def add_text(self, text: str) -> None:
+        """Queue free-form text (e.g. a rendered dendrogram or view)."""
+        self._sections.append(text)
+
+    def flush(self) -> str:
+        """Print and return the full report."""
+        banner = f"\n{'=' * 72}\n[{self.experiment_id}] {self.description}\n{'=' * 72}"
+        body = "\n\n".join(self._sections)
+        report = f"{banner}\n{body}\n"
+        print(report)
+        return report

@@ -1,0 +1,54 @@
+"""Query workload generators for the runtime/caching experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.table import Table
+
+
+def threshold_sweep_predicates(table: Table, column: str,
+                               quantiles: tuple[float, ...] = (
+                                   0.95, 0.9, 0.85, 0.8, 0.75, 0.7)
+                               ) -> list[str]:
+    """Predicates selecting the top tail of one column at several cuts.
+
+    This is the canonical exploration session: the user tries a
+    threshold, looks at the views, loosens it, tries again — exactly the
+    workload the statistics cache is designed to accelerate (same table,
+    different inside groups).
+    """
+    values = table.column(column).numeric_values()
+    predicates = []
+    for q in quantiles:
+        threshold = float(np.nanquantile(values, q))
+        predicates.append(f"{column} > {threshold:.6f}")
+    return predicates
+
+
+def random_predicates(table: Table, n_queries: int = 10,
+                      selectivity: tuple[float, float] = (0.05, 0.3),
+                      seed: int = 11) -> list[str]:
+    """Random single-column range predicates with bounded selectivity.
+
+    Used by the false-positive-rate experiment (selections that are
+    arbitrary slices, not planted phenomena) and as cache-unfriendly
+    workload (every query touches a different column).
+    """
+    rng = np.random.default_rng(seed)
+    numeric = list(table.numeric_column_names())
+    if not numeric:
+        raise ValueError("table has no numeric columns")
+    predicates = []
+    for _ in range(n_queries):
+        column = numeric[int(rng.integers(len(numeric)))]
+        values = table.column(column).numeric_values()
+        frac = float(rng.uniform(*selectivity))
+        lo_q = float(rng.uniform(0.0, 1.0 - frac))
+        lo = float(np.nanquantile(values, lo_q))
+        hi = float(np.nanquantile(values, lo_q + frac))
+        if lo == hi:
+            predicates.append(f"{column} >= {lo:.6f}")
+        else:
+            predicates.append(f"{column} BETWEEN {lo:.6f} AND {hi:.6f}")
+    return predicates

@@ -1,0 +1,202 @@
+"""Effect sizes — the raw material of Zig-Components.
+
+The paper (Section 2.2): "Most of our Zig-Components come from the
+statistics literature, where they are referred to as effect sizes",
+citing Hedges & Olkin.  This module implements the classic two-sample
+effect sizes on either raw arrays or pre-computed
+:class:`~repro.stats.descriptive.SummaryStats`, so the statistics cache
+can score components without touching the data again.
+
+Sign conventions: every directional effect is *inside minus outside*, so a
+positive value always reads "the selection is higher".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import DegenerateDataError, InsufficientDataError
+from repro.stats.correlation import fisher_z, pearson
+from repro.stats.descriptive import SummaryStats, summarize
+
+
+def _as_stats(sample) -> SummaryStats:
+    if isinstance(sample, SummaryStats):
+        return sample
+    return summarize(np.asarray(sample, dtype=np.float64))
+
+
+def pooled_std(a: SummaryStats, b: SummaryStats) -> float:
+    """Pooled standard deviation of two samples (Hedges & Olkin eq. 5.1)."""
+    if a.n + b.n < 3:
+        raise InsufficientDataError("pooled_std", needed=3, got=a.n + b.n)
+    num = a.m2 + b.m2
+    den = a.n + b.n - 2
+    return math.sqrt(num / den)
+
+
+def cohens_d(inside, outside) -> float:
+    """Cohen's d: standardized difference of means, inside minus outside.
+
+    Raises :class:`DegenerateDataError` when the pooled variance is zero
+    but the means differ (infinite effect); returns 0.0 when both groups
+    are constant and equal.
+    """
+    a, b = _as_stats(inside), _as_stats(outside)
+    if a.n < 2 or b.n < 2:
+        raise InsufficientDataError("cohens_d", needed=2, got=min(a.n, b.n))
+    sd = pooled_std(a, b)
+    diff = a.mean - b.mean
+    if sd == 0.0:
+        if diff == 0.0:
+            return 0.0
+        raise DegenerateDataError(
+            "cohens_d: zero pooled variance with unequal means")
+    return diff / sd
+
+
+def hedges_g(inside, outside) -> float:
+    """Hedges' g: Cohen's d with the small-sample bias correction J.
+
+    J = 1 - 3 / (4*df - 1) with df = n1 + n2 - 2 (Hedges & Olkin).
+    """
+    a, b = _as_stats(inside), _as_stats(outside)
+    d = cohens_d(a, b)
+    df = a.n + b.n - 2
+    correction = 1.0 - 3.0 / (4.0 * df - 1.0)
+    return d * correction
+
+
+def glass_delta(inside, outside) -> float:
+    """Glass's Δ: mean difference scaled by the *outside* group's SD.
+
+    Useful when the selection may distort the spread; the complement acts
+    as the control group.
+    """
+    a, b = _as_stats(inside), _as_stats(outside)
+    if b.n < 2:
+        raise InsufficientDataError("glass_delta", needed=2, got=b.n)
+    sd = b.std
+    diff = a.mean - b.mean
+    if sd == 0.0 or sd != sd:
+        if diff == 0.0:
+            return 0.0
+        raise DegenerateDataError(
+            "glass_delta: zero control-group variance with unequal means")
+    return diff / sd
+
+
+def log_sd_ratio(inside, outside) -> float:
+    """Log ratio of standard deviations, ``ln(sd_in / sd_out)``.
+
+    This is the "difference between the standard deviations" component of
+    Figure 3 expressed as a symmetric, scale-free effect size (the log
+    makes halving and doubling equally large with opposite signs).
+    """
+    a, b = _as_stats(inside), _as_stats(outside)
+    if a.n < 2 or b.n < 2:
+        raise InsufficientDataError("log_sd_ratio", needed=2, got=min(a.n, b.n))
+    sa, sb = a.std, b.std
+    if sa == 0.0 and sb == 0.0:
+        return 0.0
+    if sa == 0.0 or sb == 0.0:
+        raise DegenerateDataError("log_sd_ratio: one group has zero variance")
+    return math.log(sa / sb)
+
+
+def cliffs_delta(inside, outside, max_n: int = 4000,
+                 rng: np.random.Generator | None = None) -> float:
+    """Cliff's delta: P(X > Y) - P(X < Y) for X inside, Y outside.
+
+    A non-parametric dominance effect size in [-1, 1].  Computed exactly
+    via a sort-merge in O((n+m) log(n+m)); groups larger than ``max_n``
+    are subsampled (deterministically unless ``rng`` is given) to bound
+    memory — the estimator's error at 4000 points is negligible for
+    ranking purposes.
+    """
+    x = np.asarray(inside, dtype=np.float64).ravel()
+    y = np.asarray(outside, dtype=np.float64).ravel()
+    x = x[~np.isnan(x)]
+    y = y[~np.isnan(y)]
+    if x.size == 0 or y.size == 0:
+        raise InsufficientDataError("cliffs_delta", needed=1, got=0)
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if x.size > max_n:
+        x = rng.choice(x, size=max_n, replace=False)
+    if y.size > max_n:
+        y = rng.choice(y, size=max_n, replace=False)
+    y_sorted = np.sort(y)
+    # For each x: #(y < x) and #(y <= x) via binary search.
+    below = np.searchsorted(y_sorted, x, side="left")
+    below_eq = np.searchsorted(y_sorted, x, side="right")
+    greater = below.sum()                      # pairs with x > y
+    less = (y.size - below_eq).sum()           # pairs with x < y
+    total = x.size * y.size
+    return float((greater - less) / total)
+
+
+def correlation_gap(inside_x, inside_y, outside_x, outside_y,
+                    precomputed: tuple[float, float] | None = None) -> float:
+    """Difference between correlation coefficients, on the Fisher-z scale.
+
+    This is the third Zig-Component of Figure 3 ("difference between the
+    correlation coefficients", r^I - r^O).  The Fisher transform
+    variance-stabilizes the gap so that a move from .80 to .95 counts more
+    than one from .05 to .20 — matching the asymptotic test used for it.
+
+    Args:
+        inside_x / inside_y: the two columns restricted to the selection.
+        outside_x / outside_y: the two columns restricted to the complement.
+        precomputed: optional ``(r_inside, r_outside)`` pair, letting the
+            statistics cache skip the raw-data scan.
+    """
+    if precomputed is not None:
+        r_in, r_out = precomputed
+    else:
+        r_in = pearson(inside_x, inside_y)
+        r_out = pearson(outside_x, outside_y)
+    if r_in != r_in or r_out != r_out:
+        raise DegenerateDataError("correlation_gap: undefined correlation "
+                                  "(constant column in one group)")
+    return fisher_z(r_in) - fisher_z(r_out)
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two aligned discrete distributions.
+
+    ``0.5 * sum |p - q|`` in [0, 1]; the categorical analogue of the mean
+    difference.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must be aligned to the same support")
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def hellinger_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Hellinger distance between two aligned discrete distributions.
+
+    In [0, 1]; more sensitive than total variation to disagreements on
+    rare categories, which is exactly where exploratory surprises live.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    if p.shape != q.shape:
+        raise ValueError("distributions must be aligned to the same support")
+    return float(math.sqrt(max(0.0, 0.5 * ((np.sqrt(p) - np.sqrt(q)) ** 2).sum())))
+
+
+def proportion_gap(k_inside: int, n_inside: int,
+                   k_outside: int, n_outside: int) -> float:
+    """Difference of two proportions (inside minus outside).
+
+    Used for the missing-rate component and for single-category contrasts.
+    """
+    if n_inside <= 0 or n_outside <= 0:
+        raise InsufficientDataError("proportion_gap", needed=1,
+                                    got=min(n_inside, n_outside))
+    return k_inside / n_inside - k_outside / n_outside

@@ -1,0 +1,125 @@
+"""Entropy and mutual information.
+
+Mutual information is one of the dependency measures ``S`` the paper
+allows for view tightness (Eq. 2: "Let S describe a measure of statistical
+dependency, such as the correlation or the mutual information").  Unlike
+correlation it captures non-monotone association, at the cost of a binning
+choice; we use equi-depth bins for robustness to skew.
+
+All entropies are in nats unless ``base`` says otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+from repro.stats.histogram import equi_depth_edges
+
+
+def entropy(proportions: np.ndarray, base: float | None = None) -> float:
+    """Shannon entropy of a discrete distribution.
+
+    Zero-probability cells contribute zero.  Negative entries or a total
+    far from one raise ``ValueError`` — entropy of a non-distribution is a
+    caller bug we want to surface, not smooth over.
+    """
+    p = np.asarray(proportions, dtype=np.float64).ravel()
+    if p.size == 0:
+        return 0.0
+    if np.any(p < -1e-12):
+        raise ValueError("proportions must be non-negative")
+    total = p.sum()
+    if total <= 0:
+        return 0.0
+    if abs(total - 1.0) > 1e-6:
+        p = p / total
+    nz = p[p > 0]
+    h = float(-(nz * np.log(nz)).sum())
+    if base is not None:
+        h /= math.log(base)
+    return max(h, 0.0)
+
+
+def _joint_counts(x_codes: np.ndarray, y_codes: np.ndarray,
+                  kx: int, ky: int) -> np.ndarray:
+    """Contingency counts of two integer-coded samples via bincount."""
+    flat = x_codes * ky + y_codes
+    return np.bincount(flat, minlength=kx * ky).reshape(kx, ky)
+
+
+def mutual_information(joint_counts: np.ndarray, base: float | None = None) -> float:
+    """Mutual information of a contingency table of counts.
+
+    ``I(X;Y) = H(X) + H(Y) - H(X,Y)``, computed from the table; clipped
+    at zero to absorb floating-point negatives.
+    """
+    table = np.asarray(joint_counts, dtype=np.float64)
+    if table.ndim != 2:
+        raise ValueError("joint_counts must be a 2-d contingency table")
+    n = table.sum()
+    if n <= 0:
+        return 0.0
+    pj = table / n
+    hx = entropy(pj.sum(axis=1))
+    hy = entropy(pj.sum(axis=0))
+    hxy = entropy(pj.ravel())
+    mi = hx + hy - hxy
+    if base is not None:
+        mi /= math.log(base)
+    return max(mi, 0.0)
+
+
+def normalized_mutual_information(joint_counts: np.ndarray) -> float:
+    """MI normalized to [0, 1] by ``sqrt(H(X) * H(Y))``.
+
+    The dependency layer uses this so mutual information and |correlation|
+    live on the same scale and ``MIN_tight`` keeps one interpretation
+    across dependency measures.
+    """
+    table = np.asarray(joint_counts, dtype=np.float64)
+    n = table.sum()
+    if n <= 0:
+        return 0.0
+    pj = table / n
+    hx = entropy(pj.sum(axis=1))
+    hy = entropy(pj.sum(axis=0))
+    if hx <= 0.0 or hy <= 0.0:
+        # A constant variable carries no information: define NMI as 0.
+        return 0.0
+    mi = hx + hy - entropy(pj.ravel())
+    return float(min(1.0, max(0.0, mi / math.sqrt(hx * hy))))
+
+
+def binned_mutual_information(x, y, bins: int = 10,
+                              normalized: bool = True) -> float:
+    """Mutual information of two numeric samples via equi-depth binning.
+
+    Rows with a NaN in either sample are dropped (pairwise deletion).
+
+    Args:
+        x, y: numeric samples of equal length.
+        bins: target bins per axis (collapsed when duplicated quantiles
+            reduce the support).
+        normalized: return NMI in [0, 1] instead of raw nats.
+    """
+    xa = np.asarray(x, dtype=np.float64).ravel()
+    ya = np.asarray(y, dtype=np.float64).ravel()
+    if xa.shape != ya.shape:
+        raise ValueError("samples must have equal length")
+    keep = ~(np.isnan(xa) | np.isnan(ya))
+    xa, ya = xa[keep], ya[keep]
+    if xa.size < 4:
+        raise InsufficientDataError("binned_mutual_information", needed=4,
+                                    got=int(xa.size))
+    ex = equi_depth_edges(xa, bins)
+    ey = equi_depth_edges(ya, bins)
+    # Interior edges only; digitize maps values to 0..k-1.
+    cx = np.clip(np.searchsorted(ex[1:-1], xa, side="right"), 0, ex.size - 2)
+    cy = np.clip(np.searchsorted(ey[1:-1], ya, side="right"), 0, ey.size - 2)
+    table = _joint_counts(cx, cy, ex.size - 1, ey.size - 1)
+    if normalized:
+        return normalized_mutual_information(table)
+    return mutual_information(table)

@@ -1,0 +1,189 @@
+"""Histograms and categorical frequency profiles.
+
+Categorical Zig-Components compare the *frequency profiles* of the inside
+and outside groups; numeric rendering in :mod:`repro.app.render` and the
+binned mutual-information estimator use the equi-width / equi-depth
+histograms defined here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InsufficientDataError
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """An equi-width histogram over a numeric sample.
+
+    Attributes:
+        edges: ``k + 1`` bin edges, strictly increasing.
+        counts: ``k`` occupancy counts.
+        n_missing: NaN observations excluded from the bins.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+    n_missing: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of binned (non-missing) observations."""
+        return int(self.counts.sum())
+
+    @property
+    def k(self) -> int:
+        """Number of bins."""
+        return int(self.counts.size)
+
+    def densities(self) -> np.ndarray:
+        """Probability mass per bin (sums to 1; zeros when empty)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def bin_centers(self) -> np.ndarray:
+        """Midpoints of the bins."""
+        return (self.edges[:-1] + self.edges[1:]) / 2.0
+
+
+@dataclass(frozen=True)
+class FrequencyProfile:
+    """Relative frequencies of the distinct values of a categorical sample.
+
+    Attributes:
+        categories: distinct category codes/labels in a canonical order.
+        counts: occurrence count per category (aligned with ``categories``).
+        n_missing: missing observations excluded from the counts.
+    """
+
+    categories: tuple = field(default_factory=tuple)
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    n_missing: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of counted (non-missing) observations."""
+        return int(self.counts.sum())
+
+    def proportions(self) -> np.ndarray:
+        """Relative frequency per category (zeros when empty)."""
+        total = self.counts.sum()
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def mode(self):
+        """The most frequent category (ties broken by canonical order)."""
+        if self.counts.size == 0 or self.counts.sum() == 0:
+            return None
+        return self.categories[int(np.argmax(self.counts))]
+
+    def aligned_with(self, other: "FrequencyProfile") -> tuple[np.ndarray, np.ndarray]:
+        """Return the two proportion vectors over the union of categories.
+
+        The union preserves ``self``'s order first, then ``other``'s new
+        categories.  This alignment is what the categorical effect sizes
+        (total variation, Hellinger) operate on.
+        """
+        union = list(self.categories)
+        seen = set(union)
+        for cat in other.categories:
+            if cat not in seen:
+                union.append(cat)
+                seen.add(cat)
+        index_self = {c: i for i, c in enumerate(self.categories)}
+        index_other = {c: i for i, c in enumerate(other.categories)}
+        p = np.zeros(len(union), dtype=np.float64)
+        q = np.zeros(len(union), dtype=np.float64)
+        sp, sq = self.proportions(), other.proportions()
+        for j, cat in enumerate(union):
+            if cat in index_self:
+                p[j] = sp[index_self[cat]]
+            if cat in index_other:
+                q[j] = sq[index_other[cat]]
+        return p, q
+
+
+def equi_width_histogram(values: np.ndarray, bins: int = 20,
+                         edges: np.ndarray | None = None) -> Histogram:
+    """Build an equi-width histogram.
+
+    Args:
+        values: numeric sample; NaNs are excluded and counted.
+        bins: number of bins when ``edges`` is not given.
+        edges: optional pre-computed edges, so inside/outside groups can be
+            binned on a *shared* grid (required for comparable densities).
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    missing = np.isnan(arr)
+    data = arr[~missing]
+    n_missing = int(missing.sum())
+    if edges is None:
+        if data.size == 0:
+            raise InsufficientDataError("equi_width_histogram", needed=1, got=0)
+        lo, hi = float(data.min()), float(data.max())
+        if lo == hi:
+            # Degenerate range: widen symmetrically so the single value
+            # falls in the middle bin.
+            pad = abs(lo) * 1e-9 + 1e-9
+            lo, hi = lo - pad, hi + pad
+        edges = np.linspace(lo, hi, bins + 1)
+    else:
+        edges = np.asarray(edges, dtype=np.float64)
+        if edges.ndim != 1 or edges.size < 2:
+            raise ValueError("edges must be a 1-d array with at least 2 entries")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("edges must be strictly increasing")
+    counts, _ = np.histogram(data, bins=edges)
+    return Histogram(edges=edges, counts=counts.astype(np.int64), n_missing=n_missing)
+
+
+def equi_depth_edges(values: np.ndarray, bins: int = 10) -> np.ndarray:
+    """Quantile-based bin edges (duplicates collapsed).
+
+    Used by the binned mutual-information estimator: equi-depth binning is
+    much more robust to skew than equi-width binning.
+    """
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    arr = np.asarray(values, dtype=np.float64).ravel()
+    data = arr[~np.isnan(arr)]
+    if data.size == 0:
+        raise InsufficientDataError("equi_depth_edges", needed=1, got=0)
+    qs = np.linspace(0.0, 1.0, bins + 1)
+    edges = np.unique(np.quantile(data, qs))
+    if edges.size < 2:
+        pad = abs(edges[0]) * 1e-9 + 1e-9
+        edges = np.array([edges[0] - pad, edges[0] + pad])
+    return edges
+
+
+def frequency_profile(codes, missing_token=None) -> FrequencyProfile:
+    """Build a :class:`FrequencyProfile` from a sequence of category labels.
+
+    Args:
+        codes: iterable of hashable labels; ``None``, ``missing_token`` and
+            float NaN entries count as missing.
+        missing_token: extra sentinel to treat as missing (e.g. ``""``).
+    """
+    counts: dict = {}
+    n_missing = 0
+    for code in codes:
+        if code is None or code == missing_token or _is_nan(code):
+            n_missing += 1
+            continue
+        counts[code] = counts.get(code, 0) + 1
+    categories = tuple(sorted(counts, key=lambda c: (-counts[c], str(c))))
+    arr = np.array([counts[c] for c in categories], dtype=np.int64)
+    return FrequencyProfile(categories=categories, counts=arr, n_missing=n_missing)
+
+
+def _is_nan(value) -> bool:
+    return isinstance(value, float) and value != value

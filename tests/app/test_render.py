@@ -1,0 +1,123 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.app.render import (
+    GLYPH_IN,
+    GLYPH_OUT,
+    ascii_histogram_pair,
+    ascii_scatter,
+    view_card,
+)
+from repro.core.pipeline import Ziggy
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+
+class TestScatter:
+    def test_contains_both_glyphs_and_labels(self, rng):
+        xi, yi = rng.normal(5, 1, 50), rng.normal(5, 1, 50)
+        xo, yo = rng.normal(0, 1, 200), rng.normal(0, 1, 200)
+        plot = ascii_scatter(xi, yi, xo, yo, x_label="pop", y_label="dens")
+        assert GLYPH_IN in plot
+        assert GLYPH_OUT in plot
+        assert "pop" in plot and "dens" in plot
+
+    def test_separated_clusters_in_opposite_corners(self):
+        plot = ascii_scatter(
+            np.array([10.0] * 5), np.array([10.0] * 5),
+            np.array([0.0] * 5), np.array([0.0] * 5),
+            width=20, height=10)
+        lines = [l[1:] for l in plot.splitlines()[1:11]]
+        # selection top-right, others bottom-left
+        assert GLYPH_IN in lines[0]
+        assert GLYPH_OUT in lines[-1]
+
+    def test_nan_points_dropped(self):
+        plot = ascii_scatter(np.array([1.0, np.nan]), np.array([1.0, 2.0]),
+                             np.array([0.0]), np.array([0.0]))
+        assert isinstance(plot, str)
+
+    def test_empty_data(self):
+        plot = ascii_scatter(np.array([]), np.array([]),
+                             np.array([]), np.array([]))
+        assert "no complete data" in plot
+
+    def test_constant_axis_no_crash(self):
+        plot = ascii_scatter(np.array([1.0, 1.0]), np.array([1.0, 2.0]),
+                             np.array([1.0]), np.array([3.0]))
+        assert GLYPH_IN in plot
+
+    def test_axis_ranges_annotated(self, rng):
+        plot = ascii_scatter(np.array([0.0, 100.0]), np.array([0.0, 50.0]),
+                             np.array([50.0]), np.array([25.0]))
+        assert "100" in plot
+        assert "50" in plot
+
+
+class TestHistogramPair:
+    def test_shifted_distributions_render_disjoint_bars(self, rng):
+        plot = ascii_histogram_pair(rng.normal(10, 0.5, 300),
+                                    rng.normal(0, 0.5, 300),
+                                    label="metric")
+        lines = plot.splitlines()
+        assert "metric" in lines[0]
+        top_half = "\n".join(lines[1:len(lines) // 2])
+        bottom_half = "\n".join(lines[len(lines) // 2:])
+        assert GLYPH_OUT in top_half       # low values: outside
+        assert GLYPH_IN in bottom_half     # high values: selection
+
+    def test_empty(self):
+        assert "no data" in ascii_histogram_pair(np.array([]), np.array([]))
+
+    def test_single_value(self):
+        plot = ascii_histogram_pair(np.array([1.0]), np.array([1.0]))
+        assert isinstance(plot, str)
+
+
+class TestViewCard:
+    @pytest.fixture
+    def crime_result(self, crime_small):
+        db = Database()
+        db.register(crime_small)
+        z = Ziggy(db)
+        from repro.data.crime import high_crime_predicate
+        pred = high_crime_predicate(crime_small)
+        result = z.characterize(pred)
+        selection = db.select("us_crime", pred)
+        return result, selection
+
+    def test_two_column_view_gets_scatter(self, crime_result):
+        result, selection = crime_result
+        two_col = next((v for v in result.views if v.view.dimension == 2
+                        and len([c for c in v.columns]) == 2), None)
+        if two_col is None:
+            pytest.skip("no 2-column view in this run")
+        card = view_card(two_col, selection, rank=1)
+        assert "View 1:" in card
+        assert GLYPH_IN in card
+        assert two_col.explanation in card
+
+    def test_single_column_view_gets_histogram(self, crime_result):
+        result, selection = crime_result
+        one_col = next((v for v in result.views if v.view.dimension == 1),
+                       None)
+        if one_col is None:
+            pytest.skip("no 1-column view in this run")
+        card = view_card(one_col, selection)
+        assert "score=" in card
+        assert "|" in card
+
+    def test_categorical_view_bars(self, boxoffice_small):
+        db = Database()
+        db.register(boxoffice_small)
+        z = Ziggy(db)
+        result = z.characterize("gross > 200000000")
+        cat_view = next((v for v in result.views if "genre" in v.columns),
+                        None)
+        if cat_view is None:
+            pytest.skip("genre view not found in this run")
+        selection = db.select("boxoffice", "gross > 200000000")
+        card = view_card(cat_view, selection)
+        assert "%" in card

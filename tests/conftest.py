@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Dataset fixtures are session-scoped (generation is deterministic and the
+tables are immutable), so the suite stays fast despite many integration
+tests touching the same tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.boxoffice import make_boxoffice
+from repro.data.crime import make_crime
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_table() -> Table:
+    """A small mixed-type table with missing values in every type."""
+    return Table.from_dict({
+        "x": np.array([1.0, 2.0, 3.0, 4.0, 5.0, np.nan, 7.0, 8.0]),
+        "y": np.array([2.0, 4.0, 6.0, 8.0, 10.0, 12.0, np.nan, 16.0]),
+        "z": np.array([5.0, 4.0, 3.0, 2.0, 1.0, 0.0, -1.0, -2.0]),
+        "cat": ["a", "b", "a", None, "b", "a", "c", "a"],
+        "flag": [True, False, True, True, None, False, True, False],
+    }, name="tiny")
+
+
+@pytest.fixture
+def tiny_db(tiny_table: Table) -> Database:
+    """A database holding the tiny table."""
+    db = Database()
+    db.register(tiny_table)
+    return db
+
+
+@pytest.fixture(scope="session")
+def crime_small() -> Table:
+    """A reduced US-crime table (600 x 128) for pipeline tests."""
+    return make_crime(n_rows=600, seed=5)
+
+
+@pytest.fixture(scope="session")
+def boxoffice_small() -> Table:
+    """A reduced Box Office table (300 x 12)."""
+    return make_boxoffice(n_rows=300, seed=9)
+
+
+@pytest.fixture
+def two_group_data(rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """Two clearly different Gaussian samples (shifted mean, wider SD)."""
+    inside = rng.normal(loc=1.0, scale=2.0, size=300)
+    outside = rng.normal(loc=0.0, scale=1.0, size=700)
+    return inside, outside

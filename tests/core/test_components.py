@@ -1,0 +1,246 @@
+"""Tests for the Zig-Components."""
+
+import numpy as np
+import pytest
+
+from repro.core.components.base import (
+    ColumnSlice,
+    ComponentRegistry,
+    DEFAULT_COMPONENTS,
+    PairSlice,
+    ZigComponent,
+    default_registry,
+)
+from repro.core.components.categorical import FrequencyShiftComponent
+from repro.core.components.correlation import CorrelationShiftComponent
+from repro.core.components.dominance import DominanceComponent
+from repro.core.components.missing import MissingShiftComponent
+from repro.core.components.numeric import (
+    MeanShiftComponent,
+    SpreadShiftComponent,
+)
+from repro.errors import ComponentError, UnknownComponentError
+from repro.stats.histogram import frequency_profile
+
+
+def numeric_slice(inside, outside, name="col"):
+    return ColumnSlice(name=name, is_categorical=False,
+                       inside=np.asarray(inside, dtype=np.float64),
+                       outside=np.asarray(outside, dtype=np.float64))
+
+
+def categorical_slice(inside_labels, outside_labels, name="cat"):
+    return ColumnSlice(
+        name=name, is_categorical=True,
+        inside_profile=frequency_profile(inside_labels),
+        outside_profile=frequency_profile(outside_labels))
+
+
+class TestMeanShift:
+    def test_detects_shift(self, rng, two_group_data):
+        inside, outside = two_group_data
+        outcome = MeanShiftComponent().compute(numeric_slice(inside, outside))
+        assert outcome is not None
+        assert outcome.raw > 0.5
+        assert outcome.direction == "higher"
+        assert outcome.test.p_value < 1e-6
+        assert outcome.detail["mean_inside"] > outcome.detail["mean_outside"]
+
+    def test_direction_lower(self, rng):
+        outcome = MeanShiftComponent().compute(numeric_slice(
+            rng.normal(-2, 1, 100), rng.normal(0, 1, 100)))
+        assert outcome.direction == "lower"
+
+    def test_null_not_significant(self, rng):
+        outcome = MeanShiftComponent().compute(numeric_slice(
+            rng.normal(size=200), rng.normal(size=200)))
+        assert abs(outcome.raw) < 0.3
+
+    def test_degenerate_returns_none(self):
+        outcome = MeanShiftComponent().compute(numeric_slice(
+            [1.0, 1.0, 1.0], [2.0, 2.0, 2.0]))
+        assert outcome is None  # zero pooled variance, unequal means
+
+    def test_tiny_group_returns_none(self):
+        assert MeanShiftComponent().compute(numeric_slice([1.0], [1.0, 2.0])) \
+               is None
+
+    def test_not_applicable_to_categorical(self):
+        comp = MeanShiftComponent()
+        assert not comp.applicable(categorical_slice(["a"], ["b"]))
+
+
+class TestSpreadShift:
+    def test_detects_wider_selection(self, rng):
+        outcome = SpreadShiftComponent().compute(numeric_slice(
+            rng.normal(0, 3, 300), rng.normal(0, 1, 700)))
+        assert outcome.raw == pytest.approx(np.log(3), abs=0.2)
+        assert outcome.direction == "higher"
+        assert outcome.test.name == "levene"
+        assert outcome.test.p_value < 1e-6
+
+    def test_falls_back_to_f_test_without_raw_data(self, rng):
+        from repro.stats.descriptive import summarize
+        s = ColumnSlice(name="c", is_categorical=False,
+                        inside_stats=summarize(rng.normal(0, 3, 300)),
+                        outside_stats=summarize(rng.normal(0, 1, 700)))
+        outcome = SpreadShiftComponent().compute(s)
+        assert outcome is not None
+        assert outcome.test.name == "f_var"
+
+    def test_constant_both_none(self):
+        assert SpreadShiftComponent().compute(numeric_slice(
+            [1.0, 1.0], [1.0, 1.0])) is not None  # ratio 0, p=1
+        assert SpreadShiftComponent().compute(numeric_slice(
+            [1.0, 1.0], [1.0, 2.0])) is None      # one-sided degenerate
+
+
+class TestDominance:
+    def test_detects_dominance(self, rng):
+        outcome = DominanceComponent().compute(numeric_slice(
+            rng.normal(2, 1, 200), rng.normal(0, 1, 500)))
+        assert outcome.raw > 0.5
+        assert outcome.test.p_value < 1e-6
+
+    def test_requires_raw_values(self):
+        s = ColumnSlice(name="c", is_categorical=False)
+        assert DominanceComponent().compute(s) is None
+
+
+class TestCorrelationShift:
+    def test_detects_gap(self):
+        pair = PairSlice(x=ColumnSlice("x", False), y=ColumnSlice("y", False),
+                         r_inside=0.9, r_outside=0.1,
+                         n_inside=200, n_outside=500)
+        outcome = CorrelationShiftComponent().compute(pair)
+        assert outcome.raw > 1.0
+        assert outcome.direction == "stronger"
+        assert outcome.test.p_value < 1e-6
+
+    def test_weaker_direction(self):
+        pair = PairSlice(x=ColumnSlice("x", False), y=ColumnSlice("y", False),
+                         r_inside=0.1, r_outside=0.8,
+                         n_inside=100, n_outside=100)
+        assert CorrelationShiftComponent().compute(pair).direction == "weaker"
+
+    def test_reversed_direction(self):
+        pair = PairSlice(x=ColumnSlice("x", False), y=ColumnSlice("y", False),
+                         r_inside=-0.7, r_outside=0.6,
+                         n_inside=100, n_outside=100)
+        assert CorrelationShiftComponent().compute(pair).direction == "reversed"
+
+    def test_small_groups_none(self):
+        pair = PairSlice(x=ColumnSlice("x", False), y=ColumnSlice("y", False),
+                         r_inside=0.9, r_outside=0.1,
+                         n_inside=3, n_outside=100)
+        assert CorrelationShiftComponent().compute(pair) is None
+
+    def test_nan_correlation_none(self):
+        pair = PairSlice(x=ColumnSlice("x", False), y=ColumnSlice("y", False),
+                         r_inside=float("nan"), r_outside=0.1,
+                         n_inside=100, n_outside=100)
+        assert CorrelationShiftComponent().compute(pair) is None
+
+
+class TestFrequencyShift:
+    def test_detects_profile_shift(self):
+        inside = ["a"] * 80 + ["b"] * 20
+        outside = ["a"] * 30 + ["b"] * 70
+        outcome = FrequencyShiftComponent().compute(
+            categorical_slice(inside, outside))
+        assert outcome.raw == pytest.approx(0.5, abs=0.01)
+        assert outcome.direction == "different"
+        assert outcome.test.p_value < 1e-6
+        over = dict(outcome.detail["over_represented"])
+        assert "a" in over
+
+    def test_identical_profiles_zero(self):
+        labels = ["x"] * 10 + ["y"] * 10
+        outcome = FrequencyShiftComponent().compute(
+            categorical_slice(labels, labels))
+        assert outcome.raw == 0.0
+
+    def test_single_category_none(self):
+        assert FrequencyShiftComponent().compute(
+            categorical_slice(["a", "a"], ["a", "a"])) is None
+
+    def test_empty_group_none(self):
+        assert FrequencyShiftComponent().compute(
+            categorical_slice([], ["a", "b"])) is None
+
+
+class TestMissingShift:
+    def test_numeric_missing_gap(self):
+        inside = [1.0, np.nan, np.nan, 4.0]
+        outside = [1.0, 2.0, 3.0, 4.0] * 10
+        outcome = MissingShiftComponent().compute(
+            numeric_slice(inside, outside))
+        assert outcome.raw == pytest.approx(0.5)
+        assert outcome.direction == "higher"
+
+    def test_categorical_missing_gap(self):
+        outcome = MissingShiftComponent().compute(categorical_slice(
+            ["a", None, None, "b"], ["a", "b"] * 20))
+        assert outcome.raw == pytest.approx(0.5)
+
+    def test_no_missing_anywhere_none(self):
+        assert MissingShiftComponent().compute(numeric_slice(
+            [1.0, 2.0], [3.0, 4.0])) is None
+
+
+class TestRegistry:
+    def test_default_registry_contents(self):
+        reg = default_registry()
+        for name in DEFAULT_COMPONENTS:
+            assert name in reg
+        assert "dominance" in reg
+        assert "skew_shift" in reg
+        assert len(reg.unary()) == 6
+        assert len(reg.pairwise()) == 1
+
+    def test_duplicate_registration_raises(self):
+        reg = default_registry()
+        with pytest.raises(ComponentError):
+            reg.register(MeanShiftComponent())
+        reg.register(MeanShiftComponent(), replace=True)  # explicit ok
+
+    def test_unknown_component(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            default_registry().get("nope")
+        assert "mean_shift" in str(exc.value)
+
+    def test_copy_isolated(self):
+        reg = default_registry()
+        copy = reg.copy()
+
+        class Custom(ZigComponent):
+            name = "custom"
+
+            def compute(self, data):
+                return None
+
+        copy.register(Custom())
+        assert "custom" in copy
+        assert "custom" not in reg
+
+    def test_invalid_component_declarations(self):
+        reg = ComponentRegistry()
+
+        class NoName(ZigComponent):
+            name = ""
+
+            def compute(self, data):
+                return None
+
+        with pytest.raises(ComponentError):
+            reg.register(NoName())
+
+        class BadArity(ZigComponent):
+            name = "bad"
+            arity = 3
+
+            def compute(self, data):
+                return None
+
+        with pytest.raises(ComponentError):
+            reg.register(BadArity())

@@ -1,0 +1,69 @@
+"""Tests for ZiggyConfig validation."""
+
+import pytest
+
+from repro.core.config import ZiggyConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = ZiggyConfig()
+        assert cfg.max_view_dim == 2          # scatter-plot-able views
+        assert 0.0 <= cfg.min_tightness <= 1.0
+        assert cfg.search_strategy == "linkage"
+        assert cfg.aggregation == "bonferroni"
+
+    def test_weight_for_defaults_to_one(self):
+        cfg = ZiggyConfig()
+        assert cfg.weight_for("mean_shift") == 1.0
+
+    def test_weight_for_custom(self):
+        cfg = ZiggyConfig(weights={"mean_shift": 0.5})
+        assert cfg.weight_for("mean_shift") == 0.5
+        assert cfg.weight_for("spread_shift") == 1.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_view_dim": 0},
+        {"min_tightness": -0.1},
+        {"min_tightness": 1.5},
+        {"max_views": 0},
+        {"dependency_method": "chi2"},
+        {"search_strategy": "random"},
+        {"normalization": "softmax"},
+        {"aggregation": "mean"},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+        {"min_group_size": 1},
+        {"score_mode": "max"},
+        {"mi_bins": 1},
+        {"explanation_components": 0},
+        {"weights": {"mean_shift": -1.0}},
+    ])
+    def test_invalid_values_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            ZiggyConfig(**kwargs)
+
+    def test_error_message_names_field(self):
+        with pytest.raises(ConfigError) as exc:
+            ZiggyConfig(max_view_dim=-3)
+        assert "max_view_dim" in str(exc.value)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new(self):
+        cfg = ZiggyConfig()
+        new = cfg.with_overrides(max_views=3)
+        assert new.max_views == 3
+        assert cfg.max_views != 3 or cfg is not new
+
+    def test_with_overrides_validates(self):
+        with pytest.raises(ConfigError):
+            ZiggyConfig().with_overrides(alpha=2.0)
+
+    def test_frozen(self):
+        cfg = ZiggyConfig()
+        with pytest.raises(AttributeError):
+            cfg.max_views = 5  # type: ignore[misc]

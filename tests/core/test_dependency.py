@@ -1,0 +1,158 @@
+"""Tests for the dependency measure S and the dependency matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.dependency import (
+    DependencyMatrix,
+    categorical_nmi,
+    compute_dependency_matrix,
+    correlation_ratio,
+    cramers_v,
+)
+from repro.engine.table import Table
+from repro.errors import InsufficientDataError, SearchError
+
+
+@pytest.fixture
+def structured_table(rng):
+    n = 400
+    factor = rng.normal(size=n)
+    group = rng.integers(0, 3, size=n)
+    return Table.from_dict({
+        "a1": factor + rng.normal(scale=0.3, size=n),
+        "a2": factor + rng.normal(scale=0.3, size=n),
+        "b": rng.normal(size=n),
+        "cat_dep": [("p", "q", "r")[g] for g in group],
+        "cat_noise": [("x", "y")[int(v)] for v in rng.integers(0, 2, size=n)],
+        "num_by_cat": group * 2.0 + rng.normal(scale=0.4, size=n),
+    }, name="structured")
+
+
+class TestCorrelationRatio:
+    def test_strong_dependence(self, rng):
+        codes = rng.integers(0, 3, size=500)
+        values = codes * 5.0 + rng.normal(scale=0.1, size=500)
+        assert correlation_ratio(codes, values) > 0.95
+
+    def test_independence_near_zero(self, rng):
+        codes = rng.integers(0, 3, size=2000)
+        values = rng.normal(size=2000)
+        assert correlation_ratio(codes, values) < 0.1
+
+    def test_constant_numeric_zero(self):
+        assert correlation_ratio(np.array([0, 1, 0, 1]),
+                                 np.full(4, 3.0)) == 0.0
+
+    def test_missing_codes_dropped(self, rng):
+        codes = np.array([-1, 0, 1, 0, 1, -1])
+        values = np.array([99.0, 1.0, 2.0, 1.0, 2.0, -99.0])
+        assert correlation_ratio(codes, values) > 0.9
+
+    def test_too_small_raises(self):
+        with pytest.raises(InsufficientDataError):
+            correlation_ratio(np.array([0]), np.array([1.0]))
+
+
+class TestCramersV:
+    def test_perfect_association(self):
+        a = np.array([0, 0, 1, 1, 2, 2] * 20)
+        assert cramers_v(a, a, 3, 3) == pytest.approx(1.0, abs=0.01)
+
+    def test_independence(self, rng):
+        a = rng.integers(0, 3, size=3000)
+        b = rng.integers(0, 4, size=3000)
+        assert cramers_v(a, b, 3, 4) < 0.1
+
+    def test_degenerate_single_category(self):
+        a = np.zeros(50, dtype=int)
+        b = np.array([0, 1] * 25)
+        assert cramers_v(a, b, 1, 2) == 0.0
+
+    def test_bounded(self, rng):
+        a = rng.integers(0, 5, size=200)
+        b = (a + rng.integers(0, 2, size=200)) % 5
+        assert 0.0 <= cramers_v(a, b, 5, 5) <= 1.0
+
+
+class TestCategoricalNmi:
+    def test_perfect(self):
+        a = np.array([0, 1, 2] * 30)
+        assert categorical_nmi(a, a, 3, 3) == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert categorical_nmi(np.array([-1]), np.array([-1]), 2, 2) == 0.0
+
+
+class TestDependencyMatrix:
+    def test_pearson_blocks(self, structured_table):
+        cols = structured_table.column_names
+        dep = compute_dependency_matrix(structured_table, cols)
+        assert dep.dependency("a1", "a2") > 0.7          # same factor
+        assert dep.dependency("a1", "b") < 0.25          # independent
+        assert dep.dependency("cat_dep", "num_by_cat") > 0.8   # eta
+        assert dep.dependency("cat_dep", "cat_noise") < 0.2    # cramers v
+
+    def test_symmetric_unit_diagonal(self, structured_table):
+        dep = compute_dependency_matrix(structured_table,
+                                        structured_table.column_names)
+        m = dep.matrix
+        assert np.allclose(m, m.T, equal_nan=True)
+        assert np.allclose(np.diag(m), 1.0)
+
+    def test_nmi_method_detects_nonlinear(self, rng):
+        x = rng.normal(size=3000)
+        t = Table.from_dict({"x": x, "parabola": x ** 2, "noise":
+                             rng.normal(size=3000)})
+        dep_nmi = compute_dependency_matrix(t, t.column_names, method="nmi")
+        dep_pearson = compute_dependency_matrix(t, t.column_names)
+        assert dep_nmi.dependency("x", "parabola") > 0.4
+        assert dep_pearson.dependency("x", "parabola") < 0.2
+
+    def test_spearman_method(self, rng):
+        x = rng.normal(size=500)
+        t = Table.from_dict({"x": x, "exp": np.exp(2 * x)})
+        dep = compute_dependency_matrix(t, t.column_names, method="spearman")
+        assert dep.dependency("x", "exp") == pytest.approx(1.0)
+
+    def test_unknown_method_raises(self, structured_table):
+        with pytest.raises(SearchError):
+            compute_dependency_matrix(structured_table, ("a1", "a2"),
+                                      method="cosine")
+
+    def test_tightness_min_rule(self, structured_table):
+        dep = compute_dependency_matrix(structured_table,
+                                        structured_table.column_names)
+        t_pair = dep.tightness(("a1", "a2"))
+        t_triple = dep.tightness(("a1", "a2", "b"))
+        assert t_triple <= t_pair
+        assert t_triple == pytest.approx(
+            min(dep.dependency("a1", "b"), dep.dependency("a2", "b"),
+                dep.dependency("a1", "a2")))
+
+    def test_tightness_singleton_is_one(self, structured_table):
+        dep = compute_dependency_matrix(structured_table, ("a1",))
+        assert dep.tightness(("a1",)) == 1.0
+
+    def test_distance_matrix(self, structured_table):
+        dep = compute_dependency_matrix(structured_table,
+                                        structured_table.column_names)
+        d = dep.distance_matrix()
+        assert np.all(d >= 0.0) and np.all(d <= 1.0)
+        assert np.allclose(np.diag(d), 0.0)
+
+    def test_nan_dependency_treated_as_zero(self):
+        t = Table.from_dict({"const": np.full(20, 1.0),
+                             "x": np.arange(20.0)})
+        dep = compute_dependency_matrix(t, t.column_names)
+        assert dep.dependency("const", "x") == 0.0
+        assert dep.tightness(("const", "x")) == 0.0
+
+    def test_unknown_column_raises(self, structured_table):
+        dep = compute_dependency_matrix(structured_table, ("a1", "a2"))
+        with pytest.raises(SearchError):
+            dep.dependency("a1", "ghost")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(SearchError):
+            DependencyMatrix(names=("a",), matrix=np.eye(2), method="pearson")

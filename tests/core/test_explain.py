@@ -1,0 +1,140 @@
+"""Tests for the explanation generator."""
+
+import pytest
+
+from repro.core.config import ZiggyConfig
+from repro.core.explain.generator import ExplanationGenerator, explain_view
+from repro.core.explain.vocabulary import (
+    phrase_for,
+    register_phrase_rule,
+)
+from repro.core.views import ComponentScore, View, ViewResult
+from repro.stats.tests_ import TestResult
+
+
+def score(component, direction, columns=("population",), normalized=3.0,
+          p=0.001, detail=None):
+    return ComponentScore(
+        component=component, columns=columns, raw=1.0,
+        normalized=normalized, weight=1.0,
+        test=TestResult(component, 1.0, p), direction=direction,
+        detail=detail or {})
+
+
+def result(components, columns=("population",), p_value=0.001):
+    return ViewResult(view=View(columns=columns), score=1.0, tightness=0.9,
+                      components=tuple(components), p_value=p_value,
+                      significant=p_value <= 0.05)
+
+
+class TestVocabulary:
+    def test_mean_phrases(self):
+        assert phrase_for(score("mean_shift", "higher")) == \
+               "particularly high values"
+        assert phrase_for(score("mean_shift", "lower", normalized=1.0)) == \
+               "lower values"
+
+    def test_spread_phrases(self):
+        assert "low variance" in phrase_for(score("spread_shift", "lower"))
+        assert "high variance" in phrase_for(
+            score("spread_shift", "higher", normalized=1.0))
+
+    def test_correlation_phrase_includes_coefficients(self):
+        s = score("correlation_shift", "stronger",
+                  columns=("a", "b"),
+                  detail={"r_inside": 0.82, "r_outside": 0.31})
+        text = phrase_for(s)
+        assert "stronger correlation" in text
+        assert "+0.82" in text and "+0.31" in text
+
+    def test_frequency_phrase_names_categories(self):
+        s = score("frequency_shift", "different",
+                  detail={"over_represented": [("horror", 0.2)],
+                          "under_represented": [("drama", -0.3)]})
+        text = phrase_for(s)
+        assert "'horror'" in text
+        assert "'drama'" in text
+
+    def test_missing_phrase_has_rates(self):
+        s = score("missing_shift", "higher",
+                  detail={"rate_inside": 0.25, "rate_outside": 0.05})
+        text = phrase_for(s)
+        assert "more missing values" in text
+        assert "25%" in text
+
+    def test_unknown_component_generic_fallback(self):
+        text = phrase_for(score("my_custom_thing", "higher"))
+        assert "my custom thing" in text
+
+    def test_custom_rule_registration(self):
+        register_phrase_rule("unit_test_comp", lambda s: "a test phrase",
+                             replace=True)
+        assert phrase_for(score("unit_test_comp", "higher")) == "a test phrase"
+
+    def test_duplicate_rule_raises(self):
+        register_phrase_rule("dup_comp", lambda s: "x", replace=True)
+        with pytest.raises(ValueError):
+            register_phrase_rule("dup_comp", lambda s: "y")
+
+
+class TestGenerator:
+    def test_paper_shape_sentence(self):
+        """The canonical example: 'On the columns Population and Density,
+        your selection has particularly high values and a low variance'."""
+        vr = result(
+            [score("mean_shift", "higher", ("Population",)),
+             score("mean_shift", "higher", ("Density",)),
+             score("spread_shift", "lower", ("Population",))],
+            columns=("Population", "Density"))
+        text = ExplanationGenerator(ZiggyConfig()).explain(vr)
+        assert text.startswith("On the columns Density and Population, "
+                               "your selection has")
+        assert "particularly high values" in text
+        assert "low variance" in text
+
+    def test_single_column_singular_noun(self):
+        vr = result([score("mean_shift", "higher")])
+        text = explain_view(vr)
+        assert text.startswith("On the column population,")
+
+    def test_qualifier_for_partial_coverage(self):
+        vr = result([score("mean_shift", "higher", ("a",))],
+                    columns=("a", "b"))
+        assert "(on a)" in explain_view(vr)
+
+    def test_confidence_reported(self):
+        vr = result([score("mean_shift", "higher")], p_value=0.02)
+        text = explain_view(vr)
+        assert "confidence" in text
+        assert "98.0%" in text
+
+    def test_insignificant_warning(self):
+        vr = result([score("mean_shift", "higher")], p_value=0.5)
+        assert "not statistically significant" in explain_view(vr)
+
+    def test_component_count_limited(self):
+        comps = [score(f"comp_{i}", "higher") for i in range(6)]
+        vr = result(comps)
+        cfg = ZiggyConfig(explanation_components=2)
+        text = ExplanationGenerator(cfg).explain(vr)
+        # Only 2 phrases: exactly one " and " joiner, no comma list.
+        assert text.count("comp") <= 4  # 2 mentions in phrases (generic)
+
+    def test_highest_confidence_components_chosen(self):
+        weak = score("spread_shift", "higher", p=0.3)
+        strong = score("mean_shift", "higher", p=0.0001)
+        vr = result([weak, strong])
+        cfg = ZiggyConfig(explanation_components=1)
+        text = ExplanationGenerator(cfg).explain(vr)
+        assert "high values" in text
+        assert "variance" not in text
+
+    def test_annotate_fills_all(self):
+        views = [result([score("mean_shift", "higher")]),
+                 result([score("spread_shift", "lower")])]
+        annotated = ExplanationGenerator(ZiggyConfig()).annotate(views)
+        assert all(v.explanation for v in annotated)
+
+    def test_no_components_graceful(self):
+        vr = result([])
+        assert "no measurable difference" in explain_view(vr)

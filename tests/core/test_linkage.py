@@ -1,0 +1,145 @@
+"""Tests for complete-linkage clustering and the dendrogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.search.linkage import Dendrogram, complete_linkage
+from repro.errors import SearchError
+
+
+def block_distance_matrix():
+    """Two tight blocks {0,1,2} and {3,4}, far from each other."""
+    m = np.full((5, 5), 0.9)
+    np.fill_diagonal(m, 0.0)
+    for i in (0, 1, 2):
+        for j in (0, 1, 2):
+            if i != j:
+                m[i, j] = 0.1
+    m[3, 4] = m[4, 3] = 0.15
+    return m
+
+
+class TestCompleteLinkage:
+    def test_recovers_blocks(self):
+        dend = complete_linkage(block_distance_matrix(),
+                                ("a", "b", "c", "d", "e"))
+        clusters = dend.cut(0.5)
+        assert sorted(map(sorted, clusters)) == [["a", "b", "c"], ["d", "e"]]
+
+    def test_cut_at_zero_gives_singletons(self):
+        dend = complete_linkage(block_distance_matrix(),
+                                ("a", "b", "c", "d", "e"))
+        clusters = dend.cut(0.0)
+        assert len(clusters) == 5
+
+    def test_cut_at_one_gives_everything(self):
+        dend = complete_linkage(block_distance_matrix(),
+                                ("a", "b", "c", "d", "e"))
+        clusters = dend.cut(1.0)
+        assert len(clusters) == 1
+        assert len(clusters[0]) == 5
+
+    def test_diameter_guarantee(self, rng):
+        """Complete linkage: every cluster's pairwise distances <= cut."""
+        m = 20
+        d = rng.random((m, m))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        labels = tuple(f"c{i}" for i in range(m))
+        dend = complete_linkage(d, labels)
+        for cut in (0.2, 0.4, 0.6):
+            for cluster in dend.cut(cut):
+                idx = [labels.index(c) for c in cluster]
+                for i in idx:
+                    for j in idx:
+                        assert d[i, j] <= cut + 1e-12
+
+    def test_merge_heights_monotone(self, rng):
+        m = 15
+        d = rng.random((m, m))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        dend = complete_linkage(d, tuple(f"c{i}" for i in range(m)))
+        heights = dend.merge_heights
+        assert all(heights[i] <= heights[i + 1] + 1e-12
+                   for i in range(len(heights) - 1))
+
+    def test_matches_scipy(self, rng):
+        from scipy.cluster.hierarchy import complete as scipy_complete
+        from scipy.cluster.hierarchy import fcluster
+        from scipy.spatial.distance import squareform
+        m = 12
+        d = rng.random((m, m))
+        d = (d + d.T) / 2
+        np.fill_diagonal(d, 0.0)
+        labels = tuple(f"c{i}" for i in range(m))
+        ours = complete_linkage(d, labels)
+        z = scipy_complete(squareform(d, checks=False))
+        for cut in (0.3, 0.5, 0.7):
+            ours_clusters = {frozenset(c) for c in ours.cut(cut)}
+            assignments = fcluster(z, t=cut, criterion="distance")
+            theirs: dict[int, set] = {}
+            for label, cl in zip(labels, assignments):
+                theirs.setdefault(cl, set()).add(label)
+            assert ours_clusters == {frozenset(v) for v in theirs.values()}
+
+    def test_single_item(self):
+        dend = complete_linkage(np.zeros((1, 1)), ("only",))
+        assert dend.cut(0.5) == [("only",)]
+
+    def test_two_items(self):
+        d = np.array([[0.0, 0.4], [0.4, 0.0]])
+        dend = complete_linkage(d, ("a", "b"))
+        assert len(dend.cut(0.3)) == 2
+        assert len(dend.cut(0.5)) == 1
+
+    def test_nan_distances_treated_as_max(self):
+        d = np.array([[0.0, np.nan], [np.nan, 0.0]])
+        dend = complete_linkage(d, ("a", "b"))
+        # They still merge eventually, at a height above any finite value.
+        assert len(dend.cut(1.0)) == 2
+        assert dend.root.height > 1.0
+
+    def test_label_count_mismatch(self):
+        with pytest.raises(SearchError):
+            complete_linkage(np.zeros((2, 2)), ("a",))
+
+    def test_nonsquare_raises(self):
+        with pytest.raises(SearchError):
+            complete_linkage(np.zeros((2, 3)), ("a", "b"))
+
+    def test_zero_items_raises(self):
+        with pytest.raises(SearchError):
+            complete_linkage(np.zeros((0, 0)), ())
+
+
+class TestDendrogram:
+    @pytest.fixture
+    def dend(self) -> Dendrogram:
+        return complete_linkage(block_distance_matrix(),
+                                ("a", "b", "c", "d", "e"))
+
+    def test_root_covers_all(self, dend):
+        assert dend.root.size == 5
+        assert dend.n_leaves == 5
+
+    def test_cut_nodes_match_cut(self, dend):
+        nodes = dend.cut_nodes(0.5)
+        groups = [tuple(dend.labels[i] for i in n.leaves) for n in nodes]
+        assert {frozenset(g) for g in groups} == \
+               {frozenset(g) for g in dend.cut(0.5)}
+
+    def test_cut_ordering_largest_first(self, dend):
+        clusters = dend.cut(0.5)
+        sizes = [len(c) for c in clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_render_mentions_labels_and_heights(self, dend):
+        text = dend.render()
+        for label in ("a", "b", "c", "d", "e"):
+            assert label in text
+        assert "d=" in text
+        assert "S>=" in text
+
+    def test_leaves_are_a_permutation(self, dend):
+        assert sorted(dend.root.leaves) == list(range(5))

@@ -1,0 +1,178 @@
+"""Tests for candidate generation, ranking and the searcher facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ZiggyConfig
+from repro.core.dependency import DependencyMatrix
+from repro.core.dissimilarity import ComponentCatalog
+from repro.core.search.candidates import linkage_candidates, trim_to_dimension
+from repro.core.search.clique import clique_candidates
+from repro.core.search.linkage import complete_linkage
+from repro.core.search.ranking import enforce_disjointness, rank_candidates
+from repro.core.views import ComponentScore, View, ViewResult
+
+
+def make_dependency(names, pairs):
+    """Dependency matrix with given pairwise similarities (default 0)."""
+    m = len(names)
+    mat = np.zeros((m, m))
+    np.fill_diagonal(mat, 1.0)
+    idx = {n: i for i, n in enumerate(names)}
+    for (a, b), s in pairs.items():
+        mat[idx[a], idx[b]] = mat[idx[b], idx[a]] = s
+    return DependencyMatrix(names=tuple(names), matrix=mat, method="pearson")
+
+
+def make_catalog(scores: dict[str, float]) -> ComponentCatalog:
+    catalog = ComponentCatalog()
+    for col, value in scores.items():
+        catalog.unary[col] = [ComponentScore(
+            component="mean_shift", columns=(col,), raw=value,
+            normalized=abs(value), weight=1.0, test=None, direction="higher")]
+    return catalog
+
+
+NAMES = ("a", "b", "c", "d", "e")
+PAIRS = {("a", "b"): 0.9, ("a", "c"): 0.8, ("b", "c"): 0.85,
+         ("d", "e"): 0.7}
+
+
+class TestTrimToDimension:
+    def test_splits_along_subtree(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        # The abc cluster has 3 leaves; trimming to 2 must split it into
+        # subtree-consistent groups.
+        node = next(n for n in dend.cut_nodes(0.5) if n.size == 3)
+        groups = trim_to_dimension(node, dend.labels, 2)
+        assert sorted(len(g) for g in groups) == [1, 2]
+        assert {c for g in groups for c in g} == {"a", "b", "c"}
+
+    def test_small_node_untouched(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        groups = trim_to_dimension(dend.root, dend.labels, 10)
+        assert groups == [tuple(dend.labels[i] for i in dend.root.leaves)]
+
+
+class TestLinkageCandidates:
+    def test_respects_tightness_cut(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        config = ZiggyConfig(min_tightness=0.6, max_view_dim=3)
+        candidates = linkage_candidates(dend, config, ComponentCatalog())
+        for view in candidates:
+            assert dep.tightness(view.columns) >= 0.6
+
+    def test_dimension_cap(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        config = ZiggyConfig(min_tightness=0.6, max_view_dim=2)
+        candidates = linkage_candidates(dend, config, ComponentCatalog())
+        assert all(v.dimension <= 2 for v in candidates)
+
+    def test_all_columns_covered(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        config = ZiggyConfig(min_tightness=0.6)
+        candidates = linkage_candidates(dend, config, ComponentCatalog())
+        covered = {c for v in candidates for c in v.columns}
+        assert covered == set(NAMES)
+
+    def test_no_duplicates(self):
+        dep = make_dependency(NAMES, PAIRS)
+        dend = complete_linkage(dep.distance_matrix(), dep.names)
+        candidates = linkage_candidates(dend, ZiggyConfig(),
+                                        ComponentCatalog())
+        keys = [v.columns for v in candidates]
+        assert len(keys) == len(set(keys))
+
+
+class TestCliqueCandidates:
+    def test_finds_cliques(self):
+        dep = make_dependency(NAMES, PAIRS)
+        config = ZiggyConfig(min_tightness=0.6, max_view_dim=3)
+        candidates = clique_candidates(dep, config, ComponentCatalog())
+        cols = {v.columns for v in candidates}
+        assert ("a", "b", "c") in cols       # the triangle
+        assert ("d", "e") in cols
+
+    def test_exact_tightness_guarantee(self):
+        dep = make_dependency(NAMES, PAIRS)
+        config = ZiggyConfig(min_tightness=0.75, max_view_dim=3)
+        candidates = clique_candidates(dep, config, ComponentCatalog())
+        for view in candidates:
+            assert dep.tightness(view.columns) >= 0.75
+
+    def test_isolated_columns_become_singletons(self):
+        dep = make_dependency(("x", "y"), {})
+        candidates = clique_candidates(dep, ZiggyConfig(min_tightness=0.5),
+                                       ComponentCatalog())
+        assert {v.columns for v in candidates} == {("x",), ("y",)}
+
+    def test_oversized_clique_trimmed_by_score(self):
+        dep = make_dependency(NAMES, PAIRS)
+        catalog = make_catalog({"a": 1.0, "b": 5.0, "c": 3.0})
+        config = ZiggyConfig(min_tightness=0.6, max_view_dim=2)
+        candidates = clique_candidates(dep, config, catalog)
+        assert View(columns=("b", "c")) in candidates  # top-2 by score
+
+
+class TestRanking:
+    def test_sorted_by_score(self):
+        dep = make_dependency(NAMES, PAIRS)
+        catalog = make_catalog({"a": 1.0, "b": 9.0, "d": 4.0})
+        ranked = rank_candidates(
+            [View(columns=("a",)), View(columns=("b",)), View(columns=("d",))],
+            catalog, dep, ZiggyConfig())
+        assert [r.columns for r in ranked] == [("b",), ("d",), ("a",)]
+
+    def test_tightness_guard_drops_violators(self):
+        dep = make_dependency(NAMES, PAIRS)
+        catalog = make_catalog({"a": 1.0, "d": 1.0})
+        ranked = rank_candidates([View(columns=("a", "d"))], catalog, dep,
+                                 ZiggyConfig(min_tightness=0.5))
+        assert ranked == []
+
+    def test_unmeasurable_views_dropped(self):
+        dep = make_dependency(NAMES, PAIRS)
+        ranked = rank_candidates([View(columns=("e",))], ComponentCatalog(),
+                                 dep, ZiggyConfig())
+        assert ranked == []
+
+    def test_tightness_recorded(self):
+        dep = make_dependency(NAMES, PAIRS)
+        catalog = make_catalog({"d": 1.0, "e": 1.0})
+        ranked = rank_candidates([View(columns=("d", "e"))], catalog, dep,
+                                 ZiggyConfig(min_tightness=0.5))
+        assert ranked[0].tightness == pytest.approx(0.7)
+
+
+class TestDisjointness:
+    def make_result(self, columns, score):
+        return ViewResult(view=View(columns=columns), score=score,
+                          tightness=1.0, components=())
+
+    def test_greedy_disjoint(self):
+        ranked = [self.make_result(("a", "b"), 10.0),
+                  self.make_result(("b", "c"), 9.0),
+                  self.make_result(("c", "d"), 8.0),
+                  self.make_result(("e",), 7.0)]
+        kept = enforce_disjointness(ranked, max_views=10)
+        assert [r.columns for r in kept] == [("a", "b"), ("c", "d"), ("e",)]
+
+    def test_max_views_cap(self):
+        ranked = [self.make_result((c,), 10.0 - i)
+                  for i, c in enumerate("abcdef")]
+        assert len(enforce_disjointness(ranked, max_views=3)) == 3
+
+    def test_pairwise_disjoint_invariant(self):
+        ranked = [self.make_result(("a", "b"), 5.0),
+                  self.make_result(("a", "c"), 4.0),
+                  self.make_result(("b", "d"), 3.0)]
+        kept = enforce_disjointness(ranked, max_views=10)
+        seen: set[str] = set()
+        for r in kept:
+            assert not (set(r.columns) & seen)
+            seen.update(r.columns)

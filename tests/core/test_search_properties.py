@@ -1,0 +1,146 @@
+"""Property-based tests for view search: the Eq. 5 constraint system must
+hold for arbitrary dependency structure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ZiggyConfig
+from repro.core.dependency import DependencyMatrix
+from repro.core.dissimilarity import ComponentCatalog
+from repro.core.search.candidates import linkage_candidates
+from repro.core.search.clique import clique_candidates
+from repro.core.search.linkage import complete_linkage
+from repro.core.search.ranking import enforce_disjointness, rank_candidates
+from repro.core.views import ComponentScore, View
+
+
+@st.composite
+def dependency_matrices(draw):
+    m = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = np.random.default_rng(seed)
+    mat = rng.uniform(0.0, 1.0, size=(m, m))
+    mat = (mat + mat.T) / 2
+    np.fill_diagonal(mat, 1.0)
+    names = tuple(f"c{i:02d}" for i in range(m))
+    return DependencyMatrix(names=names, matrix=mat, method="pearson")
+
+
+def catalog_for(dep: DependencyMatrix, seed: int = 0) -> ComponentCatalog:
+    rng = np.random.default_rng(seed)
+    catalog = ComponentCatalog()
+    for name in dep.names:
+        catalog.unary[name] = [ComponentScore(
+            component="mean_shift", columns=(name,),
+            raw=float(rng.normal()), normalized=float(rng.uniform(0, 5)),
+            weight=1.0, test=None, direction="higher")]
+    return catalog
+
+
+tightness_values = st.sampled_from([0.1, 0.3, 0.5, 0.7, 0.9])
+dims = st.integers(min_value=1, max_value=4)
+
+
+@given(dependency_matrices(), tightness_values, dims)
+@settings(max_examples=60, deadline=None)
+def test_linkage_candidates_satisfy_constraints(dep, min_tight, max_dim):
+    config = ZiggyConfig(min_tightness=min_tight, max_view_dim=max_dim)
+    dend = complete_linkage(dep.distance_matrix(), dep.names)
+    candidates = linkage_candidates(dend, config, ComponentCatalog())
+    covered: set[str] = set()
+    for view in candidates:
+        assert view.dimension <= max_dim                      # Eq. 5 cap
+        if view.dimension > 1:
+            assert dep.tightness(view.columns) >= min_tight - 1e-9  # Eq. 3
+        covered.update(view.columns)
+    assert covered == set(dep.names)  # every column gets a candidate
+
+
+@given(dependency_matrices(), tightness_values, dims)
+@settings(max_examples=60, deadline=None)
+def test_clique_candidates_satisfy_constraints(dep, min_tight, max_dim):
+    config = ZiggyConfig(min_tightness=min_tight, max_view_dim=max_dim)
+    candidates = clique_candidates(dep, config, catalog_for(dep))
+    covered: set[str] = set()
+    for view in candidates:
+        assert view.dimension <= max_dim
+        if view.dimension > 1:
+            assert dep.tightness(view.columns) >= min_tight - 1e-9
+        covered.update(view.columns)
+    assert covered == set(dep.names)
+
+
+@given(dependency_matrices(), tightness_values,
+       st.integers(min_value=1, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_full_search_output_invariants(dep, min_tight, max_views):
+    """Ranked + disjoint output: sorted scores, pairwise disjoint (Eq. 4),
+    within the view budget."""
+    config = ZiggyConfig(min_tightness=min_tight, max_views=max_views)
+    dend = complete_linkage(dep.distance_matrix(), dep.names)
+    candidates = linkage_candidates(dend, config, ComponentCatalog())
+    ranked = rank_candidates(candidates, catalog_for(dep), dep, config)
+    scores = [r.score for r in ranked]
+    assert scores == sorted(scores, reverse=True)
+    final = enforce_disjointness(ranked, config.max_views)
+    assert len(final) <= max_views
+    seen: set[str] = set()
+    for result in final:
+        assert not (set(result.columns) & seen)               # Eq. 4
+        seen.update(result.columns)
+
+
+@given(dependency_matrices())
+@settings(max_examples=40, deadline=None)
+def test_dendrogram_structural_invariants(dep):
+    dend = complete_linkage(dep.distance_matrix(), dep.names)
+    # Leaves are a permutation of all items.
+    assert sorted(dend.root.leaves) == list(range(len(dep.names)))
+    # Heights never decrease along the merge sequence.
+    heights = dend.merge_heights
+    assert all(heights[i] <= heights[i + 1] + 1e-9
+               for i in range(len(heights) - 1))
+    # Cutting at root height yields one cluster; at 0 yields singletons
+    # unless there are exact-zero distances.
+    assert len(dend.cut(dend.root.height)) == 1
+    # Every internal node's height bounds its children's heights.
+
+    def check(node):
+        for child in node.children:
+            assert child.height <= node.height + 1e-9
+            check(child)
+
+    check(dend.root)
+
+
+@given(dependency_matrices(), tightness_values)
+@settings(max_examples=40, deadline=None)
+def test_linkage_and_clique_cover_same_columns(dep, min_tight):
+    config = ZiggyConfig(min_tightness=min_tight)
+    dend = complete_linkage(dep.distance_matrix(), dep.names)
+    linkage_cols = {c for v in linkage_candidates(dend, config,
+                                                  ComponentCatalog())
+                    for c in v.columns}
+    clique_cols = {c for v in clique_candidates(dep, config,
+                                                catalog_for(dep))
+                   for c in v.columns}
+    assert linkage_cols == clique_cols == set(dep.names)
+
+
+@given(st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_ranking_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    m = 8
+    mat = rng.uniform(size=(m, m))
+    mat = (mat + mat.T) / 2
+    np.fill_diagonal(mat, 1.0)
+    dep = DependencyMatrix(names=tuple(f"c{i}" for i in range(m)),
+                           matrix=mat, method="pearson")
+    config = ZiggyConfig()
+    views = [View(columns=(n,)) for n in dep.names]
+    a = rank_candidates(views, catalog_for(dep, seed), dep, config)
+    b = rank_candidates(list(reversed(views)), catalog_for(dep, seed), dep,
+                        config)
+    assert [r.columns for r in a] == [r.columns for r in b]

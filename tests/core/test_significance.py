@@ -1,0 +1,142 @@
+"""Tests for p-value aggregation and the spurious-view filter."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ZiggyConfig
+from repro.core.significance.aggregation import (
+    aggregate_p_values,
+    bonferroni,
+    fisher_combination,
+    holm,
+    minimum,
+)
+from repro.core.significance.validator import validate_views
+from repro.core.views import ComponentScore, View, ViewResult
+from repro.errors import ConfigError
+from repro.stats.tests_ import TestResult
+
+
+class TestAggregationSchemes:
+    def test_minimum(self):
+        assert minimum([0.5, 0.01, 0.2]) == 0.01
+
+    def test_bonferroni_multiplies(self):
+        assert bonferroni([0.01, 0.5, 0.9]) == pytest.approx(0.03)
+
+    def test_bonferroni_capped_at_one(self):
+        assert bonferroni([0.5, 0.9]) == 1.0
+
+    def test_holm_at_least_bonferroni_power(self):
+        ps = [0.01, 0.02, 0.04]
+        assert holm(ps) <= bonferroni(ps) + 1e-12
+
+    def test_holm_known_value(self):
+        # Smallest adjusted: 3 * 0.01 = 0.03.
+        assert holm([0.04, 0.01, 0.03]) == pytest.approx(0.03)
+
+    def test_fisher_pools_moderate_evidence(self):
+        # Many moderately small p-values: Fisher << Bonferroni.
+        ps = [0.06] * 10
+        assert fisher_combination(ps) < 0.001
+        assert bonferroni(ps) == pytest.approx(0.6)
+
+    def test_fisher_uniform_null(self, rng):
+        # Under the null, aggregated p should not be systematically small.
+        results = [fisher_combination(rng.uniform(size=5)) for _ in range(200)]
+        assert 0.3 < np.mean(results) < 0.7
+
+    def test_empty_gives_one(self):
+        for scheme in ("min", "bonferroni", "holm", "fisher"):
+            assert aggregate_p_values([], scheme) == 1.0
+
+    def test_nan_skipped(self):
+        assert minimum([float("nan"), 0.2]) == 0.2
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            minimum([1.5])
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(ConfigError):
+            aggregate_p_values([0.5], "mean")
+
+    def test_all_schemes_monotone_in_evidence(self):
+        strong = [0.001, 0.002]
+        weak = [0.2, 0.4]
+        for scheme in ("min", "bonferroni", "holm", "fisher"):
+            assert aggregate_p_values(strong, scheme) < \
+                   aggregate_p_values(weak, scheme)
+
+
+def make_view_result(p_values, columns=("a",)):
+    comps = tuple(
+        ComponentScore(component=f"c{i}", columns=columns, raw=1.0,
+                       normalized=1.0, weight=1.0,
+                       test=TestResult(f"c{i}", 1.0, p), direction="higher")
+        for i, p in enumerate(p_values))
+    return ViewResult(view=View(columns=columns), score=1.0, tightness=1.0,
+                      components=comps)
+
+
+class TestValidateViews:
+    def test_significant_view_kept_and_annotated(self):
+        views = [make_view_result([0.001, 0.3])]
+        kept, notes = validate_views(views, ZiggyConfig(aggregation="min"))
+        assert len(kept) == 1
+        assert kept[0].significant
+        assert kept[0].p_value == pytest.approx(0.001)
+
+    def test_insignificant_dropped_with_note(self):
+        views = [make_view_result([0.4, 0.6])]
+        kept, notes = validate_views(views, ZiggyConfig())
+        assert kept == []
+        assert any("dropped 1" in n for n in notes)
+
+    def test_filter_off_keeps_but_flags(self):
+        views = [make_view_result([0.9])]
+        kept, _ = validate_views(
+            views, ZiggyConfig(significance_filter=False))
+        assert len(kept) == 1
+        assert not kept[0].significant
+
+    def test_bonferroni_stricter_than_min(self):
+        views = [make_view_result([0.03, 0.5, 0.5])]
+        kept_min, _ = validate_views(views, ZiggyConfig(aggregation="min"))
+        kept_bonf, _ = validate_views(
+            views, ZiggyConfig(aggregation="bonferroni"))
+        assert len(kept_min) == 1
+        assert kept_bonf == []  # 3 * 0.03 = 0.09 > 0.05
+
+    def test_view_without_tests_dropped(self):
+        vr = ViewResult(view=View(columns=("a",)), score=1.0, tightness=1.0,
+                        components=(ComponentScore(
+                            "c", ("a",), 1.0, 1.0, 1.0, None, "higher"),))
+        kept, _ = validate_views([vr], ZiggyConfig())
+        assert kept == []
+
+    def test_alpha_respected(self):
+        views = [make_view_result([0.03])]
+        assert validate_views(views, ZiggyConfig(alpha=0.05))[0]
+        assert validate_views(views, ZiggyConfig(alpha=0.01))[0] == []
+
+    def test_table_wide_multiplicity_scales_by_candidates(self):
+        views = [make_view_result([0.01])]
+        per_view = ZiggyConfig(aggregation="min")
+        table_wide = ZiggyConfig(aggregation="min",
+                                 multiplicity="table_wide")
+        kept_pv, _ = validate_views(views, per_view, n_candidates=20)
+        assert kept_pv and kept_pv[0].p_value == pytest.approx(0.01)
+        kept_tw, _ = validate_views(views, table_wide, n_candidates=20)
+        assert kept_tw == []  # 0.01 * 20 = 0.2 > alpha
+
+    def test_table_wide_with_single_candidate_equivalent(self):
+        views = [make_view_result([0.01])]
+        cfg = ZiggyConfig(aggregation="min", multiplicity="table_wide")
+        kept, _ = validate_views(views, cfg, n_candidates=1)
+        assert kept and kept[0].p_value == pytest.approx(0.01)
+
+    def test_invalid_multiplicity_rejected(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ZiggyConfig(multiplicity="global")

@@ -1,0 +1,105 @@
+"""Tests for the result dataclasses."""
+
+import pytest
+
+from repro.core.views import (
+    CharacterizationResult,
+    ComponentScore,
+    View,
+    ViewResult,
+)
+from repro.stats.tests_ import TestResult
+
+
+def make_component(name="mean_shift", columns=("a",), p=0.01, weight=1.0,
+                   normalized=2.0):
+    return ComponentScore(
+        component=name, columns=columns, raw=1.0, normalized=normalized,
+        weight=weight, test=TestResult(name, 1.0, p), direction="higher")
+
+
+class TestView:
+    def test_columns_sorted(self):
+        assert View(columns=("b", "a")).columns == ("a", "b")
+
+    def test_equality_order_insensitive(self):
+        assert View(columns=("x", "y")) == View(columns=("y", "x"))
+
+    def test_dimension(self):
+        assert View(columns=("a", "b", "c")).dimension == 3
+
+    def test_overlap(self):
+        assert View(columns=("a", "b")).overlaps(View(columns=("b", "c")))
+        assert not View(columns=("a",)).overlaps(View(columns=("b",)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            View(columns=())
+
+    def test_str(self):
+        assert str(View(columns=("a", "b"))) == "{a, b}"
+
+
+class TestComponentScore:
+    def test_weighted(self):
+        c = make_component(weight=2.0, normalized=3.0)
+        assert c.weighted == 6.0
+
+    def test_p_value_without_test(self):
+        c = ComponentScore("x", ("a",), 0.0, 0.0, 1.0, None, "higher")
+        assert c.p_value == 1.0
+        assert c.confidence == 0.0
+
+    def test_confidence(self):
+        assert make_component(p=0.05).confidence == pytest.approx(0.95)
+
+
+class TestViewResult:
+    def test_top_components_by_confidence(self):
+        strong = make_component("spread_shift", p=0.001)
+        weak = make_component("mean_shift", p=0.2)
+        vr = ViewResult(view=View(columns=("a",)), score=1.0, tightness=1.0,
+                        components=(weak, strong))
+        top = vr.top_components(1)
+        assert top[0].component == "spread_shift"
+
+    def test_top_components_deterministic_tiebreak(self):
+        a = make_component("a_comp", p=0.01)
+        b = make_component("b_comp", p=0.01)
+        vr = ViewResult(view=View(columns=("a",)), score=1.0, tightness=1.0,
+                        components=(b, a))
+        assert [c.component for c in vr.top_components(2)] == \
+               ["a_comp", "b_comp"]
+
+    def test_summary_line_flags_insignificance(self):
+        vr = ViewResult(view=View(columns=("a",)), score=1.0, tightness=1.0,
+                        components=(), significant=False)
+        assert "not significant" in vr.summary_line()
+
+
+class TestCharacterizationResult:
+    def make(self, views=()):
+        return CharacterizationResult(
+            views=tuple(views), n_inside=10, n_outside=90,
+            n_columns_considered=5,
+            timings={"preparation": 0.1, "view_search": 0.02,
+                     "post_processing": 0.01},
+            predicate="(x > 1)")
+
+    def test_total_time(self):
+        assert self.make().total_time == pytest.approx(0.13)
+
+    def test_best_empty(self):
+        assert self.make().best() is None
+
+    def test_view_for(self):
+        vr = ViewResult(view=View(columns=("a", "b")), score=1.0,
+                        tightness=1.0, components=())
+        result = self.make([vr])
+        assert result.view_for("a") is vr
+        assert result.view_for("zzz") is None
+
+    def test_describe_mentions_counts(self):
+        text = self.make().describe()
+        assert "10 rows inside" in text
+        assert "(x > 1)" in text

@@ -1,0 +1,136 @@
+"""Tests for the three demo-dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.boxoffice import make_boxoffice
+from repro.data.crime import CRIME_PHENOMENA, high_crime_predicate, make_crime
+from repro.data.innovation import make_innovation
+from repro.data.registry import dataset_names, load_dataset
+from repro.errors import UnknownDatasetError
+from repro.stats.correlation import pearson
+
+
+class TestCrime:
+    def test_paper_shape(self, crime_small):
+        full = make_crime()
+        assert full.shape == (1994, 128)
+
+    def test_deterministic(self):
+        a = make_crime(n_rows=100, seed=3)
+        b = make_crime(n_rows=100, seed=3)
+        assert np.array_equal(a.column("population").numeric_values(),
+                              b.column("population").numeric_values())
+
+    def test_seed_changes_data(self):
+        a = make_crime(n_rows=100, seed=3)
+        b = make_crime(n_rows=100, seed=4)
+        assert not np.array_equal(a.column("population").numeric_values(),
+                                  b.column("population").numeric_values())
+
+    def test_phenomenon_columns_exist(self, crime_small):
+        for columns, _ in CRIME_PHENOMENA.values():
+            for col in columns:
+                assert col in crime_small
+
+    def test_figure1_correlation_structure(self, crime_small):
+        """Each phenomenon pair must itself be correlated (tight views)."""
+        for name, (cols, _) in CRIME_PHENOMENA.items():
+            x = crime_small.column(cols[0]).numeric_values()
+            y = crime_small.column(cols[1]).numeric_values()
+            assert abs(pearson(np.log(np.abs(x) + 1e-9) if name == "density"
+                               else x,
+                               np.log(np.abs(y) + 1e-9) if name == "density"
+                               else y)) > 0.25, name
+
+    def test_crime_driven_by_factors(self, crime_small):
+        crime = crime_small.column("violent_crime_rate").numeric_values()
+        edu = crime_small.column("pct_college_educated").numeric_values()
+        assert pearson(crime, edu) < -0.25  # deprivation channel
+
+    def test_boarded_windows_proxy(self, crime_small):
+        crime = crime_small.column("violent_crime_rate").numeric_values()
+        proxy = crime_small.column("pct_boarded_windows").numeric_values()
+        assert pearson(crime, proxy) > 0.25
+
+    def test_missing_values_injected(self, crime_small):
+        assert crime_small.column("pct_boarded_windows").n_missing > 0
+
+    def test_missing_disabled(self):
+        t = make_crime(n_rows=100, missing=False)
+        assert t.column("pct_boarded_windows").n_missing == 0
+
+    def test_high_crime_predicate_selectivity(self, crime_small):
+        from repro.engine.database import Database
+        db = Database()
+        db.register(crime_small)
+        sel = db.select("us_crime", high_crime_predicate(crime_small, 0.9))
+        assert 0.05 < sel.selectivity < 0.15
+
+    def test_categoricals_present(self, crime_small):
+        assert crime_small.categorical_column_names() == \
+               ("region", "community_type")
+
+
+class TestBoxoffice:
+    def test_paper_shape(self):
+        assert make_boxoffice().shape == (900, 12)
+
+    def test_money_block_correlated(self, boxoffice_small):
+        budget = boxoffice_small.column("budget").numeric_values()
+        marketing = boxoffice_small.column("marketing_spend").numeric_values()
+        assert pearson(budget, marketing) > 0.6
+
+    def test_genre_economics(self, boxoffice_small):
+        genre = boxoffice_small.column("genre")
+        budget = boxoffice_small.column("budget").numeric_values()
+        doc_mask = np.array([g == "documentary" for g in genre.label_list()])
+        if doc_mask.sum() >= 5:
+            assert budget[doc_mask].mean() < budget[~doc_mask].mean()
+
+    def test_types(self, boxoffice_small):
+        assert "genre" in boxoffice_small.categorical_column_names()
+        assert "is_sequel" in boxoffice_small.numeric_column_names()
+
+
+class TestInnovation:
+    def test_paper_shape_scaled(self):
+        t = make_innovation(n_rows=500, n_columns=100)
+        assert t.shape == (500, 100)
+
+    def test_full_shape_columns(self):
+        t = make_innovation(n_rows=200)  # cheap row count, full width
+        assert t.n_columns == 519
+
+    def test_theme_blocks_tight(self):
+        t = make_innovation(n_rows=1000, n_columns=120)
+        a = t.column("rnd_spending_00").numeric_values()
+        b = t.column("rnd_spending_01").numeric_values()
+        assert pearson(a, b) > 0.3
+
+    def test_income_class_tracks_development(self):
+        t = make_innovation(n_rows=2000, n_columns=80)
+        income = t.column("income_class")
+        gdp = t.column("gdp_00").numeric_values()
+        high = np.array([v == "very_high" for v in income.label_list()])
+        low = np.array([v == "low" for v in income.label_list()])
+        assert np.nanmean(gdp[high]) > np.nanmean(gdp[low])
+
+    def test_missing_injected(self):
+        t = make_innovation(n_rows=500, n_columns=100)
+        gaps = sum(c.n_missing > 0 for c in t.columns)
+        assert gaps >= 10
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == ("boxoffice", "innovation", "us_crime")
+
+    def test_load_with_kwargs(self):
+        t = load_dataset("boxoffice", n_rows=50)
+        assert t.n_rows == 50
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownDatasetError) as exc:
+            load_dataset("netflix")
+        assert "boxoffice" in str(exc.value)

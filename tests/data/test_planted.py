@@ -1,0 +1,136 @@
+"""Tests for the planted-view generator and the synthetic builders."""
+
+import numpy as np
+import pytest
+
+from repro.data.planted import EFFECT_KINDS, make_planted
+from repro.data.synthetic import (
+    correlated_block,
+    gaussian_mixture_column,
+    inject_missing,
+    lognormal_column,
+    proportion_column,
+)
+from repro.stats.correlation import pearson
+
+
+class TestSyntheticBuilders:
+    def test_correlated_block_structure(self, rng):
+        block = correlated_block(rng, 2000, 4, loading=0.9, noise=0.3)
+        assert block.shape == (2000, 4)
+        assert pearson(block[:, 0], block[:, 1]) > 0.6
+
+    def test_correlated_block_shared_factor(self, rng):
+        factor = rng.normal(size=1000)
+        b1 = correlated_block(rng, 1000, 2, factor=factor)
+        b2 = correlated_block(rng, 1000, 2, factor=factor)
+        assert pearson(b1[:, 0], b2[:, 0]) > 0.2
+
+    def test_lognormal_positive_and_skewed(self, rng):
+        col = lognormal_column(rng, 5000, scale=100.0, sigma=0.8)
+        assert np.all(col > 0)
+        assert np.mean(col) > np.median(col)  # right skew
+
+    def test_proportion_bounds(self, rng):
+        col = proportion_column(rng, 1000, base=rng.normal(size=1000))
+        assert np.all((col > 0) & (col < 1))
+
+    def test_proportion_monotone_in_base(self, rng):
+        base = np.linspace(-3, 3, 500)
+        col = proportion_column(rng, 500, base=base, noise=0.001)
+        assert pearson(base, col) > 0.95
+
+    def test_mixture_multimodal(self, rng):
+        col = gaussian_mixture_column(rng, 5000, means=(-3.0, 3.0), sigma=0.3)
+        # Almost nothing near zero for well-separated modes.
+        assert np.mean(np.abs(col) < 1.0) < 0.05
+
+    def test_mixture_weights(self, rng):
+        col = gaussian_mixture_column(rng, 5000, means=(-3.0, 3.0),
+                                      weights=(0.9, 0.1), sigma=0.3)
+        assert np.mean(col < 0) > 0.8
+
+    def test_inject_missing_rate(self, rng):
+        out = inject_missing(rng, np.zeros(10000), 0.1)
+        assert np.isnan(out).mean() == pytest.approx(0.1, abs=0.02)
+
+    def test_inject_missing_informative(self, rng):
+        driver = np.arange(10000.0)
+        out = inject_missing(rng, np.zeros(10000), 0.1, driver=driver)
+        top_rate = np.isnan(out[-1000:]).mean()
+        bottom_rate = np.isnan(out[:1000]).mean()
+        assert top_rate > bottom_rate + 0.05
+
+    def test_inject_missing_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            inject_missing(rng, np.zeros(5), 1.0)
+
+
+class TestMakePlanted:
+    def test_shapes_and_truth(self):
+        ds = make_planted(n_rows=500, n_columns=20, n_views=3, view_dim=2)
+        assert ds.table.shape == (500, 20)
+        assert len(ds.truth) == 3
+        assert len(ds.truth_columns) == 6
+        kinds = [v.kind for v in ds.truth]
+        assert kinds == list(EFFECT_KINDS)
+
+    def test_selection_selectivity(self):
+        ds = make_planted(n_rows=1000, selectivity=0.2)
+        assert ds.selection.n_inside == pytest.approx(200, abs=2)
+
+    def test_mean_effect_visible(self):
+        ds = make_planted(n_rows=3000, n_views=1, kinds=("mean",),
+                          effect=1.0, seed=7)
+        col = ds.truth[0].columns[0]
+        values = ds.table.column(col).numeric_values()
+        mask = ds.selection.mask
+        assert values[mask].mean() - values[~mask].mean() > 0.7
+
+    def test_spread_effect_visible(self):
+        ds = make_planted(n_rows=3000, n_views=1, kinds=("spread",),
+                          effect=1.0, seed=7)
+        col = ds.truth[0].columns[0]
+        values = ds.table.column(col).numeric_values()
+        mask = ds.selection.mask
+        assert values[mask].std() / values[~mask].std() > 1.5
+
+    def test_correlation_effect_visible(self):
+        ds = make_planted(n_rows=3000, n_views=1, kinds=("correlation",),
+                          effect=1.0, seed=7)
+        c1, c2 = ds.truth[0].columns
+        x = ds.table.column(c1).numeric_values()
+        y = ds.table.column(c2).numeric_values()
+        mask = ds.selection.mask
+        assert abs(pearson(x[mask], y[mask])) < 0.3
+        assert pearson(x[~mask], y[~mask]) > 0.6
+
+    def test_planted_views_are_tight(self):
+        ds = make_planted(n_rows=2000, n_views=2, kinds=("mean", "spread"))
+        for pv in ds.truth:
+            c1, c2 = pv.columns
+            x = ds.table.column(c1).numeric_values()
+            y = ds.table.column(c2).numeric_values()
+            assert pearson(x, y) > 0.5
+
+    def test_zero_effect_invisible(self):
+        ds = make_planted(n_rows=2000, n_views=1, kinds=("mean",),
+                          effect=0.0, seed=7)
+        col = ds.truth[0].columns[0]
+        values = ds.table.column(col).numeric_values()
+        mask = ds.selection.mask
+        assert abs(values[mask].mean() - values[~mask].mean()) < 0.2
+
+    def test_too_many_views_raises(self):
+        with pytest.raises(ValueError):
+            make_planted(n_columns=4, n_views=3, view_dim=2)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_planted(kinds=("volcano",))
+
+    def test_deterministic(self):
+        a = make_planted(seed=11)
+        b = make_planted(seed=11)
+        assert np.array_equal(a.selection.mask, b.selection.mask)
+        assert a.truth == b.truth

@@ -1,0 +1,95 @@
+"""Property-based tests for aggregates and GROUP BY."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.aggregates import AggregateItem, execute_aggregation
+from repro.engine.database import Database
+from repro.engine.table import Table
+
+values = st.floats(min_value=-1e5, max_value=1e5, allow_infinity=False)
+groups = st.sampled_from(["a", "b", "c", None])
+
+
+@st.composite
+def tables(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    xs = [draw(values) for _ in range(n)]
+    gs = [draw(groups) for _ in range(n)]
+    return Table.from_dict({
+        "g": gs,
+        "x": np.array([np.nan if v != v else v for v in xs]),
+    }, name="prop_agg")
+
+
+@given(tables())
+@settings(max_examples=80)
+def test_group_counts_sum_to_total(table):
+    result = execute_aggregation(
+        table, (AggregateItem("count", None),), ("g",))
+    counts = result.column("count(*)").numeric_values()
+    assert counts.sum() == table.n_rows
+
+
+@given(tables())
+@settings(max_examples=80)
+def test_group_sums_equal_global_sum(table):
+    grouped = execute_aggregation(
+        table, (AggregateItem("sum", "x"),), ("g",))
+    global_ = execute_aggregation(
+        table, (AggregateItem("sum", "x"),), ())
+    gsum = np.nansum([v if v is not None else 0.0
+                      for v in (grouped.rows()[i][-1]
+                                for i in range(grouped.n_rows))])
+    total = global_.rows()[0][0]
+    if total is None:
+        assert abs(gsum) < 1e-9
+    else:
+        assert abs(gsum - total) < 1e-6 * max(1.0, abs(total))
+
+
+@given(tables())
+@settings(max_examples=60)
+def test_min_le_avg_le_max_per_group(table):
+    result = execute_aggregation(
+        table, (AggregateItem("min", "x"), AggregateItem("avg", "x"),
+                AggregateItem("max", "x")), ("g",))
+    for row in result.rows():
+        _, lo, mean, hi = row
+        if lo is None:
+            assert mean is None and hi is None
+            continue
+        assert lo - 1e-9 <= mean <= hi + 1e-9
+
+
+@given(tables())
+@settings(max_examples=60)
+def test_where_then_aggregate_consistent(table):
+    """count(*) with WHERE == number of rows the selection keeps."""
+    db = Database()
+    db.register(table)
+    result = db.query("SELECT count(*) FROM prop_agg WHERE x > 0")
+    sel = db.select("prop_agg", "x > 0")
+    assert result.rows()[0][0] == float(sel.n_inside)
+
+
+@given(tables())
+@settings(max_examples=40)
+def test_aggregation_invariant_to_row_order(table):
+    if table.n_rows < 2:
+        return
+    rng = np.random.default_rng(0)
+    perm = rng.permutation(table.n_rows)
+    shuffled = table.take(perm)
+    a = execute_aggregation(table, (AggregateItem("avg", "x"),), ("g",))
+    b = execute_aggregation(shuffled, (AggregateItem("avg", "x"),), ("g",))
+    to_map = lambda t: {row[0]: row[1] for row in t.rows()}  # noqa: E731
+    ma, mb = to_map(a), to_map(b)
+    assert set(ma) == set(mb)
+    for key, value in ma.items():
+        other = mb[key]
+        if value is None:
+            assert other is None
+        else:
+            assert abs(value - other) < 1e-9 * max(1.0, abs(value))

@@ -1,0 +1,136 @@
+"""Tests for typed column storage."""
+
+import numpy as np
+import pytest
+
+from repro.engine.column import (
+    BooleanColumn,
+    CategoricalColumn,
+    MISSING_CODE,
+    NumericColumn,
+    column_from_values,
+)
+from repro.engine.types import ColumnType
+from repro.errors import SchemaError
+
+
+class TestNumericColumn:
+    def test_basic(self):
+        col = NumericColumn("x", [1.0, 2.0, 3.0])
+        assert len(col) == 3
+        assert col.ctype is ColumnType.NUMERIC
+        assert list(col.values()) == [1.0, 2.0, 3.0]
+
+    def test_none_becomes_nan(self):
+        col = NumericColumn("x", [1.0, None, 3.0])
+        assert col.n_missing == 1
+        assert np.isnan(col.values()[1])
+
+    def test_immutable(self):
+        col = NumericColumn("x", np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            col.values()[0] = 99.0
+
+    def test_source_array_copied_semantics(self):
+        src = np.array([1.0, 2.0])
+        col = NumericColumn("x", src)
+        assert list(col.values()) == [1.0, 2.0]
+
+    def test_take_mask_and_indices(self):
+        col = NumericColumn("x", [10.0, 20.0, 30.0, 40.0])
+        assert list(col.take(np.array([True, False, True, False])).values()) \
+               == [10.0, 30.0]
+        assert list(col.take(np.array([3, 0])).values()) == [40.0, 10.0]
+
+    def test_empty_name_raises(self):
+        with pytest.raises(SchemaError):
+            NumericColumn("", [1.0])
+
+
+class TestBooleanColumn:
+    def test_encoding(self):
+        col = BooleanColumn("b", [True, False, None])
+        assert col.ctype is ColumnType.BOOLEAN
+        assert list(col.values()[:2]) == [1.0, 0.0]
+        assert col.n_missing == 1
+
+    def test_numpy_bool_array(self):
+        col = BooleanColumn("b", np.array([True, False, True]))
+        assert list(col.numeric_values()) == [1.0, 0.0, 1.0]
+
+    def test_rejects_non_boolean(self):
+        with pytest.raises(SchemaError):
+            BooleanColumn("b", np.array([0.0, 0.5]))
+
+    def test_take_roundtrip(self):
+        col = BooleanColumn("b", [True, False, True])
+        taken = col.take(np.array([2, 1]))
+        assert list(taken.values()) == [1.0, 0.0]
+
+
+class TestCategoricalColumn:
+    def test_dictionary_encoding(self):
+        col = CategoricalColumn("c", ["x", "y", "x", None, "z"])
+        assert col.ctype is ColumnType.CATEGORICAL
+        assert col.labels == ("x", "y", "z")
+        assert list(col.codes) == [0, 1, 0, MISSING_CODE, 2]
+        assert col.n_missing == 1
+
+    def test_values_roundtrip_labels(self):
+        col = CategoricalColumn("c", ["a", None, "b"])
+        assert col.label_list() == ["a", None, "b"]
+
+    def test_non_string_coerced(self):
+        col = CategoricalColumn("c", [1, 2, 1])
+        assert col.labels == ("1", "2")
+
+    def test_numeric_values_raises(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", ["a"]).numeric_values()
+
+    def test_take_preserves_dictionary(self):
+        col = CategoricalColumn("c", ["a", "b", "c", "a"])
+        taken = col.take(np.array([True, False, False, True]))
+        assert taken.labels == col.labels
+        assert taken.label_list() == ["a", "a"]
+
+    def test_from_codes(self):
+        col = CategoricalColumn("c", codes=np.array([0, 1, -1]),
+                                labels=("p", "q"))
+        assert col.label_list() == ["p", "q", None]
+
+    def test_bad_codes_raise(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", codes=np.array([5]), labels=("a",))
+
+    def test_codes_require_labels(self):
+        with pytest.raises(SchemaError):
+            CategoricalColumn("c", codes=np.array([0]))
+
+    def test_nan_float_treated_missing(self):
+        col = CategoricalColumn("c", ["a", float("nan")])
+        assert col.n_missing == 1
+
+
+class TestColumnFromValues:
+    def test_bool_sniffing(self):
+        assert isinstance(column_from_values("x", [True, None, False]),
+                          BooleanColumn)
+
+    def test_numeric_sniffing(self):
+        col = column_from_values("x", [1, 2.5, None])
+        assert isinstance(col, NumericColumn)
+
+    def test_mixed_becomes_categorical(self):
+        col = column_from_values("x", [1, "a"])
+        assert isinstance(col, CategoricalColumn)
+
+    def test_bool_not_mistaken_for_numeric(self):
+        # Python bool is an int subclass; the sniffer must prefer boolean.
+        col = column_from_values("x", [True, False])
+        assert isinstance(col, BooleanColumn)
+
+    def test_all_missing_is_categorical(self):
+        col = column_from_values("x", [None, None])
+        assert isinstance(col, CategoricalColumn)
+        assert col.n_missing == 2

@@ -1,0 +1,115 @@
+"""Tests for CSV import/export and type inference."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.engine.column import BooleanColumn, CategoricalColumn, NumericColumn
+from repro.engine.csvio import infer_column, read_csv, table_to_csv_text, write_csv
+from repro.engine.table import Table
+from repro.errors import CsvFormatError
+
+
+class TestInferColumn:
+    def test_numeric(self):
+        col = infer_column("x", ["1", "2.5", "-3"])
+        assert isinstance(col, NumericColumn)
+
+    def test_numeric_with_thousand_separators(self):
+        col = infer_column("x", ["1,000", "2,500"])
+        assert isinstance(col, NumericColumn)
+        assert col.values()[0] == 1000.0
+
+    def test_boolean_tokens(self):
+        col = infer_column("b", ["true", "False", "YES", "n"])
+        assert isinstance(col, BooleanColumn)
+        assert list(col.values()) == [1.0, 0.0, 1.0, 0.0]
+
+    def test_missing_tokens(self):
+        col = infer_column("x", ["1", "", "NA", "n/a", "?", "2"])
+        assert isinstance(col, NumericColumn)
+        assert col.n_missing == 4
+
+    def test_mixed_is_categorical(self):
+        col = infer_column("c", ["1", "apple"])
+        assert isinstance(col, CategoricalColumn)
+
+    def test_all_missing_categorical(self):
+        col = infer_column("c", ["", "NA"])
+        assert isinstance(col, CategoricalColumn)
+        assert col.n_missing == 2
+
+
+class TestReadCsv:
+    def test_roundtrip_types(self):
+        text = ("name,score,won,when\n"
+                "alice,1.5,true,monday\n"
+                "bob,2.5,false,tuesday\n"
+                "carol,,true,\n")
+        t = read_csv(io.StringIO(text), name="games")
+        assert t.shape == (3, 4)
+        assert [c.ctype.value for c in t.columns] == \
+               ["categorical", "numeric", "boolean", "categorical"]
+        assert t.column("score").n_missing == 1
+
+    def test_blank_lines_skipped(self):
+        t = read_csv(io.StringIO("a\n1\n\n2\n"))
+        assert t.n_rows == 2
+
+    def test_field_count_mismatch(self):
+        with pytest.raises(CsvFormatError) as exc:
+            read_csv(io.StringIO("a,b\n1\n"))
+        assert "line 2" in str(exc.value)
+
+    def test_empty_input(self):
+        with pytest.raises(CsvFormatError):
+            read_csv(io.StringIO(""))
+
+    def test_empty_header_name(self):
+        with pytest.raises(CsvFormatError):
+            read_csv(io.StringIO("a,,c\n1,2,3\n"))
+
+    def test_quoted_fields_with_commas(self):
+        t = read_csv(io.StringIO('a,b\n"x,y",1\n'))
+        assert t.column("a").label_list() == ["x,y"]
+
+    def test_custom_delimiter(self):
+        t = read_csv(io.StringIO("a;b\n1;2\n"), delimiter=";")
+        assert t.shape == (1, 2)
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("x\n1\n2\n")
+        t = read_csv(path)
+        assert t.name == "data"
+        assert t.n_rows == 2
+
+
+class TestWriteCsv:
+    def test_roundtrip_preserves_data(self, tmp_path):
+        original = Table.from_dict({
+            "num": np.array([1.0, 2.5, np.nan]),
+            "cat": ["a", None, "c"],
+            "flag": [True, False, None],
+        }, name="rt")
+        path = tmp_path / "rt.csv"
+        write_csv(original, path)
+        back = read_csv(path)
+        assert back.shape == original.shape
+        assert [c.ctype.value for c in back.columns] == \
+               [c.ctype.value for c in original.columns]
+        assert back.column("num").n_missing == 1
+        assert back.column("cat").label_list() == ["a", None, "c"]
+        assert list(back.column("flag").values()[:2]) == [1.0, 0.0]
+
+    def test_integers_written_without_decimal(self):
+        t = Table.from_dict({"x": np.array([1.0, 2.0])})
+        text = table_to_csv_text(t)
+        assert "1\n2" in text.replace("\r", "")
+
+    def test_write_to_stream(self):
+        t = Table.from_dict({"x": np.array([1.5])})
+        buf = io.StringIO()
+        write_csv(t, buf)
+        assert buf.getvalue().splitlines() == ["x", "1.5"]

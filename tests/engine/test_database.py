@@ -1,0 +1,129 @@
+"""Tests for the Database facade and Selection objects."""
+
+import numpy as np
+import pytest
+
+from repro.engine.database import Database, selection_from_mask
+from repro.engine.table import Table
+from repro.errors import UnknownTableError
+
+
+class TestCatalog:
+    def test_register_and_lookup(self, tiny_table):
+        db = Database()
+        db.register(tiny_table)
+        assert "tiny" in db
+        assert db.table("tiny") is tiny_table
+        assert db.table_names() == ("tiny",)
+
+    def test_register_under_alias(self, tiny_table):
+        db = Database()
+        db.register(tiny_table, name="alias")
+        assert db.table("alias") is tiny_table
+
+    def test_unknown_table(self):
+        db = Database()
+        with pytest.raises(UnknownTableError):
+            db.table("ghost")
+
+    def test_drop(self, tiny_table):
+        db = Database()
+        db.register(tiny_table)
+        db.drop("tiny")
+        assert "tiny" not in db
+        with pytest.raises(UnknownTableError):
+            db.drop("tiny")
+
+
+class TestSelect:
+    def test_predicate_text(self, tiny_db):
+        sel = tiny_db.select("tiny", "z >= 3")
+        assert sel.n_inside == 3
+        assert sel.n_outside == 5
+        assert sel.selectivity == pytest.approx(3 / 8)
+
+    def test_none_selects_all(self, tiny_db):
+        sel = tiny_db.select("tiny", None)
+        assert sel.n_inside == 8
+        assert sel.predicate is None
+
+    def test_inside_outside_tables(self, tiny_db):
+        sel = tiny_db.select("tiny", "z > 3")
+        assert sel.inside().n_rows + sel.outside().n_rows == 8
+        assert set(sel.inside().column("z").values()) == {4.0, 5.0}
+
+    def test_parsed_expression_accepted(self, tiny_db):
+        from repro.engine.parser import parse_predicate
+        expr = parse_predicate("z > 3")
+        sel = tiny_db.select("tiny", expr)
+        assert sel.n_inside == 2
+
+    def test_fingerprint_stability_across_spellings(self, tiny_db):
+        a = tiny_db.select("tiny", "z > 3")
+        b = tiny_db.select("tiny", "z   >   3.0")
+        assert a.fingerprint == b.fingerprint
+
+    def test_fingerprint_differs_across_predicates(self, tiny_db):
+        a = tiny_db.select("tiny", "z > 3")
+        b = tiny_db.select("tiny", "z > 4")
+        assert a.fingerprint != b.fingerprint
+
+    def test_fingerprint_differs_across_tables(self, tiny_table):
+        db = Database()
+        db.register(tiny_table, name="t1")
+        db.register(tiny_table, name="t2")
+        assert db.select("t1", "z > 3").fingerprint != \
+               db.select("t2", "z > 3").fingerprint
+
+    def test_describe(self, tiny_db):
+        text = tiny_db.select("tiny", "z > 3").describe()
+        assert "2/8" in text
+
+    def test_stats_counters(self, tiny_db):
+        before = tiny_db.stats.queries_run
+        tiny_db.select("tiny", "z > 0")
+        assert tiny_db.stats.queries_run == before + 1
+
+
+class TestQuery:
+    def test_full_query_pipeline(self, tiny_db):
+        result = tiny_db.query(
+            "SELECT z, cat FROM tiny WHERE z > 0 ORDER BY z DESC LIMIT 2")
+        assert result.column_names == ("z", "cat")
+        assert list(result.column("z").values()) == [5.0, 4.0]
+
+    def test_selection_for_query_ignores_projection(self, tiny_db):
+        sel = tiny_db.selection_for_query(
+            "SELECT x FROM tiny WHERE z > 3 LIMIT 1")
+        # LIMIT/projection must not affect the characterized selection.
+        assert sel.n_inside == 2
+        assert sel.table.n_columns == 5
+
+
+class TestSelectionFromMask:
+    def test_basic(self, tiny_table):
+        mask = np.zeros(8, dtype=bool)
+        mask[:3] = True
+        sel = selection_from_mask(tiny_table, mask)
+        assert sel.n_inside == 3
+        assert sel.predicate is None
+
+    def test_fingerprint_depends_on_mask(self, tiny_table):
+        m1 = np.zeros(8, dtype=bool)
+        m1[0] = True
+        m2 = np.zeros(8, dtype=bool)
+        m2[1] = True
+        assert selection_from_mask(tiny_table, m1).fingerprint != \
+               selection_from_mask(tiny_table, m2).fingerprint
+
+    def test_label_differentiates(self, tiny_table):
+        mask = np.ones(8, dtype=bool)
+        a = selection_from_mask(tiny_table, mask, label="a")
+        b = selection_from_mask(tiny_table, mask, label="b")
+        assert a.fingerprint != b.fingerprint
+
+    def test_wrong_shape_raises(self, tiny_table):
+        with pytest.raises(ValueError):
+            selection_from_mask(tiny_table, np.ones(3, dtype=bool))
+        with pytest.raises(ValueError):
+            selection_from_mask(tiny_table, np.ones(8))

@@ -1,0 +1,105 @@
+"""Property-based tests for the engine: parser/canonical-form invariants
+and selection-mask semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.database import Database
+from repro.engine.eval import evaluate_predicate
+from repro.engine.parser import parse_predicate
+from repro.engine.table import Table
+
+#: Simple predicate grammar over columns u (numeric, no NaN) and v
+#: (numeric with NaN).
+numbers = st.floats(min_value=-100, max_value=100, allow_nan=False,
+                    allow_infinity=False).map(lambda f: round(f, 3))
+
+
+@st.composite
+def predicates(draw, depth=0) -> str:
+    if depth >= 3 or draw(st.booleans()):
+        col = draw(st.sampled_from(["u", "v"]))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=", "!="]))
+        num = draw(numbers)
+        return f"{col} {op} {num}"
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        inner = draw(predicates(depth=depth + 1))
+        return f"NOT ({inner})"
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    return f"({left}) {kind.upper()} ({right})"
+
+
+def make_table(rows: list[tuple[float, float | None]]) -> Table:
+    u = np.array([r[0] for r in rows], dtype=np.float64)
+    v = np.array([np.nan if r[1] is None else r[1] for r in rows],
+                 dtype=np.float64)
+    return Table.from_dict({"u": u, "v": v}, name="prop")
+
+
+row_strategy = st.tuples(numbers, st.one_of(st.none(), numbers))
+
+
+@given(predicates(), st.lists(row_strategy, min_size=0, max_size=25))
+@settings(max_examples=150)
+def test_canonical_reparse_is_equivalent(pred_text, rows):
+    """parse(canonical(parse(p))) selects exactly the same rows as p."""
+    table = make_table(rows)
+    original = parse_predicate(pred_text)
+    reparsed = parse_predicate(original.canonical())
+    assert original.canonical() == reparsed.canonical()
+    m1 = evaluate_predicate(table, original)
+    m2 = evaluate_predicate(table, reparsed)
+    assert np.array_equal(m1, m2)
+
+
+@given(predicates(), st.lists(row_strategy, min_size=1, max_size=25))
+@settings(max_examples=150)
+def test_predicate_and_negation_never_overlap(pred_text, rows):
+    """p and NOT p never select the same row (NULL rows match neither)."""
+    table = make_table(rows)
+    m_pos = evaluate_predicate(table, parse_predicate(pred_text))
+    m_neg = evaluate_predicate(table, parse_predicate(f"NOT ({pred_text})"))
+    assert not np.any(m_pos & m_neg)
+    # Rows with no NULL involvement must match exactly one side.
+    complete = ~np.isnan(table.column("v").numeric_values())
+    assert np.array_equal((m_pos | m_neg)[complete],
+                          np.ones(int(complete.sum()), dtype=bool))
+
+
+@given(predicates(), st.lists(row_strategy, min_size=0, max_size=20))
+@settings(max_examples=100)
+def test_selection_partition_invariant(pred_text, rows):
+    """inside + outside always partition the table."""
+    table = make_table(rows)
+    db = Database()
+    db.register(table)
+    sel = db.select("prop", pred_text)
+    assert sel.n_inside + sel.n_outside == table.n_rows
+    assert sel.inside().n_rows == sel.n_inside
+    assert sel.outside().n_rows == sel.n_outside
+
+
+@given(st.lists(row_strategy, min_size=0, max_size=20), predicates())
+@settings(max_examples=100)
+def test_fingerprint_deterministic(rows, pred_text):
+    table = make_table(rows)
+    db = Database()
+    db.register(table)
+    a = db.select("prop", pred_text)
+    b = db.select("prop", pred_text)
+    assert a.fingerprint == b.fingerprint
+    assert np.array_equal(a.mask, b.mask)
+
+
+@given(st.lists(row_strategy, min_size=2, max_size=30))
+@settings(max_examples=60)
+def test_sort_by_is_permutation(rows):
+    table = make_table(rows)
+    sorted_t = table.sort_by("u")
+    assert sorted(table.column("u").values().tolist()) == \
+           sorted(sorted_t.column("u").values().tolist())
+    finite = sorted_t.column("u").values()
+    assert np.all(np.diff(finite[~np.isnan(finite)]) >= 0)

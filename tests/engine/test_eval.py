@@ -1,0 +1,161 @@
+"""Tests for expression evaluation and SQL three-valued logic."""
+
+import numpy as np
+import pytest
+
+from repro.engine.eval import evaluate_expression, evaluate_predicate
+from repro.engine.parser import parse_predicate
+from repro.engine.table import Table
+from repro.errors import QueryTypeError
+
+
+def select(table, text):
+    """Rows (by z-order id) matching the predicate."""
+    mask = evaluate_predicate(table, parse_predicate(text))
+    return list(np.flatnonzero(mask))
+
+
+@pytest.fixture
+def t():
+    return Table.from_dict({
+        "x": np.array([1.0, 2.0, 3.0, np.nan, 5.0]),
+        "y": np.array([10.0, 20.0, 30.0, 40.0, 50.0]),
+        "c": ["red", "green", None, "red", "blue"],
+        "b": [True, False, True, None, False],
+    })
+
+
+class TestComparisons:
+    def test_numeric_ops(self, t):
+        assert select(t, "x > 2") == [2, 4]
+        assert select(t, "x <= 2") == [0, 1]
+        assert select(t, "x = 3") == [2]
+        assert select(t, "x != 3") == [0, 1, 4]
+
+    def test_nan_never_matches(self, t):
+        assert 3 not in select(t, "x > 0")
+        assert 3 not in select(t, "x < 100")
+        assert 3 not in select(t, "x = x")
+
+    def test_column_to_column(self, t):
+        assert select(t, "y > x * 9") == [0, 1, 2, 4]
+
+    def test_string_equality(self, t):
+        assert select(t, "c = 'red'") == [0, 3]
+        assert select(t, "c != 'red'") == [1, 4]  # NULL excluded
+
+    def test_string_ordering(self, t):
+        assert select(t, "c < 'green'") == [4]  # 'blue'
+
+    def test_string_vs_number_raises(self, t):
+        with pytest.raises(QueryTypeError):
+            select(t, "c > 5")
+
+
+class TestThreeValuedLogic:
+    def test_not_null_is_null(self, t):
+        # NOT (NULL > 2) is NULL, still excluded.
+        assert 3 not in select(t, "NOT (x > 2)")
+
+    def test_or_short_circuit_truth(self, t):
+        # NULL OR TRUE = TRUE: row 3 has x NaN but y=40.
+        assert 3 in select(t, "x > 100 OR y = 40")
+
+    def test_and_null_false_is_false(self, t):
+        # NULL AND FALSE = FALSE -> NOT of it is TRUE.
+        assert 3 in select(t, "NOT (x > 1 AND y > 100)")
+
+    def test_and_null_true_is_null(self, t):
+        assert 3 not in select(t, "x > 1 AND y > 10")
+
+    def test_is_null(self, t):
+        assert select(t, "x IS NULL") == [3]
+        assert select(t, "c IS NULL") == [2]
+        assert select(t, "b IS NULL") == [3]
+        assert select(t, "x IS NOT NULL") == [0, 1, 2, 4]
+
+    def test_boolean_column_direct(self, t):
+        assert select(t, "b = TRUE") == [0, 2]
+        assert select(t, "NOT b") == [1, 4]
+
+
+class TestSpecialPredicates:
+    def test_in_numeric(self, t):
+        assert select(t, "x IN (1, 3, 99)") == [0, 2]
+
+    def test_not_in_excludes_null(self, t):
+        assert select(t, "x NOT IN (1, 3)") == [1, 4]
+
+    def test_in_strings(self, t):
+        assert select(t, "c IN ('red', 'blue')") == [0, 3, 4]
+
+    def test_in_boolean_literal(self, t):
+        assert select(t, "b IN (TRUE)") == [0, 2]
+
+    def test_between(self, t):
+        assert select(t, "x BETWEEN 2 AND 3") == [1, 2]
+        assert select(t, "x NOT BETWEEN 2 AND 3") == [0, 4]
+
+    def test_like(self, t):
+        assert select(t, "c LIKE 're%'") == [0, 3]
+        assert select(t, "c LIKE '_reen'") == [1]
+        assert select(t, "c NOT LIKE 're%'") == [1, 4]
+
+    def test_like_case_insensitive(self, t):
+        assert select(t, "c LIKE 'RED'") == [0, 3]
+
+    def test_like_on_numeric_raises(self, t):
+        with pytest.raises(QueryTypeError):
+            select(t, "x LIKE '1%'")
+
+
+class TestArithmetic:
+    def test_operations(self, t):
+        assert select(t, "x + 1 = 3") == [1]
+        assert select(t, "y / 10 = 2") == [1]
+        assert select(t, "y % 20 = 0") == [1, 3]
+        assert select(t, "-x = -5") == [4]
+
+    def test_division_by_zero_is_null(self, t):
+        assert select(t, "y / (x - x) > 0") == []
+
+    def test_functions(self, t):
+        assert select(t, "abs(x - 3) < 0.5") == [2]
+        assert select(t, "sqrt(y) = 10 - 5 - 5 + 2 * 2 - 1.5357") == []
+        assert select(t, "floor(x / 2) = 1") == [1, 2]
+
+    def test_log_of_negative_is_null(self):
+        t = Table.from_dict({"v": np.array([-1.0, 1.0])})
+        assert select(t, "log(v) IS NULL") == [0]
+
+    def test_pow(self, t):
+        assert select(t, "pow(x, 2) = 9") == [2]
+
+    def test_arithmetic_on_string_raises(self, t):
+        with pytest.raises(QueryTypeError):
+            select(t, "c + 1 > 0")
+
+
+class TestEvaluateExpression:
+    def test_numeric_expression_value(self, t):
+        value = evaluate_expression(t, parse_predicate("x * 2"))
+        assert value.kind == "num"
+        assert value.data[0] == 2.0
+
+    def test_literal_broadcast(self, t):
+        value = evaluate_expression(t, parse_predicate("42"))
+        assert value.data.shape == (5,)
+
+    def test_null_literal(self, t):
+        value = evaluate_expression(t, parse_predicate("NULL"))
+        assert np.all(np.isnan(value.data))
+
+
+class TestWholeRowSemantics:
+    def test_empty_table(self):
+        t = Table.from_dict({"x": np.array([], dtype=np.float64)})
+        assert select(t, "x > 0") == []
+
+    def test_predicate_selects_nothing_and_everything(self, t):
+        assert select(t, "y > 0") == [0, 1, 2, 3, 4]
+        assert select(t, "y < 0") == []

@@ -1,0 +1,68 @@
+"""Tests for scalar query functions."""
+
+import numpy as np
+import pytest
+
+from repro.engine.functions import apply_function, known_functions
+from repro.errors import QueryTypeError
+
+
+class TestUnaryFunctions:
+    @pytest.mark.parametrize("name,value,expected", [
+        ("abs", -3.0, 3.0),
+        ("sqrt", 9.0, 3.0),
+        ("log", np.e, 1.0),
+        ("ln", np.e, 1.0),
+        ("log2", 8.0, 3.0),
+        ("log10", 100.0, 2.0),
+        ("exp", 0.0, 1.0),
+        ("floor", 1.7, 1.0),
+        ("ceil", 1.2, 2.0),
+        ("round", 1.5, 2.0),
+        ("sign", -4.0, -1.0),
+    ])
+    def test_values(self, name, value, expected):
+        out = apply_function(name, [np.array([value])])
+        assert out[0] == pytest.approx(expected)
+
+    def test_domain_violations_become_nan(self):
+        assert np.isnan(apply_function("log", [np.array([-1.0])])[0])
+        assert np.isnan(apply_function("log", [np.array([0.0])])[0])
+        assert np.isnan(apply_function("sqrt", [np.array([-4.0])])[0])
+
+    def test_overflow_becomes_nan(self):
+        assert np.isnan(apply_function("exp", [np.array([1e4])])[0])
+
+    def test_nan_propagates(self):
+        assert np.isnan(apply_function("abs", [np.array([np.nan])])[0])
+
+    def test_arity_check(self):
+        with pytest.raises(QueryTypeError):
+            apply_function("abs", [np.array([1.0]), np.array([2.0])])
+
+
+class TestPow:
+    def test_basic(self):
+        out = apply_function("pow", [np.array([2.0]), np.array([10.0])])
+        assert out[0] == 1024.0
+
+    def test_fractional_power_of_negative_nan(self):
+        out = apply_function("pow", [np.array([-8.0]), np.array([0.5])])
+        assert np.isnan(out[0])
+
+    def test_arity(self):
+        with pytest.raises(QueryTypeError):
+            apply_function("pow", [np.array([1.0])])
+
+
+class TestRegistry:
+    def test_unknown_function_lists_available(self):
+        with pytest.raises(QueryTypeError) as exc:
+            apply_function("sinh", [np.array([1.0])])
+        assert "available" in str(exc.value)
+
+    def test_known_functions_sorted(self):
+        names = known_functions()
+        assert list(names) == sorted(names)
+        assert "pow" in names
+        assert "log" in names

@@ -1,0 +1,112 @@
+"""Tests for the tokenizer."""
+
+import pytest
+
+from repro.engine.lexer import Token, TokenKind, tokenize
+from repro.errors import QuerySyntaxError
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def texts(text):
+    return [t.text for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select From WHERE")
+        assert all(t.kind is TokenKind.KEYWORD for t in toks[:-1])
+        assert [t.text for t in toks[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifier_vs_keyword(self):
+        toks = tokenize("selection")
+        assert toks[0].kind is TokenKind.IDENT
+        assert toks[0].value == "selection"
+
+    def test_ends_with_end_token(self):
+        assert tokenize("")[-1].kind is TokenKind.END
+        assert tokenize("x")[-1].kind is TokenKind.END
+
+    def test_positions_recorded(self):
+        toks = tokenize("ab  cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 4
+
+
+class TestNumbers:
+    @pytest.mark.parametrize("literal,value", [
+        ("42", 42.0),
+        ("3.14", 3.14),
+        (".5", 0.5),
+        ("1e3", 1000.0),
+        ("2.5E-2", 0.025),
+        ("7e+2", 700.0),
+    ])
+    def test_number_forms(self, literal, value):
+        tok = tokenize(literal)[0]
+        assert tok.kind is TokenKind.NUMBER
+        assert tok.value == value
+
+    def test_exponent_without_digits_not_number(self):
+        toks = tokenize("1e")  # '1' then ident 'e'
+        assert toks[0].kind is TokenKind.NUMBER
+        assert toks[1].kind is TokenKind.IDENT
+
+
+class TestStrings:
+    def test_simple_string(self):
+        tok = tokenize("'hello'")[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hello"
+
+    def test_escaped_quote(self):
+        tok = tokenize("'it''s'")[0]
+        assert tok.value == "it's"
+
+    def test_unterminated_raises_with_position(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            tokenize("x = 'oops")
+        assert exc.value.position == 4
+
+    def test_quoted_identifier(self):
+        tok = tokenize('"my column"')[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.value == "my column"
+
+    def test_quoted_identifier_escape(self):
+        tok = tokenize('"a""b"')[0]
+        assert tok.value == 'a"b'
+
+    def test_unterminated_identifier(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize('"open')
+
+
+class TestOperators:
+    def test_greedy_multichar(self):
+        assert texts("a<=b") == ["a", "<=", "b"]
+        assert texts("a<>b") == ["a", "<>", "b"]
+        assert texts("a!=b") == ["a", "!=", "b"]
+        assert texts("a==b") == ["a", "==", "b"]
+
+    def test_star_token(self):
+        toks = tokenize("SELECT * FROM t")
+        assert toks[1].kind is TokenKind.STAR
+
+    def test_arithmetic(self):
+        assert texts("1+2*3/4-5%6") == ["1", "+", "2", "*", "3", "/", "4",
+                                        "-", "5", "%", "6"]
+
+    def test_unknown_character(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            tokenize("a @ b")
+        assert "@" in str(exc.value)
+
+
+class TestTokenValue:
+    def test_token_is_frozen(self):
+        tok = Token(TokenKind.IDENT, "x", 0, "x")
+        with pytest.raises(AttributeError):
+            tok.text = "y"  # type: ignore[misc]

@@ -1,0 +1,210 @@
+"""Tests for the recursive-descent parser and canonical forms."""
+
+import pytest
+
+from repro.engine.expr import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    conjunction,
+)
+from repro.engine.parser import parse_predicate, parse_query
+from repro.errors import QuerySyntaxError
+
+
+class TestPredicates:
+    def test_simple_comparison(self):
+        expr = parse_predicate("x > 3")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == ">"
+        assert isinstance(expr.left, ColumnRef)
+        assert isinstance(expr.right, Literal)
+
+    def test_precedence_and_over_or(self):
+        expr = parse_predicate("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"  # type: ignore[attr-defined]
+
+    def test_arithmetic_precedence(self):
+        expr = parse_predicate("x + 2 * y < 10")
+        add = expr.left  # type: ignore[attr-defined]
+        assert add.op == "+"
+        assert add.right.op == "*"
+
+    def test_parentheses_override(self):
+        expr = parse_predicate("(a = 1 OR b = 2) AND c = 3")
+        assert expr.op == "AND"
+
+    def test_not(self):
+        expr = parse_predicate("NOT x > 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_double_negation(self):
+        expr = parse_predicate("NOT NOT x = 1")
+        assert isinstance(expr.operand, UnaryOp)  # type: ignore[attr-defined]
+
+    def test_unary_minus(self):
+        expr = parse_predicate("x < -5")
+        assert isinstance(expr.right, UnaryOp)  # type: ignore[attr-defined]
+        assert expr.right.op == "NEG"
+
+    def test_between(self):
+        expr = parse_predicate("x BETWEEN 1 AND 5")
+        assert isinstance(expr, Between)
+        assert not expr.negated
+
+    def test_not_between(self):
+        expr = parse_predicate("x NOT BETWEEN 1 AND 5")
+        assert isinstance(expr, Between)
+        assert expr.negated
+
+    def test_between_binds_and_correctly(self):
+        # The AND inside BETWEEN must not be parsed as logical AND.
+        expr = parse_predicate("x BETWEEN 1 AND 5 AND y = 2")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == "AND"
+        assert isinstance(expr.left, Between)
+
+    def test_in_list(self):
+        expr = parse_predicate("c IN ('a', 'b')")
+        assert isinstance(expr, InList)
+        assert len(expr.items) == 2
+
+    def test_not_in(self):
+        expr = parse_predicate("c NOT IN (1, 2, -3)")
+        assert expr.negated  # type: ignore[attr-defined]
+
+    def test_is_null_variants(self):
+        assert isinstance(parse_predicate("x IS NULL"), IsNull)
+        expr = parse_predicate("x IS NOT NULL")
+        assert isinstance(expr, IsNull)
+        assert expr.negated
+
+    def test_like(self):
+        expr = parse_predicate("name LIKE '%son'")
+        assert isinstance(expr, Like)
+        assert expr.pattern == "%son"
+
+    def test_function_call(self):
+        expr = parse_predicate("log(x) > 2")
+        assert isinstance(expr.left, FunctionCall)  # type: ignore[attr-defined]
+        assert expr.left.name == "log"
+
+    def test_function_multiple_args(self):
+        expr = parse_predicate("pow(x, 2) > 4")
+        assert len(expr.left.args) == 2  # type: ignore[attr-defined]
+
+    def test_boolean_literals(self):
+        expr = parse_predicate("flag = TRUE")
+        assert expr.right.value is True  # type: ignore[attr-defined]
+
+    def test_quoted_column(self):
+        expr = parse_predicate('"my col" > 1')
+        assert expr.left.name == "my col"  # type: ignore[attr-defined]
+
+    def test_referenced_columns(self):
+        expr = parse_predicate("a > 1 AND log(b) < c + d")
+        assert expr.referenced_columns() == {"a", "b", "c", "d"}
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("bad", [
+        "x >",
+        "AND x = 1",
+        "x BETWEEN 1",
+        "x IN 1, 2",
+        "x IN ()",
+        "x LIKE 5",
+        "x NOT 5",
+        "(x = 1",
+        "x = 1)",
+        "x IS 5",
+        "",
+    ])
+    def test_malformed_predicates(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse_predicate(bad)
+
+    def test_error_carries_caret(self):
+        with pytest.raises(QuerySyntaxError) as exc:
+            parse_predicate("x > > 1")
+        assert "^" in str(exc.value)
+
+
+class TestQueries:
+    def test_full_query(self):
+        q = parse_query("SELECT a, b FROM t WHERE a > 1 "
+                        "ORDER BY b DESC LIMIT 10")
+        assert q.table == "t"
+        assert q.columns == ("a", "b")
+        assert q.order_by == "b"
+        assert q.descending
+        assert q.limit == 10
+
+    def test_star_projection(self):
+        q = parse_query("SELECT * FROM t")
+        assert q.columns is None
+        assert q.predicate is None
+
+    def test_order_asc_default(self):
+        q = parse_query("SELECT * FROM t ORDER BY x")
+        assert not q.descending
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t garbage")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT a WHERE x = 1")
+
+    def test_negative_limit_raises(self):
+        with pytest.raises(QuerySyntaxError):
+            parse_query("SELECT * FROM t LIMIT -1")
+
+    def test_canonical_roundtrip(self):
+        q = parse_query("select *  from t where x=1 order by x limit 5")
+        assert q.canonical() == \
+               "SELECT * FROM t WHERE (x = 1) ORDER BY x ASC LIMIT 5"
+
+
+class TestCanonicalForms:
+    @pytest.mark.parametrize("a,b", [
+        ("x = 1", "x == 1.0"),
+        ("x != 1", "x <> 1"),
+        ("x   >    2", "x > 2"),
+        ("c IN ('b', 'a')", "c IN ('a', 'b')"),  # sorted items
+        ("X_1 = 1", "X_1 = 1"),
+    ])
+    def test_equivalent_spellings_share_canonical(self, a, b):
+        assert parse_predicate(a).canonical() == parse_predicate(b).canonical()
+
+    @pytest.mark.parametrize("a,b", [
+        ("x = 1", "x = 2"),
+        ("x > 1", "x >= 1"),
+        ("x = 1 AND y = 2", "x = 1 OR y = 2"),
+        ("c LIKE 'a%'", "c LIKE 'a_'"),
+    ])
+    def test_different_predicates_differ(self, a, b):
+        assert parse_predicate(a).canonical() != parse_predicate(b).canonical()
+
+    def test_string_escaping(self):
+        expr = parse_predicate("c = 'it''s'")
+        assert "it''s" in expr.canonical()
+
+    def test_conjunction_helper(self):
+        expr = conjunction([parse_predicate("a = 1"), parse_predicate("b = 2")])
+        assert expr.canonical() == "((a = 1) AND (b = 2))"
+        assert conjunction([]).canonical() == "TRUE"
+
+    def test_numeric_literal_normalization(self):
+        assert Literal(2.0).canonical() == "2"
+        assert Literal(2.5).canonical() == "2.5"
+        assert Literal(None).canonical() == "NULL"

@@ -1,0 +1,84 @@
+"""Exhaustive truth tables for SQL three-valued (Kleene) logic.
+
+The evaluator encodes FALSE/UNKNOWN/TRUE as 0 / 0.5 / 1 so that AND=min,
+OR=max, NOT=1-x.  These tests pin the complete semantics against the SQL
+standard's truth tables — every cell, not samples.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.eval import evaluate_predicate, evaluate_expression, _to_bool
+from repro.engine.parser import parse_predicate
+from repro.engine.table import Table
+
+# One row per truth value of each operand: t/f/u via a nullable column.
+#   p: x > 0   -> TRUE for x=1, FALSE for x=-1, UNKNOWN for x=NULL
+#   q: y > 0   -> likewise on y.
+VALUES = {"t": 1.0, "f": -1.0, "u": np.nan}
+
+
+def table_for(p: str, q: str) -> Table:
+    return Table.from_dict({
+        "x": np.array([VALUES[p]]),
+        "y": np.array([VALUES[q]]),
+    })
+
+
+def kleene(table: Table, text: str) -> str:
+    value = evaluate_expression(table, parse_predicate(text))
+    encoded = float(_to_bool(value, "test")[0])
+    return {0.0: "f", 0.5: "u", 1.0: "t"}[encoded]
+
+
+# SQL standard truth tables.
+AND_TABLE = {
+    ("t", "t"): "t", ("t", "f"): "f", ("t", "u"): "u",
+    ("f", "t"): "f", ("f", "f"): "f", ("f", "u"): "f",
+    ("u", "t"): "u", ("u", "f"): "f", ("u", "u"): "u",
+}
+OR_TABLE = {
+    ("t", "t"): "t", ("t", "f"): "t", ("t", "u"): "t",
+    ("f", "t"): "t", ("f", "f"): "f", ("f", "u"): "u",
+    ("u", "t"): "t", ("u", "f"): "u", ("u", "u"): "u",
+}
+NOT_TABLE = {"t": "f", "f": "t", "u": "u"}
+
+
+class TestTruthTables:
+    @pytest.mark.parametrize("p,q", list(AND_TABLE))
+    def test_and(self, p, q):
+        table = table_for(p, q)
+        assert kleene(table, "x > 0 AND y > 0") == AND_TABLE[(p, q)]
+
+    @pytest.mark.parametrize("p,q", list(OR_TABLE))
+    def test_or(self, p, q):
+        table = table_for(p, q)
+        assert kleene(table, "x > 0 OR y > 0") == OR_TABLE[(p, q)]
+
+    @pytest.mark.parametrize("p", list(NOT_TABLE))
+    def test_not(self, p):
+        table = table_for(p, "t")
+        assert kleene(table, "NOT x > 0") == NOT_TABLE[p]
+
+    @pytest.mark.parametrize("p,q", list(AND_TABLE))
+    def test_de_morgan(self, p, q):
+        """NOT (p AND q) == (NOT p) OR (NOT q) — holds in Kleene logic."""
+        table = table_for(p, q)
+        left = kleene(table, "NOT (x > 0 AND y > 0)")
+        right = kleene(table, "(NOT x > 0) OR (NOT y > 0)")
+        assert left == right
+
+    @pytest.mark.parametrize("p", list(NOT_TABLE))
+    def test_excluded_middle_fails_on_unknown(self, p):
+        """p OR NOT p is UNKNOWN when p is UNKNOWN — the SQL surprise."""
+        table = table_for(p, "t")
+        result = kleene(table, "x > 0 OR NOT x > 0")
+        assert result == ("u" if p == "u" else "t")
+
+    @pytest.mark.parametrize("p,q", list(AND_TABLE))
+    def test_where_keeps_only_true(self, p, q):
+        table = table_for(p, q)
+        mask = evaluate_predicate(table,
+                                  parse_predicate("x > 0 AND y > 0"))
+        assert bool(mask[0]) == (AND_TABLE[(p, q)] == "t")

@@ -1,0 +1,166 @@
+"""Tests for metrics, workloads, reporting and timing utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.views import View
+from repro.data.planted import PlantedView
+from repro.experiments.harness import Timer, repeat_time
+from repro.experiments.metrics import (
+    best_jaccard_matching,
+    column_recovery,
+    jaccard,
+    rank_of_first_hit,
+    view_recovery,
+)
+from repro.experiments.reporting import Reporter, format_table
+from repro.experiments.workloads import (
+    random_predicates,
+    threshold_sweep_predicates,
+)
+
+
+def pv(*cols, kind="mean"):
+    return PlantedView(columns=tuple(sorted(cols)), kind=kind, strength=1.0)
+
+
+def v(*cols):
+    return View(columns=tuple(cols))
+
+
+class TestJaccard:
+    def test_values(self):
+        assert jaccard(("a", "b"), ("a", "b")) == 1.0
+        assert jaccard(("a", "b"), ("b", "c")) == pytest.approx(1 / 3)
+        assert jaccard(("a",), ("b",)) == 0.0
+        assert jaccard((), ()) == 1.0
+
+
+class TestColumnRecovery:
+    def test_perfect(self):
+        score = column_recovery([v("a", "b")], [pv("a", "b")])
+        assert score.precision == 1.0
+        assert score.recall == 1.0
+        assert score.f1 == 1.0
+
+    def test_partial(self):
+        score = column_recovery([v("a", "x")], [pv("a", "b")])
+        assert score.precision == 0.5
+        assert score.recall == 0.5
+
+    def test_empty_prediction(self):
+        score = column_recovery([], [pv("a")])
+        assert score.f1 == 0.0
+
+    def test_no_truth(self):
+        score = column_recovery([v("a")], [])
+        assert score.recall == 1.0
+
+
+class TestViewRecovery:
+    def test_exact_match(self):
+        score = view_recovery([v("a", "b"), v("c", "d")],
+                              [pv("a", "b"), pv("c", "d")])
+        assert score.f1 == 1.0
+
+    def test_one_to_one_matching(self):
+        # Two predicted views overlap the same truth: only one may match.
+        score = view_recovery([v("a", "x"), v("b", "y")], [pv("a", "b")],
+                              min_jaccard=0.3)
+        assert score.recall == 1.0
+        assert score.precision == 0.5
+
+    def test_threshold(self):
+        # Jaccard 1/3 < 0.5 default threshold.
+        score = view_recovery([v("a", "x")], [pv("a", "b")])
+        assert score.recall == 0.0
+
+    def test_matching_greedy_best_first(self):
+        matching = best_jaccard_matching(
+            [v("a", "b"), v("a", "c")], [pv("a", "b"), pv("c", "d")])
+        assert matching[0][2] == 1.0
+
+    def test_rank_of_first_hit(self):
+        predicted = [v("x", "y"), v("a", "b")]
+        assert rank_of_first_hit(predicted, [pv("a", "b")]) == 2
+        assert rank_of_first_hit([v("zzz",)], [pv("a", "b")]) is None
+
+
+class TestWorkloads:
+    def test_threshold_sweep(self, crime_small):
+        preds = threshold_sweep_predicates(crime_small,
+                                           "violent_crime_rate",
+                                           quantiles=(0.9, 0.8))
+        assert len(preds) == 2
+        assert all("violent_crime_rate >" in p for p in preds)
+
+    def test_sweep_thresholds_decreasing(self, crime_small):
+        preds = threshold_sweep_predicates(crime_small, "population",
+                                           quantiles=(0.9, 0.5))
+        t1 = float(preds[0].split(">")[1])
+        t2 = float(preds[1].split(">")[1])
+        assert t1 > t2
+
+    def test_random_predicates_parse_and_select(self, crime_small):
+        from repro.engine.database import Database
+        db = Database()
+        db.register(crime_small)
+        for pred in random_predicates(crime_small, n_queries=5, seed=3):
+            sel = db.select("us_crime", pred)
+            assert 0 <= sel.n_inside <= crime_small.n_rows
+
+    def test_random_predicates_deterministic(self, crime_small):
+        a = random_predicates(crime_small, n_queries=3, seed=7)
+        b = random_predicates(crime_small, n_queries=3, seed=7)
+        assert a == b
+
+    def test_no_numeric_columns_raises(self):
+        from repro.engine.table import Table
+        t = Table.from_dict({"c": ["a", "b"]})
+        with pytest.raises(ValueError):
+            random_predicates(t)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["alpha", 1.5], ["beta", 22222.123]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert "alpha" in text
+        assert len({len(l) for l in lines[1:]}) == 1  # rectangular
+
+    def test_format_table_special_values(self):
+        text = format_table(["v"], [[None], [float("nan")], [1e-9], [2e6]])
+        assert "-" in text
+        assert "nan" in text
+        assert "e" in text  # scientific notation for extremes
+
+    def test_reporter_flush(self, capsys):
+        reporter = Reporter("TEST-ID", "a description")
+        reporter.add_table(["a"], [[1]])
+        reporter.add_text("free text")
+        report = reporter.flush()
+        captured = capsys.readouterr().out
+        assert "TEST-ID" in captured
+        assert "free text" in report
+
+
+class TestTimer:
+    def test_laps_accumulate(self):
+        timer = Timer()
+        with timer.lap("a"):
+            pass
+        with timer.lap("a"):
+            pass
+        with timer.lap("b"):
+            pass
+        assert set(timer.laps) == {"a", "b"}
+        assert timer.total >= 0.0
+
+    def test_repeat_time_returns_median(self):
+        calls = []
+        t = repeat_time(lambda: calls.append(1), repeats=3, warmup=1)
+        assert len(calls) == 4
+        assert t >= 0.0

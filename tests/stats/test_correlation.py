@@ -1,0 +1,192 @@
+"""Tests for correlation estimators and pairwise moments."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.correlation import (
+    PairwiseMoments,
+    correlation_matrix,
+    fisher_z,
+    inverse_fisher_z,
+    masked_correlation_matrix,
+    pearson,
+    rankdata,
+    spearman,
+)
+
+
+class TestPearson:
+    def test_perfect_linear(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_matches_numpy(self, rng):
+        x = rng.normal(size=200)
+        y = 0.5 * x + rng.normal(size=200)
+        assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_pairwise_nan_deletion(self):
+        x = np.array([1.0, 2.0, np.nan, 4.0, 5.0])
+        y = np.array([1.0, np.nan, 3.0, 4.0, 5.0])
+        keep_x, keep_y = np.array([1.0, 4.0, 5.0]), np.array([1.0, 4.0, 5.0])
+        assert pearson(x, y) == pytest.approx(pearson(keep_x, keep_y))
+
+    def test_constant_column_nan(self):
+        r = pearson(np.full(5, 1.0), np.arange(5.0))
+        assert math.isnan(r)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_too_few_points(self):
+        with pytest.raises(InsufficientDataError):
+            pearson(np.array([1.0, np.nan]), np.array([1.0, 2.0]))
+
+    def test_clamped_to_unit_interval(self, rng):
+        x = rng.normal(size=50)
+        assert -1.0 <= pearson(x, x * 3.0) <= 1.0
+
+
+class TestRankdata:
+    def test_simple_ranks(self):
+        assert list(rankdata(np.array([30.0, 10.0, 20.0]))) == [3.0, 1.0, 2.0]
+
+    def test_average_ties(self):
+        assert list(rankdata(np.array([1.0, 2.0, 2.0, 3.0]))) == \
+               [1.0, 2.5, 2.5, 4.0]
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as sps
+        data = rng.integers(0, 5, size=100).astype(float)
+        assert np.allclose(rankdata(data), sps.rankdata(data))
+
+    def test_nan_stays_nan(self):
+        r = rankdata(np.array([2.0, np.nan, 1.0]))
+        assert math.isnan(r[1])
+        assert list(r[[0, 2]]) == [2.0, 1.0]
+
+
+class TestSpearman:
+    def test_monotone_nonlinear_perfect(self):
+        x = np.arange(1.0, 30.0)
+        assert spearman(x, np.exp(x / 10)) == pytest.approx(1.0)
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as sps
+        x = rng.normal(size=150)
+        y = x ** 3 + rng.normal(size=150)
+        expected = sps.spearmanr(x, y).statistic
+        assert spearman(x, y) == pytest.approx(expected, abs=1e-10)
+
+
+class TestFisherZ:
+    def test_roundtrip(self):
+        for r in (-0.9, -0.3, 0.0, 0.5, 0.99):
+            assert inverse_fisher_z(fisher_z(r)) == pytest.approx(r)
+
+    def test_clamps_extremes(self):
+        assert math.isfinite(fisher_z(1.0))
+        assert math.isfinite(fisher_z(-1.0))
+
+    def test_monotone(self):
+        assert fisher_z(0.9) > fisher_z(0.5) > fisher_z(0.0)
+
+
+class TestCorrelationMatrix:
+    def test_clean_matches_numpy(self, rng):
+        data = rng.normal(size=(300, 6))
+        data[:, 1] = data[:, 0] * 0.8 + rng.normal(size=300) * 0.2
+        ours = correlation_matrix(data)
+        theirs = np.corrcoef(data, rowvar=False)
+        assert np.allclose(ours, theirs, atol=1e-10)
+
+    def test_diagonal_ones(self, rng):
+        corr = correlation_matrix(rng.normal(size=(50, 4)))
+        assert np.allclose(np.diag(corr), 1.0)
+
+    def test_nan_column_pairwise(self, rng):
+        data = rng.normal(size=(200, 3))
+        data[:50, 1] = np.nan
+        corr = correlation_matrix(data)
+        expected = pearson(data[:, 0], data[:, 1])
+        assert corr[0, 1] == pytest.approx(expected)
+        # Clean pair still exact.
+        assert corr[0, 2] == pytest.approx(pearson(data[:, 0], data[:, 2]))
+
+    def test_constant_column_nan_offdiagonal(self, rng):
+        data = np.column_stack([np.full(30, 2.0), rng.normal(size=30)])
+        corr = correlation_matrix(data)
+        assert math.isnan(corr[0, 1])
+
+    def test_spearman_method(self, rng):
+        x = rng.normal(size=100)
+        data = np.column_stack([x, np.exp(x)])
+        corr = correlation_matrix(data, method="spearman")
+        assert corr[0, 1] == pytest.approx(1.0)
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros((5, 2)), method="kendall")
+
+    def test_not_2d_raises(self):
+        with pytest.raises(ValueError):
+            correlation_matrix(np.zeros(5))
+
+
+class TestPairwiseMoments:
+    def test_correlations_match_direct(self, rng):
+        data = rng.normal(size=(400, 5))
+        data[:, 2] += data[:, 0]
+        corr, counts = PairwiseMoments.from_matrix(data).correlations()
+        assert np.allclose(corr, np.corrcoef(data, rowvar=False), atol=1e-10)
+        assert np.all(counts == 400)
+
+    def test_with_missing_matches_pairwise_pearson(self, rng):
+        data = rng.normal(size=(300, 4))
+        data[rng.random((300, 4)) < 0.1] = np.nan
+        corr, counts = masked_correlation_matrix(data)
+        for i in range(4):
+            for j in range(i + 1, 4):
+                expected = pearson(data[:, i], data[:, j])
+                assert corr[i, j] == pytest.approx(expected, abs=1e-10)
+                keep = (~np.isnan(data[:, i]) & ~np.isnan(data[:, j])).sum()
+                assert counts[i, j] == keep
+
+    def test_additivity(self, rng):
+        data = rng.normal(size=(500, 3))
+        mask = rng.random(500) < 0.3
+        whole = PairwiseMoments.from_matrix(data)
+        inside = PairwiseMoments.from_matrix(data[mask])
+        outside = PairwiseMoments.from_matrix(data[~mask])
+        merged = inside.add(outside)
+        assert np.allclose(merged.n, whole.n)
+        assert np.allclose(merged.sxy, whole.sxy)
+
+    def test_subtraction_recovers_complement(self, rng):
+        data = rng.normal(size=(600, 4))
+        data[rng.random((600, 4)) < 0.05] = np.nan
+        mask = rng.random(600) < 0.2
+        whole = PairwiseMoments.from_matrix(data)
+        inside = PairwiseMoments.from_matrix(data[mask])
+        derived = whole.subtract(inside)
+        direct = PairwiseMoments.from_matrix(data[~mask])
+        corr_a, n_a = derived.correlations()
+        corr_b, n_b = direct.correlations()
+        assert np.allclose(n_a, n_b)
+        assert np.allclose(corr_a, corr_b, atol=1e-8, equal_nan=True)
+
+    def test_subtract_larger_raises(self, rng):
+        small = PairwiseMoments.from_matrix(rng.normal(size=(10, 2)))
+        big = PairwiseMoments.from_matrix(rng.normal(size=(20, 2)))
+        with pytest.raises(ValueError):
+            small.subtract(big)
+
+    def test_tiny_groups_yield_nan(self):
+        data = np.array([[1.0, 2.0]])
+        corr, _ = PairwiseMoments.from_matrix(data).correlations()
+        assert math.isnan(corr[0, 1])

@@ -1,0 +1,198 @@
+"""Tests for summary statistics and their merge/subtract algebra."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.descriptive import (
+    SummaryStats,
+    merge_stats,
+    quantile,
+    standardize,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_basic_moments_match_numpy(self, rng):
+        data = rng.normal(size=500)
+        s = summarize(data)
+        assert s.n == 500
+        assert s.n_missing == 0
+        assert s.mean == pytest.approx(data.mean())
+        assert s.variance == pytest.approx(data.var(ddof=1))
+        assert s.std == pytest.approx(data.std(ddof=1))
+        assert s.minimum == data.min()
+        assert s.maximum == data.max()
+
+    def test_nan_counted_as_missing(self):
+        s = summarize(np.array([1.0, np.nan, 3.0, np.nan]))
+        assert s.n == 2
+        assert s.n_missing == 2
+        assert s.total == 4
+        assert s.missing_rate == 0.5
+        assert s.mean == pytest.approx(2.0)
+
+    def test_empty_sample(self):
+        s = summarize(np.array([]))
+        assert s.n == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.variance)
+        assert s.missing_rate == 0.0
+
+    def test_all_missing(self):
+        s = summarize(np.array([np.nan, np.nan]))
+        assert s.n == 0
+        assert s.n_missing == 2
+        assert s.missing_rate == 1.0
+
+    def test_single_value_variance_nan(self):
+        s = summarize(np.array([42.0]))
+        assert s.n == 1
+        assert s.mean == 42.0
+        assert math.isnan(s.variance)
+        assert math.isnan(s.sem)
+
+    def test_constant_sample(self):
+        s = summarize(np.full(10, 3.0))
+        assert s.variance == pytest.approx(0.0)
+        assert s.value_range == 0.0
+
+    def test_skewness_sign(self, rng):
+        right_skewed = rng.exponential(size=2000)
+        assert summarize(right_skewed).skewness > 0.5
+        assert summarize(-right_skewed).skewness < -0.5
+
+    def test_skewness_matches_scipy(self, rng):
+        from scipy import stats as sps
+        data = rng.exponential(size=300)
+        assert summarize(data).skewness == pytest.approx(
+            sps.skew(data, bias=False))
+
+    def test_kurtosis_matches_scipy(self, rng):
+        from scipy import stats as sps
+        data = rng.normal(size=400)
+        assert summarize(data).kurtosis_excess == pytest.approx(
+            sps.kurtosis(data, bias=False))
+
+    def test_integer_input_coerced(self):
+        s = summarize(np.array([1, 2, 3]))
+        assert s.mean == pytest.approx(2.0)
+
+
+class TestMergeSubtract:
+    def test_merge_equals_whole(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(loc=3.0, size=250)
+        merged = merge_stats(summarize(a), summarize(b))
+        whole = summarize(np.concatenate([a, b]))
+        assert merged.n == whole.n
+        assert merged.mean == pytest.approx(whole.mean)
+        assert merged.m2 == pytest.approx(whole.m2)
+        assert merged.m3 == pytest.approx(whole.m3, rel=1e-9)
+        assert merged.m4 == pytest.approx(whole.m4, rel=1e-9)
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+
+    def test_merge_with_empty(self, rng):
+        a = summarize(rng.normal(size=50))
+        empty = summarize(np.array([]))
+        assert merge_stats(a, empty).mean == pytest.approx(a.mean)
+        assert merge_stats(empty, a).m2 == pytest.approx(a.m2)
+        both = merge_stats(empty, empty)
+        assert both.n == 0
+
+    def test_subtract_recovers_part(self, rng):
+        inside = rng.normal(loc=2.0, size=120)
+        outside = rng.normal(size=480)
+        whole = summarize(np.concatenate([inside, outside]))
+        derived = whole.subtract(summarize(inside))
+        direct = summarize(outside)
+        assert derived.n == direct.n
+        assert derived.mean == pytest.approx(direct.mean)
+        assert derived.variance == pytest.approx(direct.variance)
+        assert derived.skewness == pytest.approx(direct.skewness, rel=1e-6)
+        assert derived.kurtosis_excess == pytest.approx(
+            direct.kurtosis_excess, rel=1e-5)
+
+    def test_subtract_tracks_missing_counts(self):
+        whole = summarize(np.array([1.0, 2.0, np.nan, 4.0, np.nan]))
+        part = summarize(np.array([1.0, np.nan]))
+        rest = whole.subtract(part)
+        assert rest.n == 2
+        assert rest.n_missing == 1
+
+    def test_subtract_larger_raises(self, rng):
+        small = summarize(rng.normal(size=10))
+        big = summarize(rng.normal(size=20))
+        with pytest.raises(ValueError):
+            small.subtract(big)
+
+    def test_subtract_everything_gives_empty(self, rng):
+        data = rng.normal(size=30)
+        s = summarize(data)
+        rest = s.subtract(s)
+        assert rest.n == 0
+
+    def test_subtract_clamps_m2_nonnegative(self):
+        # Engineered rounding case: identical samples.
+        s = summarize(np.full(5, 1.0))
+        rest = s.subtract(summarize(np.full(3, 1.0)))
+        assert rest.m2 >= 0.0
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile(np.array([1.0, 2.0, 3.0]), 0.5) == 2.0
+
+    def test_nan_ignored(self):
+        assert quantile(np.array([1.0, np.nan, 3.0]), 0.5) == 2.0
+
+    def test_vector_of_quantiles(self):
+        qs = quantile(np.arange(101.0), np.array([0.0, 0.5, 1.0]))
+        assert list(qs) == [0.0, 50.0, 100.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            quantile(np.array([np.nan]), 0.5)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(loc=5, scale=3, size=1000)
+        z = standardize(data)
+        assert z.mean() == pytest.approx(0.0, abs=1e-12)
+        assert z.std(ddof=1) == pytest.approx(1.0, rel=1e-9)
+
+    def test_preserves_nan(self):
+        z = standardize(np.array([1.0, np.nan, 3.0]))
+        assert np.isnan(z[1])
+        assert not np.isnan(z[0])
+
+    def test_constant_column_no_infinities(self):
+        z = standardize(np.full(5, 7.0))
+        assert np.all(np.isfinite(z))
+        assert np.all(z == 0.0)
+
+    def test_explicit_center_scale(self):
+        z = standardize(np.array([10.0, 20.0]), center=10.0, scale=10.0)
+        assert list(z) == [0.0, 1.0]
+
+
+class TestSummaryStatsProperties:
+    def test_sem_decreases_with_n(self, rng):
+        small = summarize(rng.normal(size=25))
+        large = summarize(rng.normal(size=2500))
+        assert large.sem < small.sem
+
+    def test_frozen(self):
+        s = summarize(np.array([1.0, 2.0]))
+        with pytest.raises(AttributeError):
+            s.mean = 0.0  # type: ignore[misc]
+
+    def test_explicit_construction(self):
+        s = SummaryStats(n=3, n_missing=0, mean=2.0, m2=2.0, m3=0.0,
+                         m4=2.0, minimum=1.0, maximum=3.0)
+        assert s.variance == pytest.approx(1.0)

@@ -1,0 +1,205 @@
+"""Tests for the effect-size library underneath Zig-Components."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DegenerateDataError, InsufficientDataError
+from repro.stats.descriptive import summarize
+from repro.stats.effect_sizes import (
+    cliffs_delta,
+    cohens_d,
+    correlation_gap,
+    glass_delta,
+    hedges_g,
+    hellinger_distance,
+    log_sd_ratio,
+    pooled_std,
+    proportion_gap,
+    total_variation_distance,
+)
+
+
+class TestCohensD:
+    def test_known_shift(self, rng):
+        a = rng.normal(loc=1.0, size=20000)
+        b = rng.normal(loc=0.0, size=20000)
+        assert cohens_d(a, b) == pytest.approx(1.0, abs=0.05)
+
+    def test_sign_convention_inside_minus_outside(self, rng):
+        lower = rng.normal(loc=-2.0, size=500)
+        higher = rng.normal(loc=0.0, size=500)
+        assert cohens_d(lower, higher) < 0
+
+    def test_accepts_summary_stats(self, rng):
+        a, b = rng.normal(1, 1, 100), rng.normal(0, 1, 100)
+        assert cohens_d(summarize(a), summarize(b)) == pytest.approx(
+            cohens_d(a, b))
+
+    def test_equal_constants_zero(self):
+        assert cohens_d(np.full(5, 2.0), np.full(9, 2.0)) == 0.0
+
+    def test_unequal_constants_degenerate(self):
+        with pytest.raises(DegenerateDataError):
+            cohens_d(np.full(5, 1.0), np.full(5, 2.0))
+
+    def test_too_small_raises(self):
+        with pytest.raises(InsufficientDataError):
+            cohens_d(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestHedgesG:
+    def test_shrinks_towards_zero(self, rng):
+        a = rng.normal(1.0, 1.0, size=10)
+        b = rng.normal(0.0, 1.0, size=10)
+        d = cohens_d(a, b)
+        g = hedges_g(a, b)
+        assert abs(g) < abs(d)
+        assert math.copysign(1, g) == math.copysign(1, d)
+
+    def test_correction_factor_value(self, rng):
+        a = rng.normal(size=8)
+        b = rng.normal(size=8)
+        df = 14
+        expected = cohens_d(a, b) * (1 - 3 / (4 * df - 1))
+        assert hedges_g(a, b) == pytest.approx(expected)
+
+    def test_large_samples_nearly_equal_to_d(self, rng):
+        a = rng.normal(0.5, 1, 5000)
+        b = rng.normal(0.0, 1, 5000)
+        assert hedges_g(a, b) == pytest.approx(cohens_d(a, b), rel=1e-3)
+
+
+class TestGlassDelta:
+    def test_scales_by_control_sd(self, rng):
+        inside = rng.normal(loc=2.0, scale=5.0, size=2000)
+        outside = rng.normal(loc=0.0, scale=1.0, size=2000)
+        assert glass_delta(inside, outside) == pytest.approx(2.0, abs=0.15)
+
+    def test_constant_control_degenerate(self):
+        with pytest.raises(DegenerateDataError):
+            glass_delta(np.array([1.0, 2.0]), np.full(5, 3.0))
+
+
+class TestLogSdRatio:
+    def test_symmetry(self, rng):
+        a = rng.normal(scale=2.0, size=1000)
+        b = rng.normal(scale=1.0, size=1000)
+        assert log_sd_ratio(a, b) == pytest.approx(-log_sd_ratio(b, a))
+
+    def test_known_ratio(self, rng):
+        a = rng.normal(scale=np.e, size=100000)
+        b = rng.normal(scale=1.0, size=100000)
+        assert log_sd_ratio(a, b) == pytest.approx(1.0, abs=0.05)
+
+    def test_both_constant_zero(self):
+        assert log_sd_ratio(np.full(5, 1.0), np.full(5, 2.0)) == 0.0
+
+    def test_one_constant_degenerate(self):
+        with pytest.raises(DegenerateDataError):
+            log_sd_ratio(np.full(5, 1.0), np.array([1.0, 2.0, 3.0]))
+
+
+class TestCliffsDelta:
+    def test_full_separation(self):
+        assert cliffs_delta(np.array([10.0, 11.0]), np.array([1.0, 2.0])) == 1.0
+        assert cliffs_delta(np.array([1.0, 2.0]), np.array([10.0, 11.0])) == -1.0
+
+    def test_identical_distributions_near_zero(self, rng):
+        a = rng.normal(size=800)
+        b = rng.normal(size=800)
+        assert abs(cliffs_delta(a, b)) < 0.1
+
+    def test_ties_counted_as_neither(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.0, 2.0])
+        assert cliffs_delta(a, b) == 0.0
+
+    def test_matches_bruteforce(self, rng):
+        a = rng.integers(0, 10, size=40).astype(float)
+        b = rng.integers(0, 10, size=30).astype(float)
+        brute = np.sign(a[:, None] - b[None, :]).sum() / (a.size * b.size)
+        assert cliffs_delta(a, b) == pytest.approx(brute)
+
+    def test_subsampling_path(self, rng):
+        a = rng.normal(1.0, 1.0, size=10000)
+        b = rng.normal(0.0, 1.0, size=10000)
+        approx = cliffs_delta(a, b, max_n=2000)
+        exact = cliffs_delta(a, b, max_n=100000)
+        assert approx == pytest.approx(exact, abs=0.05)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            cliffs_delta(np.array([]), np.array([1.0]))
+
+
+class TestCorrelationGap:
+    def test_precomputed_path(self):
+        gap = correlation_gap(None, None, None, None, precomputed=(0.8, 0.2))
+        assert gap == pytest.approx(math.atanh(0.8) - math.atanh(0.2))
+
+    def test_raw_data_path(self, rng):
+        n = 3000
+        x = rng.normal(size=n)
+        inside_y = x + rng.normal(scale=0.3, size=n)    # strong corr
+        outside_x = rng.normal(size=n)
+        outside_y = rng.normal(size=n)                  # no corr
+        gap = correlation_gap(x, inside_y, outside_x, outside_y)
+        assert gap > 0.8
+
+    def test_nan_correlation_degenerate(self):
+        with pytest.raises(DegenerateDataError):
+            correlation_gap(None, None, None, None,
+                            precomputed=(float("nan"), 0.5))
+
+    def test_extreme_correlation_clamped(self):
+        gap = correlation_gap(None, None, None, None, precomputed=(1.0, 0.0))
+        assert math.isfinite(gap)
+
+
+class TestDistributionDistances:
+    def test_tv_identical_zero(self):
+        p = np.array([0.5, 0.5])
+        assert total_variation_distance(p, p) == 0.0
+
+    def test_tv_disjoint_one(self):
+        assert total_variation_distance(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_tv_known_value(self):
+        assert total_variation_distance(
+            np.array([0.7, 0.3]), np.array([0.4, 0.6])) == pytest.approx(0.3)
+
+    def test_hellinger_bounds(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert hellinger_distance(p, q) == pytest.approx(1.0)
+        assert hellinger_distance(p, p) == 0.0
+
+    def test_hellinger_le_sqrt_tv(self):
+        p = np.array([0.6, 0.3, 0.1])
+        q = np.array([0.2, 0.5, 0.3])
+        assert hellinger_distance(p, q) <= math.sqrt(
+            total_variation_distance(p, q)) + 1e-12
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation_distance(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestProportionGap:
+    def test_basic(self):
+        assert proportion_gap(30, 100, 10, 100) == pytest.approx(0.2)
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(InsufficientDataError):
+            proportion_gap(0, 0, 1, 10)
+
+
+class TestPooledStd:
+    def test_equal_groups(self, rng):
+        a = rng.normal(scale=2.0, size=5000)
+        b = rng.normal(scale=2.0, size=5000)
+        assert pooled_std(summarize(a), summarize(b)) == pytest.approx(
+            2.0, rel=0.05)

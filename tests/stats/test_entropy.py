@@ -1,0 +1,109 @@
+"""Tests for entropy and mutual information."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.entropy import (
+    binned_mutual_information,
+    entropy,
+    mutual_information,
+    normalized_mutual_information,
+)
+
+
+class TestEntropy:
+    def test_uniform_maximal(self):
+        assert entropy(np.full(4, 0.25)) == pytest.approx(math.log(4))
+
+    def test_degenerate_zero(self):
+        assert entropy(np.array([1.0, 0.0, 0.0])) == 0.0
+
+    def test_base_conversion(self):
+        assert entropy(np.full(8, 0.125), base=2) == pytest.approx(3.0)
+
+    def test_renormalizes_counts(self):
+        assert entropy(np.array([5.0, 5.0])) == pytest.approx(math.log(2))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            entropy(np.array([-0.1, 1.1]))
+
+    def test_empty_zero(self):
+        assert entropy(np.array([])) == 0.0
+
+
+class TestMutualInformation:
+    def test_independent_zero(self):
+        table = np.outer([30, 70], [40, 60])  # product structure
+        assert mutual_information(table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_identical_equals_entropy(self):
+        table = np.diag([25, 25, 50])
+        expected = entropy(np.array([0.25, 0.25, 0.5]))
+        assert mutual_information(table) == pytest.approx(expected)
+
+    def test_non_negative(self, rng):
+        table = rng.integers(0, 20, size=(4, 5)).astype(float)
+        assert mutual_information(table) >= 0.0
+
+    def test_empty_table_zero(self):
+        assert mutual_information(np.zeros((2, 2))) == 0.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            mutual_information(np.array([1.0, 2.0]))
+
+
+class TestNormalizedMI:
+    def test_bounds(self, rng):
+        table = rng.integers(1, 30, size=(5, 5)).astype(float)
+        assert 0.0 <= normalized_mutual_information(table) <= 1.0
+
+    def test_perfect_dependence_is_one(self):
+        assert normalized_mutual_information(np.diag([10, 20, 30])) == \
+               pytest.approx(1.0)
+
+    def test_constant_variable_zero(self):
+        table = np.array([[10, 20, 30]])  # X constant
+        assert normalized_mutual_information(table) == 0.0
+
+
+class TestBinnedMI:
+    def test_strong_dependence_high(self, rng):
+        x = rng.normal(size=3000)
+        y = x + rng.normal(scale=0.05, size=3000)
+        assert binned_mutual_information(x, y) > 0.6
+
+    def test_independence_low(self, rng):
+        x = rng.normal(size=3000)
+        y = rng.normal(size=3000)
+        assert binned_mutual_information(x, y) < 0.1
+
+    def test_detects_nonmonotone(self, rng):
+        x = rng.normal(size=4000)
+        y = x ** 2 + rng.normal(scale=0.1, size=4000)  # |corr| ~ 0
+        assert binned_mutual_information(x, y) > 0.3
+
+    def test_nan_rows_dropped(self, rng):
+        x = rng.normal(size=500)
+        y = x.copy()
+        x[:50] = np.nan
+        value = binned_mutual_information(x, y)
+        assert value > 0.6
+
+    def test_raw_nats_option(self, rng):
+        x = rng.normal(size=1000)
+        raw = binned_mutual_information(x, x, normalized=False)
+        assert raw > 1.0  # ~log(bins) for identity
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(InsufficientDataError):
+            binned_mutual_information(np.array([1.0, 2.0]),
+                                      np.array([1.0, 2.0]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            binned_mutual_information(np.zeros(10), np.zeros(11))

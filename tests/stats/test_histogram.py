@@ -1,0 +1,120 @@
+"""Tests for histograms and frequency profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError
+from repro.stats.histogram import (
+    FrequencyProfile,
+    equi_depth_edges,
+    equi_width_histogram,
+    frequency_profile,
+)
+
+
+class TestEquiWidthHistogram:
+    def test_counts_sum_to_n(self, rng):
+        data = rng.normal(size=500)
+        h = equi_width_histogram(data, bins=20)
+        assert h.n == 500
+        assert h.k == 20
+
+    def test_nan_excluded_and_counted(self):
+        h = equi_width_histogram(np.array([1.0, np.nan, 2.0]), bins=2)
+        assert h.n == 2
+        assert h.n_missing == 1
+
+    def test_shared_edges_for_two_groups(self, rng):
+        a = rng.normal(size=200)
+        b = rng.normal(loc=5, size=200)
+        edges = np.linspace(-5, 10, 31)
+        ha = equi_width_histogram(a, edges=edges)
+        hb = equi_width_histogram(b, edges=edges)
+        assert np.array_equal(ha.edges, hb.edges)
+        # b's mass should sit to the right of a's.
+        assert (ha.bin_centers() * ha.densities()).sum() < \
+               (hb.bin_centers() * hb.densities()).sum()
+
+    def test_densities_sum_to_one(self, rng):
+        h = equi_width_histogram(rng.normal(size=100), bins=7)
+        assert h.densities().sum() == pytest.approx(1.0)
+
+    def test_constant_data_does_not_crash(self):
+        h = equi_width_histogram(np.full(10, 3.0), bins=5)
+        assert h.n == 10
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            equi_width_histogram(np.array([np.nan]), bins=4)
+
+    def test_bad_bins_raises(self):
+        with pytest.raises(ValueError):
+            equi_width_histogram(np.array([1.0]), bins=0)
+
+    def test_non_increasing_edges_raise(self):
+        with pytest.raises(ValueError):
+            equi_width_histogram(np.array([1.0]), edges=np.array([0.0, 0.0, 1.0]))
+
+
+class TestEquiDepthEdges:
+    def test_roughly_equal_occupancy(self, rng):
+        data = rng.exponential(size=4000)
+        edges = equi_depth_edges(data, bins=8)
+        counts, _ = np.histogram(data, bins=edges)
+        assert counts.min() > 300  # ~500 expected per bin
+
+    def test_duplicate_quantiles_collapse(self):
+        data = np.array([1.0] * 50 + [2.0, 3.0])
+        edges = equi_depth_edges(data, bins=10)
+        assert np.all(np.diff(edges) > 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(InsufficientDataError):
+            equi_depth_edges(np.array([]), bins=3)
+
+
+class TestFrequencyProfile:
+    def test_counts_and_mode(self):
+        p = frequency_profile(["a", "b", "a", "a", "c"])
+        assert p.n == 5
+        assert p.mode() == "a"
+        assert dict(zip(p.categories, p.counts))["a"] == 3
+
+    def test_missing_tokens(self):
+        p = frequency_profile(["a", None, float("nan"), "", "b"],
+                              missing_token="")
+        assert p.n == 2
+        assert p.n_missing == 3
+
+    def test_proportions_sum_to_one(self):
+        p = frequency_profile(list("aabbbcc"))
+        assert p.proportions().sum() == pytest.approx(1.0)
+
+    def test_empty_profile(self):
+        p = frequency_profile([])
+        assert p.n == 0
+        assert p.mode() is None
+        assert p.proportions().size == 0
+
+    def test_aligned_with_union_support(self):
+        p = frequency_profile(["a", "a", "b"])
+        q = frequency_profile(["b", "c", "c", "c"])
+        pv, qv = p.aligned_with(q)
+        assert pv.size == qv.size == 3
+        assert pv.sum() == pytest.approx(1.0)
+        assert qv.sum() == pytest.approx(1.0)
+        # 'c' has zero mass in p.
+        assert 0.0 in list(pv)
+
+    def test_aligned_with_disjoint_supports(self):
+        p = frequency_profile(["x"])
+        q = frequency_profile(["y"])
+        pv, qv = p.aligned_with(q)
+        assert list(pv) == [1.0, 0.0]
+        assert list(qv) == [0.0, 1.0]
+
+    def test_explicit_construction(self):
+        p = FrequencyProfile(categories=("a", "b"),
+                             counts=np.array([3, 1], dtype=np.int64))
+        assert p.n == 4
+        assert p.mode() == "a"

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) for the statistics substrate.
+
+These pin the algebraic invariants everything else leans on: the
+merge/subtract algebra of sufficient statistics, bounds of effect sizes
+and dependency measures, and NaN discipline.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats.correlation import (
+    PairwiseMoments,
+    fisher_z,
+    inverse_fisher_z,
+    pearson,
+    rankdata,
+)
+from repro.stats.descriptive import merge_stats, summarize
+from repro.stats.effect_sizes import (
+    hellinger_distance,
+    total_variation_distance,
+)
+from repro.stats.entropy import entropy, normalized_mutual_information
+from repro.stats.robust import robust_zscores, winsorize
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+floats_with_nan = st.floats(min_value=-1e6, max_value=1e6,
+                            allow_infinity=False)  # NaN allowed
+
+sample = arrays(np.float64, st.integers(0, 60), elements=finite_floats)
+sample_nan = arrays(np.float64, st.integers(0, 60), elements=floats_with_nan)
+
+
+@given(sample_nan, sample_nan)
+def test_merge_commutative(a, b):
+    ab = merge_stats(summarize(a), summarize(b))
+    ba = merge_stats(summarize(b), summarize(a))
+    assert ab.n == ba.n
+    assert ab.n_missing == ba.n_missing
+    if ab.n:
+        assert math.isclose(ab.mean, ba.mean, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(ab.m2, ba.m2, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(sample_nan, sample_nan)
+def test_merge_equals_concatenation(a, b):
+    merged = merge_stats(summarize(a), summarize(b))
+    whole = summarize(np.concatenate([a, b]))
+    assert merged.n == whole.n
+    if whole.n:
+        assert math.isclose(merged.mean, whole.mean, rel_tol=1e-9,
+                            abs_tol=1e-9)
+        assert math.isclose(merged.m2, whole.m2, rel_tol=1e-6, abs_tol=1e-5)
+
+
+@given(sample_nan, sample_nan)
+def test_subtract_inverts_merge(a, b):
+    whole = summarize(np.concatenate([a, b]))
+    part = summarize(a)
+    rest = whole.subtract(part)
+    direct = summarize(b)
+    assert rest.n == direct.n
+    if direct.n:
+        assert math.isclose(rest.mean, direct.mean, rel_tol=1e-6,
+                            abs_tol=1e-6)
+        assert rest.m2 >= 0.0
+
+
+@given(arrays(np.float64, st.integers(2, 40), elements=finite_floats),
+       arrays(np.float64, st.integers(2, 40), elements=finite_floats))
+def test_pearson_bounds_and_symmetry(x, y):
+    n = min(x.size, y.size)
+    x, y = x[:n], y[:n]
+    r = pearson(x, y)
+    if not math.isnan(r):
+        assert -1.0 <= r <= 1.0
+        assert math.isclose(r, pearson(y, x), rel_tol=1e-9, abs_tol=1e-12)
+
+
+@given(st.floats(min_value=-0.999999, max_value=0.999999))
+def test_fisher_z_roundtrip(r):
+    assert math.isclose(inverse_fisher_z(fisher_z(r)), r,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(arrays(np.float64, st.integers(1, 50), elements=finite_floats))
+def test_rankdata_is_permutation_of_1_to_n(values):
+    ranks = rankdata(values)
+    assert ranks.size == values.size
+    assert math.isclose(ranks.sum(), values.size * (values.size + 1) / 2,
+                        rel_tol=1e-9)
+
+
+@given(arrays(np.float64, st.integers(2, 30),
+              elements=st.floats(min_value=0.0, max_value=1.0)),
+       arrays(np.float64, st.integers(2, 30),
+              elements=st.floats(min_value=0.0, max_value=1.0)))
+def test_distribution_distances_bounded(p, q):
+    n = min(p.size, q.size)
+    p, q = p[:n], q[:n]
+    sp, sq = p.sum(), q.sum()
+    if sp <= 0 or sq <= 0:
+        return
+    p, q = p / sp, q / sq
+    tv = total_variation_distance(p, q)
+    h = hellinger_distance(p, q)
+    assert 0.0 <= tv <= 1.0 + 1e-9
+    assert 0.0 <= h <= 1.0 + 1e-9
+    assert h * h <= tv + 1e-9  # H^2 <= TV
+
+
+@given(arrays(np.float64, st.integers(1, 20),
+              elements=st.floats(min_value=0.0, max_value=100.0)))
+def test_entropy_nonnegative_and_bounded(counts):
+    if counts.sum() <= 0:
+        return
+    h = entropy(counts)
+    assert 0.0 <= h <= math.log(counts.size) + 1e-9
+
+
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 1000))
+def test_nmi_bounds(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    table = rng.integers(0, 30, size=(rows, cols)).astype(float)
+    nmi = normalized_mutual_information(table)
+    assert 0.0 <= nmi <= 1.0
+
+
+@given(sample_nan)
+def test_robust_zscores_preserve_nan_positions(values):
+    z = robust_zscores(values)
+    assert z.shape == values.shape
+    assert np.array_equal(np.isnan(z), np.isnan(values))
+
+
+@given(sample_nan, st.floats(min_value=0.0, max_value=0.49))
+@settings(max_examples=50)
+def test_winsorize_bounded_by_original_range(values, proportion):
+    w = winsorize(values, proportion)
+    finite = values[~np.isnan(values)]
+    if finite.size:
+        wf = w[~np.isnan(w)]
+        assert wf.min() >= finite.min() - 1e-9
+        assert wf.max() <= finite.max() + 1e-9
+
+
+@given(st.integers(5, 80), st.integers(2, 5), st.integers(0, 10_000))
+@settings(max_examples=40)
+def test_pairwise_moments_subtraction_consistency(n_rows, n_cols, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n_rows, n_cols))
+    data[rng.random((n_rows, n_cols)) < 0.15] = np.nan
+    mask = rng.random(n_rows) < 0.4
+    whole = PairwiseMoments.from_matrix(data)
+    inside = PairwiseMoments.from_matrix(data[mask])
+    derived, _ = whole.subtract(inside).correlations()
+    direct, _ = PairwiseMoments.from_matrix(data[~mask]).correlations()
+    assert np.allclose(derived, direct, atol=1e-7, equal_nan=True)

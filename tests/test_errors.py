@@ -1,0 +1,96 @@
+"""Tests for the exception hierarchy and error ergonomics."""
+
+import pytest
+
+from repro.errors import (
+    ComponentError,
+    ConfigError,
+    CoreError,
+    CsvFormatError,
+    DataError,
+    EmptySelectionError,
+    EngineError,
+    InsufficientDataError,
+    QuerySyntaxError,
+    ReproError,
+    SchemaError,
+    StatsError,
+    UnknownColumnError,
+    UnknownComponentError,
+    UnknownDatasetError,
+    UnknownTableError,
+    _closest,
+    _edit_distance,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        EngineError, SchemaError, QuerySyntaxError, CsvFormatError,
+        StatsError, CoreError, ComponentError, ConfigError, DataError,
+    ])
+    def test_everything_is_a_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_subsystem_grouping(self):
+        assert issubclass(UnknownColumnError, EngineError)
+        assert issubclass(UnknownTableError, EngineError)
+        assert issubclass(InsufficientDataError, StatsError)
+        assert issubclass(UnknownComponentError, ComponentError)
+        assert issubclass(EmptySelectionError, CoreError)
+        assert issubclass(UnknownDatasetError, DataError)
+
+    def test_single_catch_at_api_boundary(self):
+        with pytest.raises(ReproError):
+            raise UnknownColumnError("x")
+
+
+class TestErrorPayloads:
+    def test_unknown_column_suggestion(self):
+        err = UnknownColumnError("populaton", ("population", "density"))
+        assert "population" in str(err)
+        assert err.name == "populaton"
+
+    def test_unknown_column_no_bogus_suggestion(self):
+        err = UnknownColumnError("zzzz", ("population",))
+        assert "did you mean" not in str(err)
+
+    def test_query_syntax_error_caret(self):
+        err = QuerySyntaxError("boom", position=3, text="a >< b")
+        text = str(err)
+        assert "^" in text
+        assert text.splitlines()[-1].index("^") == 5  # 2-space indent + pos
+
+    def test_empty_selection_message(self):
+        err = EmptySelectionError(0, 100)
+        assert "0 of 100" in str(err)
+
+    def test_insufficient_data_fields(self):
+        err = InsufficientDataError("pearson", needed=2, got=1)
+        assert err.needed == 2 and err.got == 1
+        assert "pearson" in str(err)
+
+    def test_unknown_component_lists_options(self):
+        err = UnknownComponentError("meen_shift", ("mean_shift",))
+        assert "mean_shift" in str(err)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize("a,b,d", [
+        ("", "", 0),
+        ("a", "", 1),
+        ("kitten", "sitting", 3),
+        ("abc", "abc", 0),
+        ("abc", "acb", 2),
+    ])
+    def test_known_distances(self, a, b, d):
+        assert _edit_distance(a, b) == d
+
+    def test_cutoff_early_exit(self):
+        assert _edit_distance("aaaaaaaa", "bbbbbbbb", cutoff=3) == 3
+
+    def test_closest_case_insensitive(self):
+        assert _closest("Population", ("population", "rent")) == "population"
+
+    def test_closest_none_when_far(self):
+        assert _closest("xy", ("population", "rent")) is None
