@@ -8,7 +8,7 @@ the database — scores them with the composite, explainable
 **Zig-Dissimilarity**, checks their statistical robustness, and
 verbalizes why each view was chosen.
 
-Quickstart::
+Quickstart (library)::
 
     from repro import Ziggy, load_dataset
 
@@ -18,6 +18,29 @@ Quickstart::
     print(result.describe())
     for view in result.views:
         print(view.explanation)
+
+    # Batches share statistics across predicates (one table scan):
+    results = ziggy.characterize_many(["violent_crime_rate > 0.25",
+                                       "pct_unemployed > 0.3"])
+
+Quickstart (service) — the paper's engine-plus-web-server architecture,
+speaking the typed protocol v2 (see ``docs/api_v2.md``)::
+
+    from repro import ZiggyService, CharacterizeRequest, load_dataset
+
+    service = ZiggyService()
+    service.register_table(load_dataset("us_crime"))
+    response = service.characterize(
+        CharacterizeRequest(where="violent_crime_rate > 0.25"))
+    for view in response.views.items:
+        print(view["explanation"])
+
+    # Long searches run as cancellable jobs with progressive results:
+    job = service.submit(CharacterizeRequest(where="pct_unemployed > 0.3"))
+    snapshot = service.wait(job.job_id)
+
+Run the HTTP server with ``python -m repro serve --dataset us_crime`` and
+talk to it with :class:`repro.service.client.ZiggyClient`.
 """
 
 from repro.core.config import ZiggyConfig
@@ -32,9 +55,16 @@ from repro.data.registry import dataset_names, load_dataset
 from repro.engine.csvio import read_csv, write_csv
 from repro.engine.database import Database, Selection, selection_from_mask
 from repro.engine.table import Table
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
+from repro.service import (
+    PROTOCOL_VERSION,
+    ApiError,
+    BatchRequest,
+    CharacterizeRequest,
+    ZiggyService,
+)
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "Ziggy",
@@ -52,5 +82,11 @@ __all__ = [
     "load_dataset",
     "dataset_names",
     "ReproError",
+    "ServiceError",
+    "ZiggyService",
+    "CharacterizeRequest",
+    "BatchRequest",
+    "ApiError",
+    "PROTOCOL_VERSION",
     "__version__",
 ]

@@ -1,68 +1,81 @@
-"""JSON-able request/response API — what the demo's web server speaks.
+"""The legacy (v1) dict API — now a thin adapter over protocol v2.
 
-The middle layer of the paper's architecture is "the query
-characterization engine and a Web server".  :class:`ZiggyApi` is that
-server's handler, minus the socket: it accepts plain-dict requests and
-returns plain-dict responses (every value JSON-serializable), so an HTTP
-veneer, a notebook, or a test can drive it identically.
+:class:`ZiggyApi` keeps the original stringly-typed contract — plain-dict
+requests with an ``"action"`` key, plain-dict responses with ``"ok"`` —
+but every action is translated onto the typed v2 service
+(:class:`~repro.service.service.ZiggyService`), so the demo, notebooks
+and old tests keep working unchanged while new deployments talk v2
+directly.
+
+Success responses are shape-identical to the original implementation.
+Error responses additionally carry a machine-readable ``"code"`` (the v2
+error code) next to the original ``"error"`` string.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.app.session import ZiggySession
-from repro.core.views import ComponentScore, ViewResult
 from repro.errors import ReproError
+from repro.service.protocol import (
+    CharacterizeRequest,
+    ConfigureRequest,
+    ErrorCode,
+    ViewPageRequest,
+    component_to_dict,
+    error_code_for,
+    json_safe,
+    view_to_dict,
+)
+
+if TYPE_CHECKING:  # imported lazily at runtime (app <-> service cycle)
+    from repro.service.service import ZiggyService
+
+__all__ = ["ZiggyApi", "component_to_dict", "view_to_dict", "_json_safe"]
+
+#: The client ID the adapter parks its session under in the service.
+V1_CLIENT_ID = "v1"
+
+#: The v1 action vocabulary (advertised on unknown actions).
+V1_ACTIONS = ("list_tables", "query", "views", "view_detail", "dendrogram",
+              "set_weights", "set_option")
 
 
-def _json_safe(value: float) -> float | None:
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    return value
-
-
-def component_to_dict(score: ComponentScore) -> dict[str, Any]:
-    """Serialize one component score."""
-    return {
-        "component": score.component,
-        "columns": list(score.columns),
-        "raw": _json_safe(score.raw),
-        "normalized": _json_safe(score.normalized),
-        "weight": score.weight,
-        "direction": score.direction,
-        "p_value": _json_safe(score.p_value),
-        "detail": {k: (list(v) if isinstance(v, tuple) else v)
-                   for k, v in score.detail.items()},
-    }
-
-
-def view_to_dict(result: ViewResult, rank: int) -> dict[str, Any]:
-    """Serialize one ranked view."""
-    return {
-        "rank": rank,
-        "columns": list(result.columns),
-        "score": _json_safe(result.score),
-        "tightness": _json_safe(result.tightness),
-        "p_value": _json_safe(result.p_value),
-        "significant": result.significant,
-        "explanation": result.explanation,
-        "components": [component_to_dict(c) for c in result.components],
-    }
+def _json_safe(value):
+    """Recursively JSON-safe conversion (kept under the old name for
+    backward compatibility; now handles nested containers too)."""
+    return json_safe(value)
 
 
 class ZiggyApi:
-    """Dispatches dict requests onto a :class:`ZiggySession`.
+    """Dispatches v1 dict requests onto the v2 service.
 
     Supported actions: ``list_tables``, ``query``, ``views``,
     ``view_detail``, ``dendrogram``, ``set_weights``, ``set_option``.
-    Errors come back as ``{"ok": False, "error": ...}`` rather than
-    raising — a web handler must never 500 on a user typo.
+    Errors come back as ``{"ok": False, "error": ..., "code": ...}``
+    rather than raising — a web handler must never 500 on a user typo.
+
+    Args:
+        session: an existing session to adopt (the pre-service calling
+            convention); a fresh one is created when omitted.
+        service: an existing service to share (the server passes its
+            own, so ``/v1`` and ``/v2`` traffic see the same catalog).
     """
 
-    def __init__(self, session: ZiggySession | None = None):
-        self.session = session if session is not None else ZiggySession()
+    def __init__(self, session: ZiggySession | None = None,
+                 service: ZiggyService | None = None):
+        from repro.service.service import ZiggyService
+        if service is not None:
+            self.service = service
+            self.session = service.session(V1_CLIENT_ID)
+            if session is not None:
+                self.service.attach_session(V1_CLIENT_ID, session)
+                self.session = session
+        else:
+            self.session = session if session is not None else ZiggySession()
+            self.service = ZiggyService(database=self.session.database)
+            self.service.attach_session(V1_CLIENT_ID, self.session)
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
         """Process one request dict and return the response dict."""
@@ -71,66 +84,64 @@ class ZiggyApi:
         if action is None or handler is None:
             return {"ok": False,
                     "error": f"unknown action {action!r}",
-                    "available": ["list_tables", "query", "views",
-                                  "view_detail", "dendrogram",
-                                  "set_weights", "set_option"]}
+                    "code": ErrorCode.UNKNOWN_ACTION,
+                    "available": list(V1_ACTIONS)}
         try:
             payload = handler(request)
         except ReproError as exc:
-            return {"ok": False, "error": str(exc)}
+            return {"ok": False, "error": str(exc),
+                    "code": error_code_for(exc)}
         except (ValueError, TypeError, KeyError) as exc:
-            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}",
+                    "code": ErrorCode.BAD_REQUEST}
         payload["ok"] = True
         return payload
 
     # -- handlers ----------------------------------------------------------------
 
     def _handle_list_tables(self, request: dict) -> dict:
-        tables = []
-        for name in self.session.tables():
-            table = self.session.database.table(name)
-            tables.append({
-                "name": name,
-                "rows": table.n_rows,
-                "columns": table.n_columns,
-                "column_names": list(table.column_names),
-            })
-        return {"tables": tables}
+        catalog = self.service.list_tables()
+        return {"tables": [t.to_dict() for t in catalog.tables]}
 
     def _handle_query(self, request: dict) -> dict:
-        where = request["where"]
-        table = request.get("table")
-        result = self.session.run(where, table=table)
+        response = self.service.characterize(CharacterizeRequest(
+            where=request["where"],
+            table=request.get("table"),
+            client_id=V1_CLIENT_ID,
+            page_size=None,  # v1 always returned every view
+        ))
         return {
-            "predicate": result.predicate,
-            "n_inside": result.n_inside,
-            "n_outside": result.n_outside,
-            "n_views": len(result.views),
-            "timings_ms": {k: v * 1000.0 for k, v in result.timings.items()},
-            "views": [view_to_dict(v, i)
-                      for i, v in enumerate(result.views, start=1)],
-            "notes": list(result.notes),
+            "predicate": response.predicate,
+            "n_inside": response.n_inside,
+            "n_outside": response.n_outside,
+            "n_views": response.n_views,
+            "timings_ms": dict(response.timings_ms),
+            "views": [dict(v) for v in response.views.items],
+            "notes": list(response.notes),
         }
 
     def _handle_views(self, request: dict) -> dict:
-        result = self.session.current.result
-        return {"views": [view_to_dict(v, i)
-                          for i, v in enumerate(result.views, start=1)]}
+        page = self.service.view_page(ViewPageRequest(
+            client_id=V1_CLIENT_ID, page=1, page_size=None))
+        return {"views": [dict(v) for v in page.items]}
 
     def _handle_view_detail(self, request: dict) -> dict:
         rank = int(request["rank"])
-        return {"rank": rank, "panel": self.session.view_detail(rank)}
+        panel = self.service.view_detail(V1_CLIENT_ID, rank)
+        return {"rank": rank, "panel": panel}
 
     def _handle_dendrogram(self, request: dict) -> dict:
-        return {"dendrogram": self.session.dendrogram()}
+        return {"dendrogram": self.service.dendrogram(V1_CLIENT_ID)}
 
     def _handle_set_weights(self, request: dict) -> dict:
         weights = {str(k): float(v)
                    for k, v in request.get("weights", {}).items()}
-        self.session.set_weights(**weights)
-        return {"weights": dict(self.session.config.weights)}
+        result = self.service.configure(ConfigureRequest(
+            client_id=V1_CLIENT_ID, weights=weights))
+        return {"weights": dict(result.weights)}
 
     def _handle_set_option(self, request: dict) -> dict:
         options = dict(request.get("options", {}))
-        self.session.set_option(**options)
-        return {"applied": sorted(options)}
+        result = self.service.configure(ConfigureRequest(
+            client_id=V1_CLIENT_ID, options=options))
+        return {"applied": list(result.applied)}

@@ -7,6 +7,7 @@ Examples::
     python -m repro --dataset boxoffice --sql \
         "SELECT genre, count(*), avg(gross) FROM boxoffice GROUP BY genre"
     python -m repro --list-datasets
+    python -m repro serve --dataset boxoffice --port 8765
 
 With ``--sql`` and an aggregate/projection query the result table is
 printed; with ``--where`` (or a SQL query whose WHERE clause selects a
@@ -101,9 +102,78 @@ def _load_table(args) -> "Table":  # noqa: F821 - forward name for docs
     return load_dataset(name, **kwargs)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The argparse definition of the ``serve`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the Ziggy characterization service over HTTP "
+                    "(protocol v2 + /v1 compatibility endpoint)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8765,
+                        help="TCP port (default 8765; 0 picks a free port)")
+    parser.add_argument("--dataset", action="append", default=[],
+                        choices=dataset_names(), metavar="NAME",
+                        help="built-in dataset to serve (repeatable; "
+                             "default: all built-ins)")
+    parser.add_argument("--csv", action="append", default=[], metavar="PATH",
+                        help="CSV file to serve as a table (repeatable)")
+    parser.add_argument("--seed-rows", type=int, default=None, metavar="N",
+                        help="shrink built-in datasets to N rows")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="job thread-pool size (default 2)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-request access logging")
+    return parser
+
+
+def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
+    """Entry point of ``repro serve``; blocks until interrupted."""
+    out = stream if stream is not None else sys.stdout
+    args = build_serve_parser().parse_args(argv)
+
+    # Imported here so plain CLI runs never pay for the service stack.
+    from repro.service.server import make_server
+    from repro.service.service import ZiggyService
+
+    try:
+        service = ZiggyService(max_workers=args.workers)
+        names = args.dataset or list(dataset_names())
+        kwargs = {"n_rows": args.seed_rows} if args.seed_rows else {}
+        for name in names:
+            service.register_table(load_dataset(name, **kwargs))
+        for path in args.csv:
+            service.register_table(read_csv(path))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+    try:
+        server = make_server(service, host=args.host, port=args.port,
+                             verbose=not args.quiet)
+    except OSError as exc:  # port in use, privileged port, bad host, ...
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=out)
+        return 1
+    host, port = server.server_address[:2]
+    print(f"serving {', '.join(service.database.table_names())} "
+          f"on http://{host}:{port} (protocol v2; Ctrl-C to stop)",
+          file=out, flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=out)
+    finally:
+        server.server_close()
+        service.shutdown(wait=False)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None, stream=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = stream if stream is not None else sys.stdout
+    argv = list(argv) if argv is not None else sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:], stream=stream)
     parser = build_parser()
     args = parser.parse_args(argv)
 

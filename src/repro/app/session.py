@@ -76,23 +76,48 @@ class ZiggySession:
 
     # -- the query box -----------------------------------------------------------------
 
-    def run(self, where: str, table: str | None = None) -> CharacterizationResult:
-        """Execute a predicate and characterize its selection."""
-        table_name = self._resolve_table(table)
-        engine = self._engine_for(table_name)
+    def run(self, where: str, table: str | None = None,
+            progress=None) -> CharacterizationResult:
+        """Execute a predicate and characterize its selection.
+
+        ``progress`` is an optional
+        :data:`~repro.core.pipeline.ProgressCallback` threaded through to
+        the engine (per-view streaming, cooperative cancellation).
+        """
+        table_name = self.resolve_table(table)
+        engine = self.engine_for(table_name)
         selection = self.database.select(table_name, where)
-        result = engine.characterize_selection(selection, config=self.config)
+        result = engine.characterize_selection(selection, config=self.config,
+                                               progress=progress)
         self.history.append(SessionEntry(
             query_text=where, table_name=table_name, result=result,
             selection=selection))
         return result
 
-    def run_sql(self, sql: str) -> CharacterizationResult:
+    def run_many(self, wheres: list[str] | tuple[str, ...],
+                 table: str | None = None,
+                 progress=None) -> list[CharacterizationResult]:
+        """Characterize a batch of predicates against one table.
+
+        All predicates share one engine (and therefore one statistics
+        cache); each result is appended to the session history.
+        """
+        table_name = self.resolve_table(table)
+        results: list[CharacterizationResult] = []
+        for index, where in enumerate(wheres):
+            result = self.run(where, table=table_name, progress=progress)
+            results.append(result)
+            if progress is not None:
+                progress("batch_item", (index, result))
+        return results
+
+    def run_sql(self, sql: str, progress=None) -> CharacterizationResult:
         """Execute a full SELECT and characterize its WHERE clause."""
         selection = self.database.selection_for_query(sql)
         table_name = selection.table.name
-        engine = self._engine_for(table_name)
-        result = engine.characterize_selection(selection, config=self.config)
+        engine = self.engine_for(table_name)
+        result = engine.characterize_selection(selection, config=self.config,
+                                               progress=progress)
         self.history.append(SessionEntry(
             query_text=sql, table_name=table_name, result=result,
             selection=selection))
@@ -144,7 +169,9 @@ class ZiggySession:
 
     # -- internals -------------------------------------------------------------------------
 
-    def _resolve_table(self, table: str | None) -> str:
+    def resolve_table(self, table: str | None) -> str:
+        """The effective table name for a request (explicit, or the only
+        registered table)."""
         if table is not None:
             return table
         names = self.database.table_names()
@@ -154,9 +181,17 @@ class ZiggySession:
             f"session has {len(names)} tables; pass table=... "
             f"(available: {', '.join(names)})")
 
-    def _engine_for(self, table_name: str) -> Ziggy:
+    # backward-compatible alias
+    _resolve_table = resolve_table
+
+    def engine_for(self, table_name: str) -> Ziggy:
+        """The (lazily created) engine bound to one table; engines are
+        per-table so each keeps its own statistics cache."""
         engine = self._engines.get(table_name)
         if engine is None:
             engine = Ziggy(self.database, config=self.config)
             self._engines[table_name] = engine
         return engine
+
+    # backward-compatible alias
+    _engine_for = engine_for

@@ -16,6 +16,7 @@ into external exploration systems")::
 from __future__ import annotations
 
 import time
+from typing import Callable, Sequence
 
 from repro.core.components.base import ComponentRegistry, default_registry
 from repro.core.config import ZiggyConfig
@@ -27,6 +28,17 @@ from repro.core.stats_cache import StatsCache
 from repro.core.views import CharacterizationResult
 from repro.engine.database import Database, Selection
 from repro.engine.table import Table
+
+#: Progress-callback signature: ``progress(stage, payload)``.  Stages (in
+#: order): ``"preparation"`` (payload: :class:`PreparedData`), ``"view"``
+#: (one :class:`ViewResult`, fired per view as the searcher ranks it —
+#: the progressive-results stream), ``"search"`` (:class:`SearchOutput`),
+#: ``"result"`` (:class:`CharacterizationResult`).  Batch runs
+#: additionally emit ``"batch_item"`` with ``(index, result)`` after each
+#: predicate.  The callback runs synchronously on the pipeline thread; an
+#: exception it raises aborts the characterization (this is how the
+#: service layer implements cooperative cancellation).
+ProgressCallback = Callable[[str, object], None]
 
 
 class Ziggy:
@@ -69,7 +81,9 @@ class Ziggy:
     # -- public API -----------------------------------------------------------
 
     def characterize(self, where: str | None, table: str | None = None,
-                     config: ZiggyConfig | None = None) -> CharacterizationResult:
+                     config: ZiggyConfig | None = None,
+                     progress: ProgressCallback | None = None
+                     ) -> CharacterizationResult:
         """Characterize the selection defined by a predicate.
 
         Args:
@@ -78,6 +92,8 @@ class Ziggy:
                 have a complement).
             table: table name; optional when the source holds one table.
             config: per-call config override.
+            progress: optional :data:`ProgressCallback` receiving staged
+                events, including one ``"view"`` event per ranked view.
 
         Returns:
             The ranked, validated, explained views plus stage timings.
@@ -86,18 +102,53 @@ class Ziggy:
         if table_name is None:
             raise ValueError("multiple tables registered; pass table=...")
         selection = self.database.select(table_name, where)
-        return self.characterize_selection(selection, config=config)
+        return self.characterize_selection(selection, config=config,
+                                           progress=progress)
 
     def characterize_query(self, sql: str,
-                           config: ZiggyConfig | None = None) -> CharacterizationResult:
+                           config: ZiggyConfig | None = None,
+                           progress: ProgressCallback | None = None
+                           ) -> CharacterizationResult:
         """Characterize a full SELECT statement's WHERE clause."""
         selection = self.database.selection_for_query(sql)
-        return self.characterize_selection(selection, config=config)
+        return self.characterize_selection(selection, config=config,
+                                           progress=progress)
+
+    def characterize_many(self, wheres: Sequence[str],
+                          table: str | None = None,
+                          config: ZiggyConfig | None = None,
+                          progress: ProgressCallback | None = None
+                          ) -> list[CharacterizationResult]:
+        """Characterize several predicates against one table in one call.
+
+        The predicates run sequentially through this engine's shared
+        :class:`StatsCache`, so table-level statistics (global summaries,
+        pairwise moments, the dependency matrix) are computed once and hit
+        the cache for every subsequent predicate — the paper's
+        computation-sharing strategy applied across a batch.
+
+        Emits a ``"batch_item"`` progress event with ``(index, result)``
+        after each predicate, in addition to the per-query events.
+        """
+        results: list[CharacterizationResult] = []
+        for index, where in enumerate(wheres):
+            result = self.characterize(where, table=table, config=config,
+                                       progress=progress)
+            results.append(result)
+            if progress is not None:
+                progress("batch_item", (index, result))
+        return results
 
     def characterize_selection(self, selection: Selection,
-                               config: ZiggyConfig | None = None
+                               config: ZiggyConfig | None = None,
+                               progress: ProgressCallback | None = None
                                ) -> CharacterizationResult:
-        """Characterize an explicit :class:`Selection` (the core path)."""
+        """Characterize an explicit :class:`Selection` (the core path).
+
+        ``progress`` receives staged events (see :data:`ProgressCallback`);
+        raising from the callback aborts the run, which is how callers
+        implement cancellation of long searches.
+        """
         cfg = config if config is not None else self.config
         timings: dict[str, float] = {}
         notes: list[str] = []
@@ -107,12 +158,19 @@ class Ziggy:
         timings["preparation"] = time.perf_counter() - t0
         notes.extend(prepared.notes)
         self.last_prepared = prepared
+        if progress is not None:
+            progress("preparation", prepared)
 
         t1 = time.perf_counter()
-        search = ViewSearcher(cfg).search(prepared)
+        on_view = None
+        if progress is not None:
+            on_view = lambda vr: progress("view", vr)  # noqa: E731
+        search = ViewSearcher(cfg).search(prepared, on_view=on_view)
         timings["view_search"] = time.perf_counter() - t1
         notes.extend(search.notes)
         self.last_search = search
+        if progress is not None:
+            progress("search", search)
 
         t2 = time.perf_counter()
         validated, val_notes = validate_views(
@@ -123,7 +181,7 @@ class Ziggy:
 
         predicate_text = (selection.predicate.canonical()
                           if selection.predicate is not None else "TRUE")
-        return CharacterizationResult(
+        result = CharacterizationResult(
             views=tuple(explained),
             n_inside=selection.n_inside,
             n_outside=selection.n_outside,
@@ -132,6 +190,9 @@ class Ziggy:
             predicate=predicate_text,
             notes=tuple(notes),
         )
+        if progress is not None:
+            progress("result", result)
+        return result
 
     # -- introspection -----------------------------------------------------------
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.config import ZiggyConfig
 from repro.core.dependency import DependencyMatrix
 from repro.core.dissimilarity import ComponentCatalog, score_view
@@ -38,14 +40,19 @@ def rank_candidates(candidates: list[View],
     return results
 
 
-def enforce_disjointness(ranked: list[ViewResult],
-                         max_views: int) -> list[ViewResult]:
+def enforce_disjointness(ranked: list[ViewResult], max_views: int,
+                         on_keep: Callable[[ViewResult], None] | None = None
+                         ) -> list[ViewResult]:
     """Greedy selection of disjoint views (Eq. 4).
 
     Walk the ranking top-down, keeping a view only when it shares no
     column with anything already kept — "the results will contain every
     possible subset of a few dominant variables" otherwise.  Stops at
     ``max_views``.
+
+    ``on_keep`` is invoked with each view the moment it is kept — the
+    progressive-results hook the service layer streams from.  An exception
+    raised by the callback aborts the search (cooperative cancellation).
     """
     used: set[str] = set()
     kept: list[ViewResult] = []
@@ -56,4 +63,6 @@ def enforce_disjointness(ranked: list[ViewResult],
             continue
         kept.append(result)
         used.update(result.columns)
+        if on_keep is not None:
+            on_keep(result)
     return kept

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.config import ZiggyConfig
 from repro.core.preparation import PreparedData
@@ -39,8 +40,14 @@ class ViewSearcher:
     def __init__(self, config: ZiggyConfig):
         self.config = config
 
-    def search(self, prepared: PreparedData) -> SearchOutput:
-        """Produce the ranked disjoint views for one prepared selection."""
+    def search(self, prepared: PreparedData,
+               on_view: Callable[[ViewResult], None] | None = None
+               ) -> SearchOutput:
+        """Produce the ranked disjoint views for one prepared selection.
+
+        ``on_view`` fires for each view as the ranker keeps it (best
+        first) — the progressive-results hook.
+        """
         config = self.config
         if not prepared.active_columns:
             return SearchOutput(views=[], n_candidates=0,
@@ -59,7 +66,8 @@ class ViewSearcher:
             raise SearchError(f"unknown strategy {config.search_strategy!r}")
         ranked = rank_candidates(candidates, prepared.catalog,
                                  prepared.dependency, config)
-        disjoint = enforce_disjointness(ranked, config.max_views)
+        disjoint = enforce_disjointness(ranked, config.max_views,
+                                        on_keep=on_view)
         return SearchOutput(
             views=disjoint,
             n_candidates=len(candidates),

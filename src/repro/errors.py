@@ -157,6 +157,50 @@ class ExplanationError(CoreError):
 
 
 # ---------------------------------------------------------------------------
+# Service layer (protocol, jobs, server)
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the service layer."""
+
+
+class ProtocolError(ServiceError):
+    """A request or response payload does not conform to the protocol.
+
+    Examples: missing required fields, an unknown message type, or an
+    incompatible protocol version.
+    """
+
+
+class NoActiveQueryError(ServiceError):
+    """A view/detail/dendrogram request arrived before any query ran in
+    the client's session."""
+
+    def __init__(self, client_id: str = "default"):
+        self.client_id = client_id
+        super().__init__(
+            f"no active query in session {client_id!r}; run a "
+            "characterization first")
+
+
+class JobNotFoundError(ServiceError):
+    """A job ID was not found in the job manager."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+
+class JobCancelled(ServiceError):
+    """Raised inside a worker to abort a cancelled job cooperatively."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"job {job_id!r} was cancelled")
+
+
+# ---------------------------------------------------------------------------
 # Data generators / loaders
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,203 @@
+"""A Python client for the v2 HTTP service (stdlib ``urllib`` only).
+
+Example::
+
+    from repro.service.client import ZiggyClient
+
+    client = ZiggyClient("http://127.0.0.1:8765")
+    response = client.characterize("gross > 200000000", table="boxoffice")
+    for view in response.views.items:
+        print(view["explanation"])
+
+    job = client.submit("budget > 50000000")
+    snapshot = client.wait(job.job_id)
+    print(snapshot.status, len(snapshot.result.views.items))
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    CharacterizeRequest,
+    CharacterizeResponse,
+    ConfigureRequest,
+    ConfigureResponse,
+    JobSnapshot,
+    JobSubmitRequest,
+    TableList,
+    ViewPage,
+    ViewPageRequest,
+    parse_response,
+)
+
+
+class RemoteError(ServiceError):
+    """The server answered with a structured :class:`ApiError`."""
+
+    def __init__(self, error: ApiError, status: int = 0):
+        self.error = error
+        self.code = error.code
+        self.status = status
+        super().__init__(f"[{error.code}] {error.message}")
+
+
+class TransportError(ServiceError):
+    """The server could not be reached or spoke something other than the
+    protocol (connection refused, timeouts, non-JSON bodies)."""
+
+
+class ZiggyClient:
+    """Speaks protocol v2 to a :mod:`repro.service.server` endpoint.
+
+    Args:
+        base_url: e.g. ``"http://127.0.0.1:8765"`` (no trailing slash
+            needed).
+        timeout: per-request socket timeout in seconds.
+        client_id: the session key sent with every stateful request.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 client_id: str = "default"):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.client_id = client_id
+
+    # -- transport ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Mapping | None = None) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers,
+                                         method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                body = response.read()
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            status = exc.code
+        except (urllib.error.URLError, OSError) as exc:
+            raise TransportError(f"{method} {url}: {exc}") from exc
+        try:
+            decoded = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TransportError(
+                f"{method} {url}: non-JSON response "
+                f"(HTTP {status}): {exc}") from None
+        if isinstance(decoded, Mapping) and decoded.get("ok") is False:
+            if decoded.get("type") == ApiError.TYPE:
+                raise RemoteError(ApiError.from_dict(decoded), status=status)
+            # v1 endpoint errors are plain {"ok": False, "error": str}.
+            raise RemoteError(ApiError(
+                code=str(decoded.get("code", "error")),
+                message=str(decoded.get("error", "request failed"))),
+                status=status)
+        return decoded
+
+    def _post(self, path: str, payload: Mapping) -> Any:
+        return self._request("POST", path, payload)
+
+    def _get(self, path: str) -> Any:
+        return self._request("GET", path)
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        """GET /healthz — liveness, protocol version, table names."""
+        return self._get("/healthz")
+
+    def tables(self) -> TableList:
+        """The server's catalog."""
+        return parse_response(self._get("/v2/tables"))
+
+    def characterize(self, where: str, table: str | None = None,
+                     page: int = 1, page_size: int | None = None,
+                     weights: Mapping | None = None,
+                     options: Mapping | None = None) -> CharacterizeResponse:
+        """Characterize one predicate synchronously."""
+        request = CharacterizeRequest(
+            where=where, table=table, client_id=self.client_id,
+            page=page, page_size=page_size,
+            weights=dict(weights or {}), options=dict(options or {}))
+        return parse_response(self._post("/v2/characterize",
+                                         request.to_dict()))
+
+    def characterize_many(self, predicates: list[str] | tuple[str, ...],
+                          table: str | None = None,
+                          page_size: int | None = None,
+                          options: Mapping | None = None) -> BatchResponse:
+        """Characterize a batch of predicates in one round trip."""
+        request = BatchRequest(
+            predicates=tuple(predicates), table=table,
+            client_id=self.client_id, page_size=page_size,
+            options=dict(options or {}))
+        return parse_response(self._post("/v2/batch", request.to_dict()))
+
+    def views(self, page: int = 1,
+              page_size: int | None = None) -> ViewPage:
+        """Page through the current result's views."""
+        request = ViewPageRequest(client_id=self.client_id, page=page,
+                                  page_size=page_size)
+        return parse_response(self._post("/v2/views", request.to_dict()))
+
+    def configure(self, weights: Mapping | None = None,
+                  options: Mapping | None = None) -> ConfigureResponse:
+        """Adjust the server-side session's weights and options."""
+        request = ConfigureRequest(client_id=self.client_id,
+                                   weights=dict(weights or {}),
+                                   options=dict(options or {}))
+        return parse_response(self._post("/v2/configure", request.to_dict()))
+
+    # -- jobs --------------------------------------------------------------------
+
+    def submit(self, where: str, table: str | None = None,
+               page_size: int | None = None) -> JobSnapshot:
+        """Queue an asynchronous characterization; returns the pending
+        snapshot (carrying the job ID)."""
+        request = JobSubmitRequest(request=CharacterizeRequest(
+            where=where, table=table, client_id=self.client_id,
+            page_size=page_size))
+        return parse_response(self._post("/v2/jobs", request.to_dict()))
+
+    def job(self, job_id: str) -> JobSnapshot:
+        """Poll one job (status, timings, partial views, result)."""
+        return parse_response(self._get(f"/v2/jobs/{job_id}"))
+
+    def cancel(self, job_id: str) -> JobSnapshot:
+        """Ask the server to cancel a job."""
+        return parse_response(self._post(f"/v2/jobs/{job_id}/cancel", {}))
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.05) -> JobSnapshot:
+        """Poll until the job finishes; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot.finished:
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise TransportError(
+                    f"job {job_id} still {snapshot.status!r} "
+                    f"after {timeout:.1f}s")
+            time.sleep(poll)
+
+    # -- legacy ------------------------------------------------------------------
+
+    def legacy(self, action: dict) -> dict:
+        """POST a v1 action dict to the compatibility endpoint."""
+        return self._post("/v1", action)

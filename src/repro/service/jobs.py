@@ -1,0 +1,204 @@
+"""Asynchronous job execution for long-running characterizations.
+
+A :class:`JobManager` runs submitted work on a thread pool and tracks a
+small, observable lifecycle per job::
+
+    pending -> running -> done | failed | cancelled
+       \\______________________________/
+              cancel() at any point
+
+Cancellation is cooperative: the work function receives a ``progress``
+callback and must call it between units of work (the pipeline already
+does, once per stage and once per ranked view); when the job has been
+cancelled, the next ``progress`` call raises :class:`JobCancelled`, which
+the runner converts into the ``cancelled`` state.  A job that is still
+``pending`` when cancelled never starts.
+
+Progress events with stage ``"view"`` are captured as the job's partial
+results, so pollers can render views while the search is still running.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import JobCancelled, JobNotFoundError
+
+#: Valid job states.
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+#: States from which a job can never move again.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+ProgressFn = Callable[[str, Any], None]
+WorkFn = Callable[[ProgressFn], Any]
+
+
+@dataclass
+class Job:
+    """The manager's mutable record of one submitted job.
+
+    Consumers should not hold onto this object across threads; use
+    :meth:`JobManager.status` (which locks) or the service layer's
+    immutable snapshots instead.
+    """
+
+    job_id: str
+    status: str = "pending"
+    submitted_at: float = field(default_factory=time.perf_counter)
+    started_at: float | None = None
+    finished_at: float | None = None
+    result: Any = None
+    error: BaseException | None = None
+    partial: list = field(default_factory=list)
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in TERMINAL_STATES
+
+    def timings_ms(self) -> dict[str, float]:
+        """Queue and run durations so far, in milliseconds."""
+        now = time.perf_counter()
+        timings: dict[str, float] = {}
+        started = self.started_at
+        timings["queued"] = ((started if started is not None else now)
+                             - self.submitted_at) * 1000.0
+        if started is not None:
+            end = self.finished_at if self.finished_at is not None else now
+            timings["run"] = (end - started) * 1000.0
+        return timings
+
+
+class JobManager:
+    """Runs work functions on a bounded thread pool with job tracking.
+
+    Args:
+        max_workers: pool size; excess jobs queue in ``pending`` state.
+        name: thread-name prefix (shows up in debuggers and logs).
+    """
+
+    def __init__(self, max_workers: int = 2, name: str = "ziggy-job"):
+        self._executor = ThreadPoolExecutor(max_workers=max_workers,
+                                            thread_name_prefix=name)
+        self._jobs: dict[str, Job] = {}
+        self._futures: dict[str, Future] = {}
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def submit(self, work: WorkFn,
+               on_progress: ProgressFn | None = None) -> str:
+        """Queue ``work`` and return its job ID.
+
+        ``work`` is called with a progress function it must invoke between
+        units of work; ``on_progress`` additionally forwards every event
+        to the caller (e.g. a streaming HTTP response).
+        """
+        with self._lock:
+            job_id = f"job-{next(self._counter):06d}"
+            job = Job(job_id=job_id)
+            self._jobs[job_id] = job
+        future = self._executor.submit(self._run, job, work, on_progress)
+        with self._lock:
+            self._futures[job_id] = future
+        return job_id
+
+    def _run(self, job: Job, work: WorkFn,
+             on_progress: ProgressFn | None) -> None:
+        with job.lock:
+            if job.cancel_event.is_set():
+                job.status = "cancelled"
+                job.finished_at = time.perf_counter()
+                return
+            job.status = "running"
+            job.started_at = time.perf_counter()
+
+        def progress(stage: str, payload: Any) -> None:
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.job_id)
+            if stage == "view":
+                with job.lock:
+                    job.partial.append(payload)
+            if on_progress is not None:
+                on_progress(stage, payload)
+            # Re-check after the caller's hook: a cancel that arrived while
+            # the hook ran (or blocked) must not be lost until the next event.
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.job_id)
+
+        try:
+            result = work(progress)
+        except JobCancelled:
+            with job.lock:
+                job.status = "cancelled"
+                job.finished_at = time.perf_counter()
+        except BaseException as exc:  # noqa: BLE001 - reported via status
+            with job.lock:
+                job.status = "failed"
+                job.error = exc
+                job.finished_at = time.perf_counter()
+        else:
+            with job.lock:
+                # A cancel that lands after the last progress event loses
+                # the race: the work completed, so report the result.
+                job.status = "done"
+                job.result = result
+                job.finished_at = time.perf_counter()
+
+    # -- observation -------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The live job record (raises :class:`JobNotFoundError`)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def job_ids(self) -> tuple[str, ...]:
+        """All known job IDs, oldest first."""
+        with self._lock:
+            return tuple(self._jobs)
+
+    def cancel(self, job_id: str) -> Job:
+        """Request cancellation; returns the job record.
+
+        A ``pending`` job is cancelled immediately (its future never
+        runs); a ``running`` job stops at its next progress event; a
+        finished job is left untouched.
+        """
+        job = self.get(job_id)
+        job.cancel_event.set()
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is not None and future.cancel():
+            with job.lock:
+                if not job.finished:
+                    job.status = "cancelled"
+                    job.finished_at = time.perf_counter()
+        return job
+
+    def wait(self, job_id: str, timeout: float | None = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        job = self.get(job_id)
+        with self._lock:
+            future = self._futures.get(job_id)
+        if future is not None:
+            try:
+                future.result(timeout=timeout)
+            except (CancelledError, Exception):  # noqa: B014 - CancelledError
+                pass  # is a BaseException; outcomes surface via job.status
+        return job
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting work and (optionally) wait for running jobs."""
+        self._executor.shutdown(wait=wait, cancel_futures=True)

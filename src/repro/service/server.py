@@ -1,0 +1,225 @@
+"""A stdlib HTTP veneer over :class:`ZiggyService`.
+
+The paper's demo architecture is "the query characterization engine and a
+Web server"; this is that web server, speaking protocol v2 as JSON over
+HTTP with no dependencies beyond the standard library.
+
+Routes:
+
+==========  =========================  =====================================
+method      path                       meaning
+==========  =========================  =====================================
+GET         /healthz                   liveness + protocol version
+GET         /v2/tables                 catalog
+POST        /v2                        any protocol request (tag-dispatched)
+POST        /v2/characterize           characterize (type implied)
+POST        /v2/batch                  batch characterize
+POST        /v2/views                  page through the current result
+POST        /v2/configure              weights / options
+POST        /v2/jobs                   submit a job
+GET         /v2/jobs/<id>              poll a job
+POST        /v2/jobs/<id>/cancel       cancel a job
+POST        /v1                        legacy v1 action dict (adapter)
+==========  =========================  =====================================
+
+Error payloads are structured :class:`ApiError` dicts; the HTTP status
+mirrors the error code (400 family for caller mistakes, 404 for unknown
+jobs/routes, 500 for internal faults).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ApiError,
+    ErrorCode,
+    ProtocolError,
+)
+from repro.service.service import ZiggyService
+
+#: Error code -> HTTP status for error payloads.
+_STATUS_FOR_CODE = {
+    ErrorCode.BAD_REQUEST: 400,
+    ErrorCode.UNKNOWN_ACTION: 400,
+    ErrorCode.UNKNOWN_TABLE: 404,
+    ErrorCode.UNKNOWN_COLUMN: 400,
+    ErrorCode.SYNTAX_ERROR: 400,
+    ErrorCode.EMPTY_SELECTION: 400,
+    ErrorCode.INVALID_CONFIG: 400,
+    ErrorCode.NO_ACTIVE_QUERY: 409,
+    ErrorCode.JOB_NOT_FOUND: 404,
+    ErrorCode.CANCELLED: 200,
+    ErrorCode.ERROR: 400,
+    ErrorCode.INTERNAL: 500,
+}
+
+#: POST /v2/<suffix> -> implied protocol request type.
+_IMPLIED_TYPES = {
+    "characterize": "characterize",
+    "batch": "batch",
+    "views": "views",
+    "configure": "configure",
+    "jobs": "submit",
+}
+
+
+def _status_for(payload: dict) -> int:
+    if payload.get("ok", True):
+        return 200
+    code = (payload.get("error") or {}).get("code", ErrorCode.ERROR)
+    return _STATUS_FOR_CODE.get(code, 400)
+
+
+class ZiggyRequestHandler(BaseHTTPRequestHandler):
+    """Translates HTTP traffic onto the service; holds no state itself."""
+
+    server_version = f"ZiggyServe/{PROTOCOL_VERSION}"
+    protocol_version = "HTTP/1.1"
+
+    # The ThreadingHTTPServer subclass below carries these.
+    @property
+    def service(self) -> ZiggyService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send_json(self, payload: dict, status: int | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status if status is not None
+                           else _status_for(payload))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_payload(self, code: str, message: str,
+                            status: int | None = None) -> None:
+        self._send_json(ApiError(code=code, message=message).to_dict(),
+                        status=status)
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"request body is not valid JSON: {exc}") \
+                from None
+
+    # -- verbs -------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.rstrip("/")
+        if path in ("", "/healthz"):
+            from repro import __version__
+            self._send_json({"ok": True, "protocol": PROTOCOL_VERSION,
+                             "version": __version__,
+                             "tables": list(self.service.database
+                                            .table_names())})
+            return
+        if path == "/v2/tables":
+            self._send_json(self.service.dispatch({"type": "tables"}))
+            return
+        if path.startswith("/v2/jobs/"):
+            job_id = path[len("/v2/jobs/"):]
+            self._send_json(self.service.dispatch(
+                {"type": "job", "job_id": job_id, "op": "status"}))
+            return
+        self._send_error_payload(ErrorCode.BAD_REQUEST,
+                                 f"no route for GET {self.path}", status=404)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            body = self._read_body()
+        except ProtocolError as exc:
+            self._send_json(ApiError.from_exception(exc).to_dict())
+            return
+        path = self.path.rstrip("/")
+        if path == "/v1":
+            legacy = self.server.legacy_api  # type: ignore[attr-defined]
+            if not isinstance(body, dict):
+                self._send_json({"ok": False,
+                                 "error": "v1 request must be an object",
+                                 "code": ErrorCode.BAD_REQUEST}, status=400)
+                return
+            response = legacy.handle(body)
+            self._send_json(response,
+                            status=200 if response.get("ok") else 400)
+            return
+        if path == "/v2":
+            self._send_json(self.service.dispatch(body))
+            return
+        if path.startswith("/v2/jobs/") and path.endswith("/cancel"):
+            job_id = path[len("/v2/jobs/"):-len("/cancel")]
+            self._send_json(self.service.dispatch(
+                {"type": "job", "job_id": job_id, "op": "cancel"}))
+            return
+        if path.startswith("/v2/"):
+            suffix = path[len("/v2/"):]
+            implied = _IMPLIED_TYPES.get(suffix)
+            if implied is not None:
+                payload = dict(body) if isinstance(body, dict) else body
+                if isinstance(payload, dict):
+                    if implied == "submit":
+                        # POST /v2/jobs accepts a characterize request
+                        # (bare or tagged) and always submits it as a job;
+                        # a pre-wrapped submit envelope passes through.
+                        if payload.get("type") != "submit":
+                            payload = {"type": "submit",
+                                       "request": {**payload,
+                                                   "type": "characterize"}}
+                    else:
+                        payload.setdefault("type", implied)
+                self._send_json(self.service.dispatch(payload))
+                return
+        self._send_error_payload(ErrorCode.BAD_REQUEST,
+                                 f"no route for POST {self.path}", status=404)
+
+
+class ZiggyServer(ThreadingHTTPServer):
+    """The HTTP server bound to one :class:`ZiggyService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: ZiggyService,
+                 verbose: bool = False):
+        super().__init__(address, ZiggyRequestHandler)
+        self.service = service
+        self.verbose = verbose
+        # Lazy import: app.api imports the service layer; importing it at
+        # module top would be circular.
+        from repro.app.api import ZiggyApi
+        self.legacy_api = ZiggyApi(service=service)
+
+
+def make_server(service: ZiggyService, host: str = "127.0.0.1",
+                port: int = 0, verbose: bool = False) -> ZiggyServer:
+    """Build (but do not start) a server; ``port=0`` picks a free port."""
+    return ZiggyServer((host, port), service, verbose=verbose)
+
+
+def serve_forever(service: ZiggyService, host: str = "127.0.0.1",
+                  port: int = 8765, verbose: bool = True,
+                  ready: threading.Event | None = None) -> None:
+    """Run the server until interrupted (the CLI's ``repro serve``)."""
+    server = make_server(service, host=host, port=port, verbose=verbose)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.shutdown(wait=False)

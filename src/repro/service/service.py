@@ -1,0 +1,298 @@
+"""`ZiggyService` — the session-owning, job-running service facade.
+
+This is the object a deployment holds: it owns the shared
+:class:`Database`, one :class:`ZiggySession` per client ID (each with its
+own configuration, history and statistics caches), and a
+:class:`JobManager` for asynchronous characterizations.  Everything it
+speaks is the typed protocol of :mod:`repro.service.protocol`; the HTTP
+server and the v1 compatibility adapter are both thin shells around it.
+
+Sessions are serialized per client with a lock (the pipeline and its
+statistics cache are single-threaded by design), so concurrent requests
+for *different* clients run in parallel while requests for the *same*
+client queue up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Mapping
+
+from repro.app.session import ZiggySession
+from repro.core.config import ZiggyConfig
+from repro.engine.database import Database
+from repro.engine.table import Table
+from repro.errors import (
+    NoActiveQueryError,
+    ProtocolError,
+    ReproError,
+)
+from repro.service.jobs import Job, JobManager
+from repro.service.protocol import (
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    CharacterizeRequest,
+    CharacterizeResponse,
+    ConfigureRequest,
+    ConfigureResponse,
+    JobControlRequest,
+    JobSnapshot,
+    JobSubmitRequest,
+    TableInfo,
+    TableList,
+    TablesRequest,
+    ViewPage,
+    ViewPageRequest,
+    parse_request,
+    view_to_dict,
+)
+
+
+class ZiggyService:
+    """The v2 service: sessions keyed by client ID, batches, jobs.
+
+    Args:
+        database: shared catalog; tables registered here are visible to
+            every client session.
+        config: default configuration new sessions start from.
+        max_workers: thread-pool size for asynchronous jobs.
+    """
+
+    def __init__(self, database: Database | None = None,
+                 config: ZiggyConfig | None = None,
+                 max_workers: int = 2):
+        self.database = database if database is not None else Database()
+        self.config = config
+        self.jobs = JobManager(max_workers=max_workers)
+        self._sessions: dict[str, ZiggySession] = {}
+        self._locks: dict[str, threading.Lock] = {}
+        self._registry_lock = threading.Lock()
+
+    # -- catalog / sessions -------------------------------------------------------
+
+    def register_table(self, table: Table, name: str | None = None) -> None:
+        """Add a dataset to the shared catalog."""
+        self.database.register(table, name=name)
+
+    def session(self, client_id: str = "default") -> ZiggySession:
+        """The session for one client, created on first use."""
+        with self._registry_lock:
+            session = self._sessions.get(client_id)
+            if session is None:
+                session = ZiggySession(database=self.database,
+                                       config=self.config)
+                self._sessions[client_id] = session
+                self._locks[client_id] = threading.Lock()
+            return session
+
+    def attach_session(self, client_id: str, session: ZiggySession) -> None:
+        """Adopt an externally built session under a client ID (used by
+        the v1 adapter, which predates client IDs)."""
+        with self._registry_lock:
+            self._sessions[client_id] = session
+            self._locks.setdefault(client_id, threading.Lock())
+
+    def _session_lock(self, client_id: str) -> threading.Lock:
+        self.session(client_id)  # ensure it exists
+        with self._registry_lock:
+            return self._locks[client_id]
+
+    def client_ids(self) -> tuple[str, ...]:
+        """The known client IDs."""
+        with self._registry_lock:
+            return tuple(self._sessions)
+
+    # -- typed operations ---------------------------------------------------------
+
+    def list_tables(self, request: TablesRequest | None = None) -> TableList:
+        """The catalog, as protocol objects."""
+        infos = []
+        for name in self.database.table_names():
+            table = self.database.table(name)
+            infos.append(TableInfo(name=name, rows=table.n_rows,
+                                   columns=table.n_columns,
+                                   column_names=tuple(table.column_names)))
+        return TableList(tables=tuple(infos))
+
+    def characterize(self, request: CharacterizeRequest,
+                     progress: Callable[[str, Any], None] | None = None
+                     ) -> CharacterizeResponse:
+        """Run one characterization synchronously."""
+        session = self.session(request.client_id)
+        with self._session_lock(request.client_id):
+            self._apply_overrides(session, request.weights, request.options)
+            table_name = session.resolve_table(request.table)
+            result = session.run(request.where, table=table_name,
+                                 progress=progress)
+        return CharacterizeResponse.from_result(
+            result, table=table_name,
+            page=request.page, page_size=request.page_size)
+
+    def characterize_many(self, request: BatchRequest,
+                          progress: Callable[[str, Any], None] | None = None
+                          ) -> BatchResponse:
+        """Run a batch of predicates against one engine.
+
+        The predicates share the session engine's :class:`StatsCache`, so
+        table-level statistics are computed once; the response reports the
+        cache counters as evidence of the sharing.
+        """
+        session = self.session(request.client_id)
+        t0 = time.perf_counter()
+        with self._session_lock(request.client_id):
+            self._apply_overrides(session, {}, request.options)
+            table_name = session.resolve_table(request.table)
+            cache = session.engine_for(table_name).cache
+            # Snapshot so the response reports THIS batch's hits/misses,
+            # not the engine's lifetime totals.
+            hits_before = cache.counters.hits if cache is not None else 0
+            misses_before = cache.counters.misses if cache is not None else 0
+            results = session.run_many(request.predicates, table=table_name,
+                                       progress=progress)
+        total_ms = (time.perf_counter() - t0) * 1000.0
+        responses = tuple(
+            CharacterizeResponse.from_result(r, table=table_name,
+                                             page_size=request.page_size)
+            for r in results)
+        hits = (cache.counters.hits - hits_before
+                if cache is not None else None)
+        misses = (cache.counters.misses - misses_before
+                  if cache is not None else None)
+        return BatchResponse(results=responses, total_time_ms=total_ms,
+                             cache_hits=hits, cache_misses=misses)
+
+    def submit(self, request: JobSubmitRequest | CharacterizeRequest,
+               on_progress: Callable[[str, Any], None] | None = None
+               ) -> JobSnapshot:
+        """Queue a characterization as an asynchronous job.
+
+        Returns the initial (``pending``) snapshot; poll with
+        :meth:`job_status` and stop with :meth:`cancel`.
+        """
+        inner = (request.request if isinstance(request, JobSubmitRequest)
+                 else request)
+        job_id = self.jobs.submit(
+            lambda progress: self.characterize(inner, progress=progress),
+            on_progress=on_progress)
+        return self._snapshot(self.jobs.get(job_id))
+
+    def job_status(self, job_id: str) -> JobSnapshot:
+        """A point-in-time snapshot of one job (with partial views)."""
+        return self._snapshot(self.jobs.get(job_id))
+
+    def cancel(self, job_id: str) -> JobSnapshot:
+        """Request cancellation and return the resulting snapshot."""
+        return self._snapshot(self.jobs.cancel(job_id))
+
+    def wait(self, job_id: str, timeout: float | None = None) -> JobSnapshot:
+        """Block until a job finishes (used by tests and simple clients)."""
+        return self._snapshot(self.jobs.wait(job_id, timeout=timeout))
+
+    def view_page(self, request: ViewPageRequest) -> ViewPage:
+        """Page through the client's current (latest) result."""
+        session = self.session(request.client_id)
+        with self._session_lock(request.client_id):
+            if not session.history:
+                raise NoActiveQueryError(request.client_id)
+            views = session.current.result.views
+            return ViewPage.from_views(views, page=request.page,
+                                       page_size=request.page_size)
+
+    def configure(self, request: ConfigureRequest) -> ConfigureResponse:
+        """Apply weight/option overrides to the client's session."""
+        session = self.session(request.client_id)
+        with self._session_lock(request.client_id):
+            self._apply_overrides(session, request.weights, request.options)
+            weights = dict(session.config.weights)
+        applied = tuple(sorted(request.options))
+        return ConfigureResponse(weights=weights, applied=applied)
+
+    # -- panels (used by the v1 adapter) -----------------------------------------
+
+    def view_detail(self, client_id: str, rank: int) -> str:
+        """The rendered detail panel for one view of the current result."""
+        session = self.session(client_id)
+        with self._session_lock(client_id):
+            if not session.history:
+                raise NoActiveQueryError(client_id)
+            return session.view_detail(rank)
+
+    def dendrogram(self, client_id: str) -> str:
+        """The current result's dendrogram rendering."""
+        session = self.session(client_id)
+        with self._session_lock(client_id):
+            if not session.history:
+                raise NoActiveQueryError(client_id)
+            return session.dendrogram()
+
+    # -- dict dispatch (what the HTTP server calls) ------------------------------
+
+    def dispatch(self, payload: Mapping) -> dict:
+        """Handle one decoded JSON request; never raises.
+
+        Parses the payload into a typed request, executes it, and returns
+        the response dict — or an :class:`ApiError` dict on failure.
+        """
+        try:
+            request = parse_request(payload)
+            if isinstance(request, CharacterizeRequest):
+                return self.characterize(request).to_dict()
+            if isinstance(request, BatchRequest):
+                return self.characterize_many(request).to_dict()
+            if isinstance(request, ViewPageRequest):
+                return self.view_page(request).to_dict()
+            if isinstance(request, JobSubmitRequest):
+                return self.submit(request).to_dict()
+            if isinstance(request, JobControlRequest):
+                if request.op == "cancel":
+                    return self.cancel(request.job_id).to_dict()
+                return self.job_status(request.job_id).to_dict()
+            if isinstance(request, TablesRequest):
+                return self.list_tables(request).to_dict()
+            if isinstance(request, ConfigureRequest):
+                return self.configure(request).to_dict()
+            raise ProtocolError(
+                f"unhandled request type {type(request).__name__}")
+        except ReproError as exc:
+            return ApiError.from_exception(exc).to_dict()
+        except (ValueError, TypeError, KeyError) as exc:
+            return ApiError.from_exception(
+                ProtocolError(f"{type(exc).__name__}: {exc}")).to_dict()
+        except Exception as exc:  # noqa: BLE001 - a service must not 500
+            return ApiError.from_exception(exc).to_dict()
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _apply_overrides(session: ZiggySession, weights: Mapping,
+                         options: Mapping) -> None:
+        if weights:
+            session.set_weights(**{str(k): float(v)
+                                   for k, v in weights.items()})
+        if options:
+            session.set_option(**dict(options))
+
+    def _snapshot(self, job: Job) -> JobSnapshot:
+        with job.lock:
+            status = job.status
+            timings = job.timings_ms()
+            partial = list(job.partial)
+            result = job.result
+            error = job.error
+        partial_views = tuple(view_to_dict(v, rank)
+                              for rank, v in enumerate(partial, start=1))
+        return JobSnapshot(
+            job_id=job.job_id,
+            status=status,
+            timings_ms=timings,
+            partial_views=partial_views,
+            result=result if isinstance(result, CharacterizeResponse) else None,
+            error=(ApiError.from_exception(error)
+                   if error is not None else None),
+        )
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the job pool (the catalog and sessions stay usable)."""
+        self.jobs.shutdown(wait=wait)

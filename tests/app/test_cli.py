@@ -122,3 +122,38 @@ class TestCsvAndErrors:
         parser = build_parser()
         args = parser.parse_args(["--where", "x > 1"])
         assert args.where == "x > 1"
+
+
+class TestServe:
+    def test_serve_parser_defaults(self):
+        from repro.app.cli import build_serve_parser
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.dataset == []
+
+    def test_serve_parser_options(self):
+        from repro.app.cli import build_serve_parser
+        args = build_serve_parser().parse_args(
+            ["--port", "0", "--dataset", "boxoffice", "--seed-rows", "100",
+             "--workers", "4", "--quiet"])
+        assert args.port == 0
+        assert args.dataset == ["boxoffice"]
+        assert args.quiet
+
+    def test_serve_bad_csv_exits_nonzero(self, tmp_path):
+        from repro.app.cli import serve_main
+        buffer = io.StringIO()
+        code = serve_main(["--csv", str(tmp_path / "missing.csv"),
+                           "--port", "0"], stream=buffer)
+        assert code == 1
+        assert "error:" in buffer.getvalue()
+
+    def test_main_dispatches_serve(self, monkeypatch):
+        import repro.app.cli as cli
+        seen = {}
+        monkeypatch.setattr(cli, "serve_main",
+                            lambda argv, stream=None:
+                            seen.setdefault("argv", argv) and 0 or 0)
+        assert cli.main(["serve", "--port", "0"]) == 0
+        assert seen["argv"] == ["--port", "0"]

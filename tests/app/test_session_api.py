@@ -144,6 +144,36 @@ class TestApi:
                         tightness=1.0, components=())
         assert view_to_dict(vr, 1)["score"] is None
 
+    def test_nonfinite_nested_in_detail_sanitized(self):
+        # Regression: inf/nan nested inside ComponentScore.detail lists
+        # used to leak into the response and break json.dumps consumers.
+        from repro.core.views import ComponentScore, View, ViewResult
+        score = ComponentScore(
+            component="corr_shift", columns=("a", "b"), raw=0.1,
+            normalized=0.1, weight=1.0, test=None, direction="different",
+            detail={"coeffs": (float("inf"), 0.5),
+                    "nested": {"vals": [float("nan")]}})
+        vr = ViewResult(view=View(columns=("a", "b")), score=1.0,
+                        tightness=1.0, components=(score,))
+        encoded = json.dumps(view_to_dict(vr, 1))
+        assert "Infinity" not in encoded and "NaN" not in encoded
+        detail = view_to_dict(vr, 1)["components"][0]["detail"]
+        assert detail["coeffs"] == [None, 0.5]
+        assert detail["nested"]["vals"] == [None]
+
+    def test_views_before_query_structured_error(self, api):
+        response = api.handle({"action": "views"})
+        assert response["ok"] is False
+        assert response["code"] == "no_active_query"
+
+    def test_error_responses_carry_codes(self, api):
+        assert api.handle({"action": "query",
+                           "where": "gross >"})["code"] == "syntax_error"
+        assert api.handle({"action": "query",
+                           "where": "no_such > 1"})["code"] == \
+            "unknown_column"
+        assert api.handle({"action": "explode"})["code"] == "unknown_action"
+
 
 class TestDemoScript:
     def test_transcript_covers_three_datasets(self):

@@ -1,0 +1,257 @@
+"""Tests for protocol v2: round-tripping, pagination, JSON safety."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.views import ComponentScore, View, ViewResult
+from repro.errors import (
+    ConfigError,
+    JobCancelled,
+    JobNotFoundError,
+    NoActiveQueryError,
+    ProtocolError,
+    QuerySyntaxError,
+    ReproError,
+    UnknownColumnError,
+)
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ApiError,
+    BatchRequest,
+    BatchResponse,
+    CharacterizeRequest,
+    CharacterizeResponse,
+    ConfigureRequest,
+    ConfigureResponse,
+    ErrorCode,
+    JobControlRequest,
+    JobSnapshot,
+    JobSubmitRequest,
+    TableInfo,
+    TableList,
+    TablesRequest,
+    ViewPage,
+    ViewPageRequest,
+    error_code_for,
+    json_safe,
+    parse_request,
+    parse_response,
+    view_to_dict,
+)
+
+
+def make_views(n: int) -> list[ViewResult]:
+    return [ViewResult(view=View(columns=(f"col_{i}",)), score=float(n - i),
+                       tightness=1.0, components=(), p_value=0.01,
+                       significant=True, explanation=f"view {i}")
+            for i in range(n)]
+
+
+def roundtrip(message):
+    """to_dict -> JSON -> from_dict must reproduce the message exactly."""
+    wire = json.loads(json.dumps(message.to_dict()))
+    return type(message).from_dict(wire)
+
+
+SAMPLE_PAGE = ViewPage.from_views(make_views(3), page=1, page_size=2)
+SAMPLE_RESPONSE = CharacterizeResponse(
+    predicate="x > 1", table="t", n_inside=10, n_outside=90, n_views=3,
+    timings_ms={"preparation": 1.5, "view_search": 2.5},
+    views=SAMPLE_PAGE, notes=("note a",))
+
+ALL_MESSAGES = [
+    CharacterizeRequest(where="x > 1", table="t", client_id="c", page=2,
+                        page_size=5, weights={"mean_shift": 2.0},
+                        options={"max_views": 3}),
+    BatchRequest(predicates=("x > 1", "y < 2"), table="t", client_id="c",
+                 page_size=4, options={"max_views": 2}),
+    ViewPageRequest(client_id="c", page=3, page_size=7),
+    JobSubmitRequest(request=CharacterizeRequest(where="x > 1")),
+    JobControlRequest(job_id="job-000001", op="cancel"),
+    TablesRequest(),
+    ConfigureRequest(client_id="c", weights={"w": 1.0},
+                     options={"alpha": 0.01}),
+    SAMPLE_PAGE,
+    SAMPLE_RESPONSE,
+    BatchResponse(results=(SAMPLE_RESPONSE,), total_time_ms=12.5,
+                  cache_hits=10, cache_misses=2),
+    JobSnapshot(job_id="job-000002", status="running",
+                timings_ms={"queued": 0.5, "run": 3.0},
+                partial_views=(view_to_dict(make_views(1)[0], 1),),
+                result=None, error=None),
+    JobSnapshot(job_id="job-000003", status="failed",
+                error=ApiError(code=ErrorCode.SYNTAX_ERROR, message="bad")),
+    JobSnapshot(job_id="job-000004", status="done", result=SAMPLE_RESPONSE),
+    TableInfo(name="t", rows=10, columns=3, column_names=("a", "b", "c")),
+    TableList(tables=(TableInfo(name="t", rows=1, columns=1,
+                                column_names=("a",)),)),
+    ConfigureResponse(weights={"mean_shift": 2.0}, applied=("alpha",)),
+    ApiError(code=ErrorCode.UNKNOWN_COLUMN, message="nope",
+             detail={"available": ["a", "b"]}),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ALL_MESSAGES,
+                             ids=lambda m: type(m).__name__)
+    def test_to_from_dict_roundtrip(self, message):
+        assert roundtrip(message) == message
+
+    def test_every_request_type_covered(self):
+        from repro.service.protocol import REQUEST_TYPES
+        covered = {type(m).TYPE for m in ALL_MESSAGES if hasattr(m, "TYPE")}
+        assert set(REQUEST_TYPES) <= covered
+
+    def test_every_response_type_covered(self):
+        from repro.service.protocol import RESPONSE_TYPES
+        covered = {type(m).TYPE for m in ALL_MESSAGES if hasattr(m, "TYPE")}
+        assert set(RESPONSE_TYPES) <= covered
+
+    def test_parse_request_dispatches(self):
+        request = parse_request({"type": "characterize", "where": "x > 1"})
+        assert isinstance(request, CharacterizeRequest)
+
+    def test_parse_response_dispatches(self):
+        response = parse_response(SAMPLE_RESPONSE.to_dict())
+        assert isinstance(response, CharacterizeResponse)
+
+    def test_wire_format_is_json_serializable(self):
+        for message in ALL_MESSAGES:
+            json.dumps(message.to_dict())
+
+    def test_protocol_version_declared(self):
+        assert PROTOCOL_VERSION == 2
+        assert SAMPLE_RESPONSE.to_dict()["protocol"] == 2
+
+
+class TestValidation:
+    def test_missing_where_rejected(self):
+        with pytest.raises(ProtocolError):
+            CharacterizeRequest.from_dict({"type": "characterize"})
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError):
+            BatchRequest(predicates=())
+
+    def test_predicates_must_be_a_list(self):
+        with pytest.raises(ProtocolError):
+            BatchRequest.from_dict({"type": "batch", "predicates": "x > 1"})
+
+    def test_bad_job_op_rejected(self):
+        with pytest.raises(ProtocolError):
+            JobControlRequest(job_id="j", op="explode")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"type": "teleport"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_request([1, 2, 3])
+
+    def test_wrong_protocol_version_rejected(self):
+        with pytest.raises(ProtocolError):
+            CharacterizeRequest.from_dict(
+                {"type": "characterize", "where": "x > 1", "protocol": 99})
+
+    def test_non_integer_page_rejected(self):
+        with pytest.raises(ProtocolError):
+            ViewPageRequest.from_dict({"type": "views", "page": "two"})
+
+
+class TestPagination:
+    def test_unpaged_returns_everything(self):
+        page = ViewPage.from_views(make_views(5))
+        assert len(page.items) == 5
+        assert page.total == 5
+        assert not page.has_next
+
+    def test_page_slicing_keeps_global_ranks(self):
+        views = make_views(5)
+        second = ViewPage.from_views(views, page=2, page_size=2)
+        assert [v["rank"] for v in second.items] == [3, 4]
+        assert second.has_next  # view 5 remains
+        third = ViewPage.from_views(views, page=3, page_size=2)
+        assert [v["rank"] for v in third.items] == [5]
+        assert not third.has_next
+
+    def test_empty_views_give_empty_page(self):
+        page = ViewPage.from_views([], page=1, page_size=3)
+        assert page.items == ()
+        assert page.total == 0
+        assert not page.has_next
+
+    def test_out_of_range_page_is_empty_not_an_error(self):
+        page = ViewPage.from_views(make_views(3), page=9, page_size=2)
+        assert page.items == ()
+        assert page.total == 3
+        assert not page.has_next
+
+    def test_page_below_one_is_clamped(self):
+        page = ViewPage.from_views(make_views(3), page=0, page_size=2)
+        assert [v["rank"] for v in page.items] == [1, 2]
+
+
+class TestJsonSafe:
+    def test_top_level_nonfinite(self):
+        assert json_safe(float("inf")) is None
+        assert json_safe(float("nan")) is None
+        assert json_safe(1.5) == 1.5
+
+    def test_nested_in_lists_and_tuples(self):
+        safe = json_safe({"a": [1.0, float("inf")],
+                          "b": (float("nan"), 2.0)})
+        assert safe == {"a": [1.0, None], "b": [None, 2.0]}
+        json.dumps(safe)
+
+    def test_deeply_nested(self):
+        safe = json_safe({"outer": {"inner": [[float("-inf")]]}})
+        assert safe == {"outer": {"inner": [[None]]}}
+
+    def test_numpy_scalars_and_arrays(self):
+        safe = json_safe({"i": np.int64(3), "f": np.float64(1.5),
+                          "n": np.float64("nan"), "b": np.bool_(True),
+                          "arr": np.array([1.0, np.inf])})
+        assert safe == {"i": 3, "f": 1.5, "n": None, "b": True,
+                        "arr": [1.0, None]}
+        json.dumps(safe)
+
+    def test_bools_and_ints_untouched(self):
+        assert json_safe(True) is True
+        assert json_safe(7) == 7
+        assert json_safe("x") == "x"
+        assert json_safe(None) is None
+
+    def test_component_detail_with_nested_nonfinite_serializes(self):
+        score = ComponentScore(
+            component="corr_shift", columns=("a", "b"), raw=0.5,
+            normalized=0.5, weight=1.0, test=None, direction="different",
+            detail={"coeffs": [0.9, float("inf")],
+                    "pair": (float("nan"), 1.0)})
+        from repro.service.protocol import component_to_dict
+        encoded = json.dumps(component_to_dict(score))
+        assert "Infinity" not in encoded and "NaN" not in encoded
+
+
+class TestErrorCodes:
+    @pytest.mark.parametrize("exc,code", [
+        (QuerySyntaxError("bad"), ErrorCode.SYNTAX_ERROR),
+        (UnknownColumnError("x"), ErrorCode.UNKNOWN_COLUMN),
+        (ConfigError("bad"), ErrorCode.INVALID_CONFIG),
+        (NoActiveQueryError("c"), ErrorCode.NO_ACTIVE_QUERY),
+        (JobNotFoundError("j"), ErrorCode.JOB_NOT_FOUND),
+        (JobCancelled("j"), ErrorCode.CANCELLED),
+        (ProtocolError("bad"), ErrorCode.BAD_REQUEST),
+        (ReproError("generic"), ErrorCode.ERROR),
+        (RuntimeError("boom"), ErrorCode.INTERNAL),
+    ])
+    def test_exception_mapping(self, exc, code):
+        assert error_code_for(exc) == code
+        assert ApiError.from_exception(exc).code == code
+
+    def test_api_error_envelope(self):
+        payload = ApiError.from_exception(ReproError("oops")).to_dict()
+        assert payload["ok"] is False
+        assert payload["error"]["message"] == "oops"
