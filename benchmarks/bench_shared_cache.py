@@ -1,0 +1,162 @@
+"""BENCH shared-cache — cold vs warm cross-client characterization.
+
+The runtime's `SharedStatsRegistry` extends the paper's computation
+sharing across clients: the first client pays for a table's global
+statistics, every later client reuses them.  This benchmark measures
+that, service-level:
+
+* **cold** — client "alice" sweeps N predicates against a service with a
+  fresh runtime (first query pays the preparation cost);
+* **warm** — client "bob" runs the same sweep on the *same* service
+  (every table-level statistic is a cross-client hit).
+
+It writes a machine-readable ``BENCH_shared_cache.json`` so the perf
+trajectory can be tracked across commits, and prints a short table.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_shared_cache.py [--smoke]
+        [--out BENCH_shared_cache.json] [--rows N] [--repeats K]
+
+``--smoke`` shrinks the dataset so CI finishes in seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+
+from repro.data.crime import make_crime
+from repro.experiments.workloads import threshold_sweep_predicates
+from repro.runtime import ZiggyRuntime
+from repro.service import BatchRequest, ZiggyService
+
+QUANTILES = (0.95, 0.92, 0.9, 0.85, 0.8, 0.75)
+
+
+def run_client(service: ZiggyService, client_id: str,
+               predicates: tuple[str, ...]) -> list[float]:
+    """One client's sweep; returns per-query latencies in ms."""
+    laps: list[float] = []
+    for predicate in predicates:
+        start = time.perf_counter()
+        service.characterize_many(BatchRequest(predicates=(predicate,),
+                                               client_id=client_id))
+        laps.append((time.perf_counter() - start) * 1000.0)
+    return laps
+
+
+def run_benchmark(n_rows: int, repeats: int) -> dict:
+    table = make_crime(n_rows=n_rows)
+    predicates = tuple(threshold_sweep_predicates(
+        table, "violent_crime_rate", quantiles=QUANTILES))
+
+    # Warm numpy/BLAS caches with a throwaway runtime, so the cold phase
+    # measures our cold path and not the interpreter's.
+    warmup = ZiggyService(runtime=ZiggyRuntime())
+    warmup.register_table(table)
+    run_client(warmup, "warmup", predicates[:1])
+    warmup.shutdown(wait=False)
+
+    cold_runs: list[list[float]] = []
+    warm_runs: list[list[float]] = []
+    registry_stats: dict = {}
+    cache_stats: dict = {}
+    for _ in range(repeats):
+        runtime = ZiggyRuntime()
+        service = ZiggyService(runtime=runtime)
+        service.register_table(table)
+        cold_runs.append(run_client(service, "alice", predicates))
+        warm_runs.append(run_client(service, "bob", predicates))
+        registry_stats = runtime.stats.stats().to_dict()
+        cache = (service.session("bob").engine_for(table.name).cache)
+        cache_stats = {
+            "hits": cache.counters.hits,
+            "misses": cache.counters.misses,
+            "hit_rate": cache.counters.hits
+            / max(1, cache.counters.hits + cache.counters.misses),
+        }
+        service.shutdown(wait=False)
+
+    def summarize(runs: list[list[float]]) -> dict:
+        per_query = [statistics.median(r[i] for r in runs)
+                     for i in range(len(predicates))]
+        totals = [sum(r) for r in runs]
+        return {
+            "per_query_ms": [round(v, 3) for v in per_query],
+            "total_ms": round(statistics.median(totals), 3),
+            "first_query_ms": round(per_query[0], 3),
+            "steady_state_ms": round(statistics.median(per_query[1:]), 3),
+        }
+
+    cold = summarize(cold_runs)
+    warm = summarize(warm_runs)
+    return {
+        "benchmark": "shared_cache",
+        "table": {"name": table.name, "rows": table.n_rows,
+                  "columns": table.n_columns},
+        "n_predicates": len(predicates),
+        "repeats": repeats,
+        "cold": cold,
+        "warm": warm,
+        "speedup_total": round(cold["total_ms"] / max(warm["total_ms"], 1e-9), 3),
+        "speedup_first_query": round(
+            cold["first_query_ms"] / max(warm["first_query_ms"], 1e-9), 3),
+        "registry": registry_stats,
+        "cache": cache_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cold vs warm cross-client characterization latency")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small dataset / single repeat (CI gate)")
+    parser.add_argument("--rows", type=int, default=None,
+                        help="crime-table rows (default: 1994, the paper's "
+                             "size; 400 in smoke mode)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="measurement repeats (default 3; 1 in smoke)")
+    parser.add_argument("--out", default="BENCH_shared_cache.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    n_rows = args.rows if args.rows else (400 if args.smoke else 1994)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+    report = run_benchmark(n_rows=n_rows, repeats=repeats)
+    report["mode"] = "smoke" if args.smoke else "full"
+
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"BENCH shared_cache ({report['mode']}): "
+          f"{report['table']['rows']}x{report['table']['columns']} crime, "
+          f"{report['n_predicates']} predicates, {repeats} repeat(s)")
+    print(f"{'phase':<8} {'first(ms)':>10} {'steady(ms)':>11} {'total(ms)':>10}")
+    for phase in ("cold", "warm"):
+        row = report[phase]
+        print(f"{phase:<8} {row['first_query_ms']:>10.1f} "
+              f"{row['steady_state_ms']:>11.1f} {row['total_ms']:>10.1f}")
+    print(f"speedup: total x{report['speedup_total']}, "
+          f"first-query x{report['speedup_first_query']}")
+    registry = report["registry"]
+    print(f"registry: hits={registry['hits']} misses={registry['misses']} "
+          f"cross_client_hits={registry['cross_client_hits']}")
+    print(f"wrote {args.out}")
+
+    # Sanity gates so CI fails loudly when sharing regresses.
+    if registry["cross_client_hits"] < 1:
+        print("ERROR: no cross-client registry hit recorded", file=sys.stderr)
+        return 1
+    if report["cache"]["hits"] <= 0:
+        print("ERROR: stats cache recorded no hits", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,13 +44,15 @@ talk to it with :class:`repro.service.client.ZiggyClient`.
 """
 
 from repro.core.config import ZiggyConfig
-from repro.core.pipeline import Ziggy
+from repro.core.events import StageEvent
+from repro.core.pipeline import CharacterizationPlan, Ziggy
 from repro.core.views import (
     CharacterizationResult,
     ComponentScore,
     View,
     ViewResult,
 )
+from repro.runtime import ZiggyRuntime, get_runtime
 from repro.data.registry import dataset_names, load_dataset
 from repro.engine.csvio import read_csv, write_csv
 from repro.engine.database import Database, Selection, selection_from_mask
@@ -69,6 +71,10 @@ __version__ = "2.0.0"
 __all__ = [
     "Ziggy",
     "ZiggyConfig",
+    "ZiggyRuntime",
+    "get_runtime",
+    "CharacterizationPlan",
+    "StageEvent",
     "View",
     "ViewResult",
     "ComponentScore",

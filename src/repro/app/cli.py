@@ -122,6 +122,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="shrink built-in datasets to N rows")
     parser.add_argument("--workers", type=int, default=2,
                         help="job thread-pool size (default 2)")
+    parser.add_argument("--max-tables", type=int, default=None, metavar="N",
+                        help="most tables the shared runtime keeps resident "
+                             "before LRU-evicting their cached statistics "
+                             "(default 16; 0 = unbounded)")
+    parser.add_argument("--cache-bytes", type=int, default=None, metavar="B",
+                        help="byte budget for resident table data in the "
+                             "shared runtime; exceeding it LRU-evicts tables "
+                             "and their statistics caches (default "
+                             "1073741824 = 1 GiB; 0 = unbounded)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
     return parser
@@ -133,11 +142,18 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
     args = build_serve_parser().parse_args(argv)
 
     # Imported here so plain CLI runs never pay for the service stack.
+    from repro.runtime import DEFAULT_MAX_BYTES, DEFAULT_MAX_TABLES, ZiggyRuntime
     from repro.service.server import make_server
     from repro.service.service import ZiggyService
 
+    # 0 means unbounded; absent means the documented defaults.
+    max_tables = (DEFAULT_MAX_TABLES if args.max_tables is None
+                  else (args.max_tables or None))
+    cache_bytes = (DEFAULT_MAX_BYTES if args.cache_bytes is None
+                   else (args.cache_bytes or None))
     try:
-        service = ZiggyService(max_workers=args.workers)
+        runtime = ZiggyRuntime(max_tables=max_tables, max_bytes=cache_bytes)
+        service = ZiggyService(max_workers=args.workers, runtime=runtime)
         names = args.dataset or list(dataset_names())
         kwargs = {"n_rows": args.seed_rows} if args.seed_rows else {}
         for name in names:

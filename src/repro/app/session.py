@@ -5,10 +5,19 @@ the registered datasets, the current query, the ranked views, and the
 rendering of any view the user clicks.  It also exposes the dendrogram
 (the paper's tuning aid for ``MIN_tight``) and lets the visitor adjust
 component weights mid-session, reproducing the demo's interactivity.
+
+Sessions no longer own cross-request state: per-table statistics caches
+are **borrowed** from a :class:`~repro.runtime.ZiggyRuntime` (the
+process-wide one by default), so every session characterizing the same
+table — in this process, under any service client — shares one set of
+global statistics, and the runtime's eviction policy bounds their
+memory.  While a query runs the session holds a lease on its table, so
+eviction never races active work.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from repro.app.render import view_card
@@ -18,6 +27,10 @@ from repro.core.views import CharacterizationResult, ViewResult
 from repro.engine.database import Database, Selection
 from repro.engine.table import Table
 from repro.errors import ReproError
+from repro.runtime import ZiggyRuntime, get_runtime
+
+#: Distinguishes anonymous sessions in the registry's borrower ledger.
+_session_ids = itertools.count(1)
 
 
 @dataclass
@@ -43,9 +56,14 @@ class ZiggySession:
     """
 
     def __init__(self, database: Database | None = None,
-                 config: ZiggyConfig | None = None):
+                 config: ZiggyConfig | None = None,
+                 runtime: ZiggyRuntime | None = None,
+                 client_id: str | None = None):
         self.database = database if database is not None else Database()
         self.config = config if config is not None else ZiggyConfig()
+        self.runtime = runtime if runtime is not None else get_runtime()
+        self.client_id = (client_id if client_id is not None
+                          else f"session-{next(_session_ids)}")
         self._engines: dict[str, Ziggy] = {}
         self.history: list[SessionEntry] = []
 
@@ -77,49 +95,68 @@ class ZiggySession:
     # -- the query box -----------------------------------------------------------------
 
     def run(self, where: str, table: str | None = None,
-            progress=None) -> CharacterizationResult:
+            progress=None, emit=None) -> CharacterizationResult:
         """Execute a predicate and characterize its selection.
 
         ``progress`` is an optional
-        :data:`~repro.core.pipeline.ProgressCallback` threaded through to
-        the engine (per-view streaming, cooperative cancellation).
+        :data:`~repro.core.pipeline.ProgressCallback`; ``emit`` receives
+        the typed :class:`~repro.core.events.StageEvent` stream.  Both are
+        threaded through to the engine (per-view streaming, cooperative
+        cancellation).  The table is leased from the runtime for the
+        duration, so store eviction never interrupts the run.
         """
         table_name = self.resolve_table(table)
-        engine = self.engine_for(table_name)
         selection = self.database.select(table_name, where)
-        result = engine.characterize_selection(selection, config=self.config,
-                                               progress=progress)
-        self.history.append(SessionEntry(
-            query_text=where, table_name=table_name, result=result,
-            selection=selection))
-        return result
+        return self._characterize(selection, table_name, where,
+                                  progress=progress, emit=emit)
 
     def run_many(self, wheres: list[str] | tuple[str, ...],
                  table: str | None = None,
-                 progress=None) -> list[CharacterizationResult]:
+                 progress=None, emit=None) -> list[CharacterizationResult]:
         """Characterize a batch of predicates against one table.
 
         All predicates share one engine (and therefore one statistics
         cache); each result is appended to the session history.
         """
+        from repro.core.events import BATCH_ITEM, StageEvent
+
         table_name = self.resolve_table(table)
         results: list[CharacterizationResult] = []
         for index, where in enumerate(wheres):
-            result = self.run(where, table=table_name, progress=progress)
+            result = self.run(where, table=table_name, progress=progress,
+                              emit=emit)
             results.append(result)
+            if emit is not None:
+                emit(StageEvent(BATCH_ITEM, (index, result)))
             if progress is not None:
                 progress("batch_item", (index, result))
         return results
 
-    def run_sql(self, sql: str, progress=None) -> CharacterizationResult:
+    def run_sql(self, sql: str, progress=None,
+                emit=None) -> CharacterizationResult:
         """Execute a full SELECT and characterize its WHERE clause."""
         selection = self.database.selection_for_query(sql)
-        table_name = selection.table.name
-        engine = self.engine_for(table_name)
-        result = engine.characterize_selection(selection, config=self.config,
-                                               progress=progress)
+        return self._characterize(selection, selection.table.name, sql,
+                                  progress=progress, emit=emit)
+
+    def _characterize(self, selection: Selection, table_name: str,
+                      query_text: str, progress=None,
+                      emit=None) -> CharacterizationResult:
+        """The shared core of :meth:`run` and :meth:`run_sql`: lease the
+        table, converge the engine onto the registry's current cache,
+        execute, record history."""
+        engine = self.engine_for(table_name, table=selection.table)
+        with self.runtime.lease(selection.table,
+                                borrower=self.client_id) as cache:
+            # The registry may have recreated the cache since this engine
+            # first borrowed (table-store eviction); converge on the
+            # current shared instance rather than a stale private one.
+            if engine.cache is not cache:
+                engine.rebind_cache(cache)
+            result = engine.characterize_selection(
+                selection, config=self.config, progress=progress, emit=emit)
         self.history.append(SessionEntry(
-            query_text=sql, table_name=table_name, result=result,
+            query_text=query_text, table_name=table_name, result=result,
             selection=selection))
         return result
 
@@ -184,12 +221,22 @@ class ZiggySession:
     # backward-compatible alias
     _resolve_table = resolve_table
 
-    def engine_for(self, table_name: str) -> Ziggy:
-        """The (lazily created) engine bound to one table; engines are
-        per-table so each keeps its own statistics cache."""
+    def engine_for(self, table_name: str, table: Table | None = None) -> Ziggy:
+        """The (lazily created) engine bound to one table.
+
+        Engines are per-table, but their statistics cache is *borrowed*
+        from the shared runtime: every session/engine touching the same
+        table content shares one cache, so global statistics are computed
+        once per table across the whole process.  ``table`` short-circuits
+        the catalog lookup when the caller already holds the object (e.g.
+        a SQL run whose table's own name differs from its catalog name).
+        """
         engine = self._engines.get(table_name)
         if engine is None:
-            engine = Ziggy(self.database, config=self.config)
+            if table is None:
+                table = self.database.table(table_name)
+            cache = self.runtime.stats_for(table, borrower=self.client_id)
+            engine = Ziggy(self.database, config=self.config, cache=cache)
             self._engines[table_name] = engine
         return engine
 

@@ -18,8 +18,9 @@ Subpackages implement the three pipeline stages of Figure 4:
 """
 
 from repro.core.config import ZiggyConfig
+from repro.core.events import STAGE_KINDS, StageEvent, legacy_stage
 from repro.core.views import View, ComponentScore, ViewResult, CharacterizationResult
-from repro.core.pipeline import Ziggy
+from repro.core.pipeline import CharacterizationPlan, PlanExecutor, Ziggy
 
 __all__ = [
     "ZiggyConfig",
@@ -28,4 +29,9 @@ __all__ = [
     "ViewResult",
     "CharacterizationResult",
     "Ziggy",
+    "CharacterizationPlan",
+    "PlanExecutor",
+    "StageEvent",
+    "STAGE_KINDS",
+    "legacy_stage",
 ]

@@ -1,0 +1,76 @@
+"""Typed stage events — the execution core's progress vocabulary.
+
+The plan/execute split (:mod:`repro.core.pipeline`) emits one
+:class:`StageEvent` per observable step of a characterization.  Event
+kinds, in emission order:
+
+==================  =========================================================
+kind                payload
+==================  =========================================================
+``prepared``        :class:`~repro.core.preparation.PreparedData`
+``component-scored``  the :class:`~repro.core.dissimilarity.ComponentCatalog`
+``view-ranked``     one :class:`~repro.core.views.ViewResult` per view, as
+                    the searcher keeps it (the progressive-results stream)
+``search-complete``  :class:`~repro.core.search.searcher.SearchOutput`
+``view-ready``      ``(rank, ViewResult)`` per validated, explained view
+``result``          the final :class:`CharacterizationResult`
+``batch-item``      ``(index, CharacterizationResult)`` after each batch
+                    predicate
+==================  =========================================================
+
+The legacy progress-callback protocol (``progress(stage, payload)``,
+introduced with the service layer) is preserved as a *projection* of this
+stream: :func:`legacy_stage` maps each event kind onto the stage string
+the old callbacks expect, so existing consumers (the job manager's
+partial-view capture, cooperative cancellation) keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+#: Event kinds, in pipeline order.
+PREPARED = "prepared"
+COMPONENT_SCORED = "component-scored"
+VIEW_RANKED = "view-ranked"
+SEARCH_COMPLETE = "search-complete"
+VIEW_READY = "view-ready"
+RESULT = "result"
+BATCH_ITEM = "batch-item"
+
+#: All kinds the executor can emit, in order of first emission.
+STAGE_KINDS = (PREPARED, COMPONENT_SCORED, VIEW_RANKED, SEARCH_COMPLETE,
+               VIEW_READY, RESULT, BATCH_ITEM)
+
+
+@dataclass(frozen=True)
+class StageEvent:
+    """One observable step of a characterization.
+
+    Attributes:
+        kind: one of :data:`STAGE_KINDS`.
+        payload: the stage artifact (see the module table).
+    """
+
+    kind: str
+    payload: Any = None
+
+
+#: Signature of a typed event consumer.
+EmitFn = Callable[[StageEvent], None]
+
+#: Event kind -> legacy progress-callback stage name.  Kinds absent here
+#: pass through under their own name (new consumers only).
+_LEGACY_STAGE_FOR = {
+    PREPARED: "preparation",
+    VIEW_RANKED: "view",
+    SEARCH_COMPLETE: "search",
+    RESULT: "result",
+    BATCH_ITEM: "batch_item",
+}
+
+
+def legacy_stage(kind: str) -> str:
+    """The legacy ``progress(stage, payload)`` stage name for a kind."""
+    return _LEGACY_STAGE_FOR.get(kind, kind)

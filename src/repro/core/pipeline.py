@@ -1,4 +1,4 @@
-"""The Ziggy pipeline facade (Figure 4).
+"""The Ziggy pipeline facade (Figure 4), split into plan and execute.
 
 ``Ziggy`` wires the three stages — preparation, view search,
 post-processing — around a shared statistics cache, and exposes the
@@ -11,15 +11,37 @@ into external exploration systems")::
     result = ziggy.characterize("violent_crime_rate > 0.8")
     for view in result.views:
         print(view.explanation)
+
+Under the facade the pipeline is an explicit plan/execute pair:
+:class:`CharacterizationPlan` captures everything a run needs (selection,
+configuration, component registry, statistics cache) before any work
+happens, and :class:`PlanExecutor` carries the plan through the stages
+while emitting typed :class:`~repro.core.events.StageEvent`\\ s —
+``prepared``, ``component-scored``, ``view-ranked`` (one per view, the
+progressive-results stream), ``search-complete``, ``view-ready`` (one per
+validated view) and ``result``.  Front-ends that stream (the service's
+``/v2/jobs/<id>/events`` endpoint) consume the events; everything else
+just takes the returned :class:`CharacterizationResult`.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.components.base import ComponentRegistry, default_registry
 from repro.core.config import ZiggyConfig
+from repro.core.events import (
+    BATCH_ITEM,
+    COMPONENT_SCORED,
+    PREPARED,
+    RESULT,
+    VIEW_READY,
+    EmitFn,
+    StageEvent,
+    legacy_stage,
+)
 from repro.core.explain.generator import ExplanationGenerator
 from repro.core.preparation import PreparationEngine, PreparedData
 from repro.core.search.searcher import SearchOutput, ViewSearcher
@@ -29,16 +51,143 @@ from repro.core.views import CharacterizationResult
 from repro.engine.database import Database, Selection
 from repro.engine.table import Table
 
-#: Progress-callback signature: ``progress(stage, payload)``.  Stages (in
-#: order): ``"preparation"`` (payload: :class:`PreparedData`), ``"view"``
-#: (one :class:`ViewResult`, fired per view as the searcher ranks it —
-#: the progressive-results stream), ``"search"`` (:class:`SearchOutput`),
+#: Legacy progress-callback signature: ``progress(stage, payload)``.  The
+#: stages are the :func:`~repro.core.events.legacy_stage` projection of
+#: the typed event stream — ``"preparation"`` (:class:`PreparedData`),
+#: ``"component-scored"`` (the catalog), ``"view"`` (one
+#: :class:`ViewResult` per ranked view), ``"search"``
+#: (:class:`SearchOutput`), ``"view-ready"`` (``(rank, ViewResult)``) and
 #: ``"result"`` (:class:`CharacterizationResult`).  Batch runs
 #: additionally emit ``"batch_item"`` with ``(index, result)`` after each
 #: predicate.  The callback runs synchronously on the pipeline thread; an
 #: exception it raises aborts the characterization (this is how the
 #: service layer implements cooperative cancellation).
 ProgressCallback = Callable[[str, object], None]
+
+
+@dataclass(frozen=True)
+class CharacterizationPlan:
+    """Everything one characterization run needs, fixed up front.
+
+    Building the plan is cheap and side-effect free (the selection is
+    already evaluated); executing it does all the work.  Plans make the
+    execution core reusable: the same plan can be re-executed (idempotent
+    given the immutable inputs), shipped to a worker thread, or inspected
+    before running.
+
+    Attributes:
+        selection: the selection to characterize.
+        config: the effective configuration for this run.
+        registry: the component registry to evaluate.
+        cache: the statistics cache to share computations through (None
+            = an ephemeral cache per stage, no sharing).
+        predicate_text: canonical predicate text for the result.
+    """
+
+    selection: Selection
+    config: ZiggyConfig
+    registry: ComponentRegistry
+    cache: StatsCache | None
+    predicate_text: str
+
+    @classmethod
+    def for_selection(cls, selection: Selection, config: ZiggyConfig,
+                      registry: ComponentRegistry | None = None,
+                      cache: StatsCache | None = None
+                      ) -> "CharacterizationPlan":
+        """Build a plan for an explicit selection."""
+        return cls(
+            selection=selection,
+            config=config,
+            registry=registry if registry is not None else default_registry(),
+            cache=cache,
+            predicate_text=(selection.predicate.canonical()
+                            if selection.predicate is not None else "TRUE"),
+        )
+
+
+class PlanExecutor:
+    """Carries a :class:`CharacterizationPlan` through the three stages.
+
+    Args:
+        preparation: the preparation engine to run stage one with; it
+            holds the per-engine sample memo, while the statistics cache
+            comes from each plan (so one executor can serve plans bound
+            to different shared caches).
+    """
+
+    def __init__(self, preparation: PreparationEngine | None = None):
+        self.preparation = (preparation if preparation is not None
+                            else PreparationEngine())
+        self.last_prepared: PreparedData | None = None
+        self.last_search: SearchOutput | None = None
+
+    def execute(self, plan: CharacterizationPlan,
+                emit: EmitFn | None = None) -> CharacterizationResult:
+        """Run the plan, emitting typed stage events along the way.
+
+        An exception raised by ``emit`` aborts the run (cooperative
+        cancellation); the stage timings always cover exactly the work
+        done.
+        """
+        cfg = plan.config
+        timings: dict[str, float] = {}
+        notes: list[str] = []
+
+        t0 = time.perf_counter()
+        prepared = self.preparation.prepare(plan.selection, cfg,
+                                            cache=plan.cache,
+                                            registry=plan.registry)
+        timings["preparation"] = time.perf_counter() - t0
+        notes.extend(prepared.notes)
+        self.last_prepared = prepared
+        if emit is not None:
+            emit(StageEvent(PREPARED, prepared))
+            emit(StageEvent(COMPONENT_SCORED, prepared.catalog))
+
+        t1 = time.perf_counter()
+        search = ViewSearcher(cfg).search(prepared, emit=emit)
+        timings["view_search"] = time.perf_counter() - t1
+        notes.extend(search.notes)
+        self.last_search = search
+
+        t2 = time.perf_counter()
+        validated, val_notes = validate_views(
+            search.views, cfg, n_candidates=search.n_candidates)
+        explained = ExplanationGenerator(cfg).annotate(validated)
+        timings["post_processing"] = time.perf_counter() - t2
+        notes.extend(val_notes)
+        if emit is not None:
+            for rank, view in enumerate(explained, start=1):
+                emit(StageEvent(VIEW_READY, (rank, view)))
+
+        result = CharacterizationResult(
+            views=tuple(explained),
+            n_inside=plan.selection.n_inside,
+            n_outside=plan.selection.n_outside,
+            n_columns_considered=len(prepared.active_columns),
+            timings=timings,
+            predicate=plan.predicate_text,
+            notes=tuple(notes),
+        )
+        if emit is not None:
+            emit(StageEvent(RESULT, result))
+        return result
+
+
+def _bridge(progress: ProgressCallback | None,
+            emit: EmitFn | None) -> EmitFn | None:
+    """Fan one event stream out to the typed and the legacy consumer."""
+    if progress is None and emit is None:
+        return None
+
+    def _emit(event: StageEvent) -> None:
+        if emit is not None:
+            emit(event)
+        if progress is not None:
+            progress(legacy_stage(event.kind), event.payload)
+
+    return _emit
 
 
 class Ziggy:
@@ -53,12 +202,17 @@ class Ziggy:
         share_statistics: keep a cross-query :class:`StatsCache` (the
             paper's computation-sharing strategy).  Disable to measure
             cold-start behaviour.
+        cache: an explicit statistics cache to share computations
+            through — this is how sessions borrow the runtime's
+            cross-client caches instead of owning private ones.  When
+            given, ``share_statistics`` is ignored.
     """
 
     def __init__(self, source: Table | Database,
                  config: ZiggyConfig | None = None,
                  registry: ComponentRegistry | None = None,
-                 share_statistics: bool = True):
+                 share_statistics: bool = True,
+                 cache: StatsCache | None = None):
         if isinstance(source, Table):
             self.database = Database()
             self.database.register(source)
@@ -72,17 +226,65 @@ class Ziggy:
                 f"source must be a Table or Database, got {type(source).__name__}")
         self.config = config if config is not None else ZiggyConfig()
         self.registry = registry if registry is not None else default_registry()
-        self.cache: StatsCache | None = StatsCache() if share_statistics else None
-        self._preparation = PreparationEngine(registry=self.registry,
-                                              cache=self.cache)
-        self.last_prepared: PreparedData | None = None
-        self.last_search: SearchOutput | None = None
+        if cache is not None:
+            self.cache: StatsCache | None = cache
+        else:
+            self.cache = StatsCache() if share_statistics else None
+        self._executor = PlanExecutor(
+            PreparationEngine(registry=self.registry, cache=self.cache))
+
+    def rebind_cache(self, cache: StatsCache | None) -> None:
+        """Swap the statistics cache this engine shares computations
+        through.
+
+        Sessions call this when the runtime's registry hands them a
+        different cache than the one the engine was built with (after a
+        table-store eviction recreated it), so every borrower converges
+        back onto one shared instance instead of diverging onto stale
+        private copies.
+        """
+        self.cache = cache
+        self._executor.preparation.cache = cache
+
+    # -- planning -------------------------------------------------------------
+
+    def plan(self, where: str | None, table: str | None = None,
+             config: ZiggyConfig | None = None) -> CharacterizationPlan:
+        """Build (but do not run) the plan for one predicate."""
+        table_name = table or self._default_table
+        if table_name is None:
+            raise ValueError("multiple tables registered; pass table=...")
+        selection = self.database.select(table_name, where)
+        return self.plan_selection(selection, config=config)
+
+    def plan_selection(self, selection: Selection,
+                       config: ZiggyConfig | None = None
+                       ) -> CharacterizationPlan:
+        """Build the plan for an explicit selection."""
+        return CharacterizationPlan.for_selection(
+            selection,
+            config=config if config is not None else self.config,
+            registry=self.registry,
+            cache=self.cache,
+        )
+
+    def execute(self, plan: CharacterizationPlan,
+                progress: ProgressCallback | None = None,
+                emit: EmitFn | None = None) -> CharacterizationResult:
+        """Run a plan through this engine's executor.
+
+        ``emit`` receives the typed :class:`StageEvent` stream;
+        ``progress`` receives its legacy ``(stage, payload)`` projection.
+        Either callback may raise to abort the run (cancellation).
+        """
+        return self._executor.execute(plan, emit=_bridge(progress, emit))
 
     # -- public API -----------------------------------------------------------
 
     def characterize(self, where: str | None, table: str | None = None,
                      config: ZiggyConfig | None = None,
-                     progress: ProgressCallback | None = None
+                     progress: ProgressCallback | None = None,
+                     emit: EmitFn | None = None
                      ) -> CharacterizationResult:
         """Characterize the selection defined by a predicate.
 
@@ -94,30 +296,29 @@ class Ziggy:
             config: per-call config override.
             progress: optional :data:`ProgressCallback` receiving staged
                 events, including one ``"view"`` event per ranked view.
+            emit: optional typed :class:`StageEvent` consumer.
 
         Returns:
             The ranked, validated, explained views plus stage timings.
         """
-        table_name = table or self._default_table
-        if table_name is None:
-            raise ValueError("multiple tables registered; pass table=...")
-        selection = self.database.select(table_name, where)
-        return self.characterize_selection(selection, config=config,
-                                           progress=progress)
+        return self.execute(self.plan(where, table=table, config=config),
+                            progress=progress, emit=emit)
 
     def characterize_query(self, sql: str,
                            config: ZiggyConfig | None = None,
-                           progress: ProgressCallback | None = None
+                           progress: ProgressCallback | None = None,
+                           emit: EmitFn | None = None
                            ) -> CharacterizationResult:
         """Characterize a full SELECT statement's WHERE clause."""
         selection = self.database.selection_for_query(sql)
         return self.characterize_selection(selection, config=config,
-                                           progress=progress)
+                                           progress=progress, emit=emit)
 
     def characterize_many(self, wheres: Sequence[str],
                           table: str | None = None,
                           config: ZiggyConfig | None = None,
-                          progress: ProgressCallback | None = None
+                          progress: ProgressCallback | None = None,
+                          emit: EmitFn | None = None
                           ) -> list[CharacterizationResult]:
         """Characterize several predicates against one table in one call.
 
@@ -127,74 +328,46 @@ class Ziggy:
         the cache for every subsequent predicate — the paper's
         computation-sharing strategy applied across a batch.
 
-        Emits a ``"batch_item"`` progress event with ``(index, result)``
-        after each predicate, in addition to the per-query events.
+        Emits a ``batch-item`` event (legacy stage ``"batch_item"``) with
+        ``(index, result)`` after each predicate, in addition to the
+        per-query events.
         """
+        bridged = _bridge(progress, emit)
         results: list[CharacterizationResult] = []
         for index, where in enumerate(wheres):
             result = self.characterize(where, table=table, config=config,
-                                       progress=progress)
+                                       progress=progress, emit=emit)
             results.append(result)
-            if progress is not None:
-                progress("batch_item", (index, result))
+            if bridged is not None:
+                bridged(StageEvent(BATCH_ITEM, (index, result)))
         return results
 
     def characterize_selection(self, selection: Selection,
                                config: ZiggyConfig | None = None,
-                               progress: ProgressCallback | None = None
+                               progress: ProgressCallback | None = None,
+                               emit: EmitFn | None = None
                                ) -> CharacterizationResult:
         """Characterize an explicit :class:`Selection` (the core path).
 
-        ``progress`` receives staged events (see :data:`ProgressCallback`);
-        raising from the callback aborts the run, which is how callers
-        implement cancellation of long searches.
+        ``progress``/``emit`` receive staged events (see
+        :data:`ProgressCallback` and :class:`StageEvent`); raising from a
+        callback aborts the run, which is how callers implement
+        cancellation of long searches.
         """
-        cfg = config if config is not None else self.config
-        timings: dict[str, float] = {}
-        notes: list[str] = []
-
-        t0 = time.perf_counter()
-        prepared = self._preparation.prepare(selection, cfg)
-        timings["preparation"] = time.perf_counter() - t0
-        notes.extend(prepared.notes)
-        self.last_prepared = prepared
-        if progress is not None:
-            progress("preparation", prepared)
-
-        t1 = time.perf_counter()
-        on_view = None
-        if progress is not None:
-            on_view = lambda vr: progress("view", vr)  # noqa: E731
-        search = ViewSearcher(cfg).search(prepared, on_view=on_view)
-        timings["view_search"] = time.perf_counter() - t1
-        notes.extend(search.notes)
-        self.last_search = search
-        if progress is not None:
-            progress("search", search)
-
-        t2 = time.perf_counter()
-        validated, val_notes = validate_views(
-            search.views, cfg, n_candidates=search.n_candidates)
-        explained = ExplanationGenerator(cfg).annotate(validated)
-        timings["post_processing"] = time.perf_counter() - t2
-        notes.extend(val_notes)
-
-        predicate_text = (selection.predicate.canonical()
-                          if selection.predicate is not None else "TRUE")
-        result = CharacterizationResult(
-            views=tuple(explained),
-            n_inside=selection.n_inside,
-            n_outside=selection.n_outside,
-            n_columns_considered=len(prepared.active_columns),
-            timings=timings,
-            predicate=predicate_text,
-            notes=tuple(notes),
-        )
-        if progress is not None:
-            progress("result", result)
-        return result
+        return self.execute(self.plan_selection(selection, config=config),
+                            progress=progress, emit=emit)
 
     # -- introspection -----------------------------------------------------------
+
+    @property
+    def last_prepared(self) -> PreparedData | None:
+        """The executor's most recent preparation output."""
+        return self._executor.last_prepared
+
+    @property
+    def last_search(self) -> SearchOutput | None:
+        """The executor's most recent search output."""
+        return self._executor.last_search
 
     def dendrogram_text(self) -> str | None:
         """ASCII dendrogram of the last linkage search (tuning support

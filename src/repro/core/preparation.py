@@ -95,9 +95,20 @@ class PreparationEngine:
 
     # -- public entry ------------------------------------------------------------
 
-    def prepare(self, selection: Selection, config: ZiggyConfig) -> PreparedData:
-        """Build slices, dependency matrix and the component catalog."""
-        cache = self.cache if self.cache is not None else StatsCache()
+    def prepare(self, selection: Selection, config: ZiggyConfig,
+                cache: StatsCache | None = None,
+                registry: ComponentRegistry | None = None) -> PreparedData:
+        """Build slices, dependency matrix and the component catalog.
+
+        ``cache`` and ``registry`` override the engine's own for this
+        call (the plan/execute pipeline passes the plan's through here);
+        with no cache anywhere an ephemeral one keeps the code path
+        identical without any sharing.
+        """
+        if cache is None:
+            cache = self.cache if self.cache is not None else StatsCache()
+        if registry is None:
+            registry = self.registry
         notes: list[str] = []
         self._check_group_sizes(selection, config)
         if (config.sample_rows is not None
@@ -112,7 +123,8 @@ class PreparationEngine:
             selection.table, columns, config.dependency_method, config.mi_bins)
         pair_slices = self._build_pair_slices(
             selection, columns, slices, dependency, config, cache, notes)
-        catalog = self._evaluate_components(slices, pair_slices, config, notes)
+        catalog = self._evaluate_components(slices, pair_slices, config,
+                                            notes, registry)
         return PreparedData(
             selection=selection,
             active_columns=columns,
@@ -146,7 +158,10 @@ class PreparationEngine:
         take_in = rng.choice(inside_idx, size=k_in, replace=False)
         take_out = rng.choice(outside_idx, size=k_out, replace=False)
         rows = np.sort(np.concatenate([take_in, take_out]))
-        key = (id(table), budget, config.random_seed,
+        # Keyed by content fingerprint, not id(): object identity can be
+        # recycled after a table is collected, and the memo must never
+        # serve another table's sample.
+        key = (table.fingerprint(), budget, config.random_seed,
                selection.fingerprint)
         cached = self._sample_memo.get(key)
         if cached is None:
@@ -255,8 +270,11 @@ class PreparationEngine:
     def _evaluate_components(self, slices: dict[str, ColumnSlice],
                              pair_slices: dict[tuple[str, str], PairSlice],
                              config: ZiggyConfig,
-                             notes: list[str]) -> ComponentCatalog:
-        chosen = active_components(self.registry, config)
+                             notes: list[str],
+                             registry: ComponentRegistry | None = None
+                             ) -> ComponentCatalog:
+        chosen = active_components(registry if registry is not None
+                                   else self.registry, config)
         unary = [(c, w) for c, w in chosen if c.arity == 1]
         pairwise = [(c, w) for c, w in chosen if c.arity == 2]
 

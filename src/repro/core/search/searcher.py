@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.config import ZiggyConfig
+from repro.core.events import SEARCH_COMPLETE, VIEW_RANKED, EmitFn, StageEvent
 from repro.core.preparation import PreparedData
 from repro.core.search.candidates import linkage_candidates
 from repro.core.search.clique import clique_candidates
@@ -41,17 +42,21 @@ class ViewSearcher:
         self.config = config
 
     def search(self, prepared: PreparedData,
-               on_view: Callable[[ViewResult], None] | None = None
-               ) -> SearchOutput:
+               emit: EmitFn | None = None) -> SearchOutput:
         """Produce the ranked disjoint views for one prepared selection.
 
-        ``on_view`` fires for each view as the ranker keeps it (best
-        first) — the progressive-results hook.
+        ``emit`` receives one ``view-ranked`` :class:`StageEvent` per view
+        as the ranker keeps it (best first) — the progressive-results
+        stream — and a final ``search-complete`` event carrying the
+        :class:`SearchOutput`.
         """
         config = self.config
         if not prepared.active_columns:
-            return SearchOutput(views=[], n_candidates=0,
-                                notes=["no columns to search"])
+            output = SearchOutput(views=[], n_candidates=0,
+                                  notes=["no columns to search"])
+            if emit is not None:
+                emit(StageEvent(SEARCH_COMPLETE, output))
+            return output
         dendrogram: Dendrogram | None = None
         if config.search_strategy == "linkage":
             dendrogram = complete_linkage(
@@ -66,15 +71,21 @@ class ViewSearcher:
             raise SearchError(f"unknown strategy {config.search_strategy!r}")
         ranked = rank_candidates(candidates, prepared.catalog,
                                  prepared.dependency, config)
+        on_keep: Callable[[ViewResult], None] | None = None
+        if emit is not None:
+            on_keep = lambda vr: emit(StageEvent(VIEW_RANKED, vr))  # noqa: E731
         disjoint = enforce_disjointness(ranked, config.max_views,
-                                        on_keep=on_view)
-        return SearchOutput(
+                                        on_keep=on_keep)
+        output = SearchOutput(
             views=disjoint,
             n_candidates=len(candidates),
             dendrogram=dendrogram,
             notes=[f"{len(candidates)} candidates, {len(ranked)} scored, "
                    f"{len(disjoint)} kept"],
         )
+        if emit is not None:
+            emit(StageEvent(SEARCH_COMPLETE, output))
+        return output
 
     def rescore(self, views: list[View], prepared: PreparedData) -> list[ViewResult]:
         """Score an explicit list of views (bypassing generation) — used

@@ -17,13 +17,25 @@ The cache exploits two algebraic facts:
    fingerprint, so re-running, refining the projection of, or re-ranking
    the same selection costs nothing.
 
-Tables are immutable in this engine, so cache entries never go stale; the
-cache holds a strong reference to each table it has entries for, keeping
-``id(table)`` stable.
+Tables are immutable in this engine, so cache entries never go stale.
+Entries are keyed by :meth:`~repro.engine.table.Table.fingerprint` — a
+content hash — so the cache holds **no reference to the tables
+themselves**: dropping a table frees its rows even while its derived
+moments stay cached, and two loads of identical content share one set of
+entries.  (Earlier revisions pinned a strong reference per table to keep
+``id(table)`` stable; that leaked every table the cache ever saw.)
+
+Accessors are serialized with a reentrant lock so one cache instance can
+be shared across client sessions and job threads — the basis of the
+process-wide :class:`~repro.runtime.SharedStatsRegistry`.  Computation
+happens under the lock, which is exactly the sharing contract: the first
+arrival pays for a table-level statistic, every concurrent and later
+arrival reuses it.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,53 +78,54 @@ class StatsCache:
     """Shared statistics across queries over immutable tables.
 
     All accessors take the objects (table / selection) rather than keys;
-    key construction is internal.  Thread-unsafe by design (the pipeline
-    is single-threaded, like the paper's R engine).
+    key construction is internal (content fingerprints, never object
+    identity).  Safe to share across threads.
     """
 
     counters: CacheCounters = field(default_factory=CacheCounters)
 
     def __post_init__(self):
-        self._tables: dict[int, Table] = {}
-        self._column_stats: dict[tuple[int, str], SummaryStats] = {}
-        self._inside_stats: dict[tuple[int, str, str], SummaryStats] = {}
-        self._global_moments: dict[tuple[int, tuple[str, ...]], PairwiseMoments] = {}
-        self._inside_moments: dict[tuple[int, str, tuple[str, ...]], PairwiseMoments] = {}
-        self._dependency: dict[tuple[int, str, int, tuple[str, ...]], DependencyMatrix] = {}
+        self._lock = threading.RLock()
+        self._column_stats: dict[tuple[str, str], SummaryStats] = {}
+        self._inside_stats: dict[tuple[str, str, str], SummaryStats] = {}
+        self._global_moments: dict[tuple[str, tuple[str, ...]], PairwiseMoments] = {}
+        self._inside_moments: dict[tuple[str, str, tuple[str, ...]], PairwiseMoments] = {}
+        self._dependency: dict[tuple[str, str, int, tuple[str, ...]], DependencyMatrix] = {}
 
     # -- keys -------------------------------------------------------------------
 
-    def _pin(self, table: Table) -> int:
-        key = id(table)
-        self._tables[key] = table  # keep id() stable for the cache's life
-        return key
+    @staticmethod
+    def _key(table: Table) -> str:
+        return table.fingerprint()
 
     # -- per-column summaries ------------------------------------------------------
 
     def global_column_stats(self, table: Table, column: str) -> SummaryStats:
         """Whole-table summary of one numeric column (computed once)."""
-        key = (self._pin(table), column)
-        cached = self._column_stats.get(key)
-        if cached is not None:
-            self.counters.column_hits += 1
-            return cached
-        self.counters.column_misses += 1
-        stats = summarize(table.column(column).numeric_values())
-        self._column_stats[key] = stats
-        return stats
+        key = (self._key(table), column)
+        with self._lock:
+            cached = self._column_stats.get(key)
+            if cached is not None:
+                self.counters.column_hits += 1
+                return cached
+            self.counters.column_misses += 1
+            stats = summarize(table.column(column).numeric_values())
+            self._column_stats[key] = stats
+            return stats
 
     def inside_column_stats(self, selection: Selection, column: str) -> SummaryStats:
         """Summary of the selected rows of one column (per-predicate memo)."""
-        key = (self._pin(selection.table), selection.fingerprint, column)
-        cached = self._inside_stats.get(key)
-        if cached is not None:
-            self.counters.inside_hits += 1
-            return cached
-        self.counters.inside_misses += 1
-        values = selection.table.column(column).numeric_values()[selection.mask]
-        stats = summarize(values)
-        self._inside_stats[key] = stats
-        return stats
+        key = (self._key(selection.table), selection.fingerprint, column)
+        with self._lock:
+            cached = self._inside_stats.get(key)
+            if cached is not None:
+                self.counters.inside_hits += 1
+                return cached
+            self.counters.inside_misses += 1
+            values = selection.table.column(column).numeric_values()[selection.mask]
+            stats = summarize(values)
+            self._inside_stats[key] = stats
+            return stats
 
     def outside_column_stats(self, selection: Selection, column: str) -> SummaryStats:
         """Complement summary, derived without scanning the complement."""
@@ -124,29 +137,31 @@ class StatsCache:
     def global_moments(self, table: Table,
                        columns: tuple[str, ...]) -> PairwiseMoments:
         """Whole-table pairwise moments over the numeric columns."""
-        key = (self._pin(table), columns)
-        cached = self._global_moments.get(key)
-        if cached is not None:
-            self.counters.moments_hits += 1
-            return cached
-        self.counters.moments_misses += 1
-        moments = PairwiseMoments.from_matrix(table.numeric_matrix(columns))
-        self._global_moments[key] = moments
-        return moments
+        key = (self._key(table), columns)
+        with self._lock:
+            cached = self._global_moments.get(key)
+            if cached is not None:
+                self.counters.moments_hits += 1
+                return cached
+            self.counters.moments_misses += 1
+            moments = PairwiseMoments.from_matrix(table.numeric_matrix(columns))
+            self._global_moments[key] = moments
+            return moments
 
     def inside_moments(self, selection: Selection,
                        columns: tuple[str, ...]) -> PairwiseMoments:
         """Pairwise moments of the selected rows (per-predicate memo)."""
-        key = (self._pin(selection.table), selection.fingerprint, columns)
-        cached = self._inside_moments.get(key)
-        if cached is not None:
-            self.counters.moments_hits += 1
-            return cached
-        self.counters.moments_misses += 1
-        data = selection.table.numeric_matrix(columns)[selection.mask]
-        moments = PairwiseMoments.from_matrix(data)
-        self._inside_moments[key] = moments
-        return moments
+        key = (self._key(selection.table), selection.fingerprint, columns)
+        with self._lock:
+            cached = self._inside_moments.get(key)
+            if cached is not None:
+                self.counters.moments_hits += 1
+                return cached
+            self.counters.moments_misses += 1
+            data = selection.table.numeric_matrix(columns)[selection.mask]
+            moments = PairwiseMoments.from_matrix(data)
+            self._inside_moments[key] = moments
+            return moments
 
     def group_correlations(self, selection: Selection,
                            columns: tuple[str, ...]) -> tuple[
@@ -168,43 +183,50 @@ class StatsCache:
     def dependency_matrix(self, table: Table, columns: tuple[str, ...],
                           method: str, mi_bins: int) -> DependencyMatrix:
         """Whole-table dependency matrix (query-independent, so shared)."""
-        key = (self._pin(table), method, mi_bins, columns)
-        cached = self._dependency.get(key)
-        if cached is not None:
-            self.counters.dependency_hits += 1
-            return cached
-        self.counters.dependency_misses += 1
-        matrix = compute_dependency_matrix(table, columns, method=method,
-                                           mi_bins=mi_bins)
-        self._dependency[key] = matrix
-        return matrix
+        key = (self._key(table), method, mi_bins, columns)
+        with self._lock:
+            cached = self._dependency.get(key)
+            if cached is not None:
+                self.counters.dependency_hits += 1
+                return cached
+            self.counters.dependency_misses += 1
+            matrix = compute_dependency_matrix(table, columns, method=method,
+                                               mi_bins=mi_bins)
+            self._dependency[key] = matrix
+            return matrix
 
     # -- maintenance ---------------------------------------------------------------------
 
     def invalidate_table(self, table: Table) -> None:
         """Drop every entry for one table (for completeness; tables are
         immutable so this is rarely needed)."""
-        key = id(table)
-        self._tables.pop(key, None)
-        for store in (self._column_stats, self._inside_stats,
-                      self._global_moments, self._inside_moments,
-                      self._dependency):
-            stale = [k for k in store if k[0] == key]
-            for k in stale:
-                del store[k]
+        self.invalidate_fingerprint(table.fingerprint())
+
+    def invalidate_fingerprint(self, fingerprint: str) -> None:
+        """Drop every entry keyed under one table fingerprint (what the
+        runtime's table store calls on eviction — the table object may
+        already be gone)."""
+        with self._lock:
+            for store in (self._column_stats, self._inside_stats,
+                          self._global_moments, self._inside_moments,
+                          self._dependency):
+                stale = [k for k in store if k[0] == fingerprint]
+                for k in stale:
+                    del store[k]
 
     def clear(self) -> None:
         """Drop everything (counters are preserved)."""
-        self._tables.clear()
-        self._column_stats.clear()
-        self._inside_stats.clear()
-        self._global_moments.clear()
-        self._inside_moments.clear()
-        self._dependency.clear()
+        with self._lock:
+            self._column_stats.clear()
+            self._inside_stats.clear()
+            self._global_moments.clear()
+            self._inside_moments.clear()
+            self._dependency.clear()
 
     @property
     def size(self) -> int:
         """Total number of cached entries."""
-        return (len(self._column_stats) + len(self._inside_stats)
-                + len(self._global_moments) + len(self._inside_moments)
-                + len(self._dependency))
+        with self._lock:
+            return (len(self._column_stats) + len(self._inside_stats)
+                    + len(self._global_moments) + len(self._inside_moments)
+                    + len(self._dependency))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -37,6 +38,7 @@ class Table:
         self._columns: tuple[Column, ...] = tuple(columns)
         self._index: dict[str, int] = {c.name: i for i, c in enumerate(columns)}
         self._n_rows = lengths.pop() if lengths else 0
+        self._fingerprint: str | None = None
 
     # -- construction ---------------------------------------------------------
 
@@ -117,6 +119,47 @@ class Table:
 
     def __getitem__(self, name: str) -> Column:
         return self.column(name)
+
+    def fingerprint(self) -> str:
+        """A stable content hash of this table (name, schema and data).
+
+        Tables are immutable, so the digest is computed once and memoized.
+        The runtime layer keys cross-client state (the shared statistics
+        registry, the table store) on this value: two tables with equal
+        content share one fingerprint even across separate loads, while
+        same-named tables with different rows never collide — unlike
+        ``id(table)``, the fingerprint survives the table object itself,
+        so caches keyed on it hold no reference to the data.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(f"{self.name}\x00{self._n_rows}".encode())
+            for col in self._columns:
+                digest.update(f"\x00{col.name}\x00{col.ctype.name}\x00".encode())
+                if isinstance(col, CategoricalColumn):
+                    digest.update("\x1f".join(col.labels).encode())
+                    digest.update(np.ascontiguousarray(col.codes).tobytes())
+                else:
+                    digest.update(np.ascontiguousarray(
+                        col.numeric_values()).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint of the column data, in bytes.
+
+        Used by the runtime's :class:`~repro.runtime.TableStore` to
+        enforce byte-budget eviction; label storage of categoricals is
+        estimated, not measured.
+        """
+        total = 0
+        for col in self._columns:
+            if isinstance(col, CategoricalColumn):
+                total += col.codes.nbytes
+                total += sum(len(label) for label in col.labels)
+            else:
+                total += col.numeric_values().nbytes
+        return total
 
     def numeric_column_names(self) -> tuple[str, ...]:
         """Names of numeric and boolean columns, in schema order."""

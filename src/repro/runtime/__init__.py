@@ -1,0 +1,41 @@
+"""The shared runtime layer: process-wide, cross-request state.
+
+Everything that outlives a single request lives here (see
+``docs/runtime.md`` for the ownership rules):
+
+* :class:`TableStore` — named, fingerprinted, ref-counted table
+  registration with LRU eviction under table/byte limits;
+* :class:`SharedStatsRegistry` — one thread-safe ``StatsCache`` per table
+  fingerprint, shared across every client session, job and batch;
+* :class:`ZiggyRuntime` — the composition of the two, with a
+  process-wide default (:func:`get_runtime`).
+
+Layering: ``runtime`` sits between the engine (tables, fingerprints) and
+the app/service layers, which *borrow* state from it instead of owning
+cross-request caches themselves.
+"""
+
+from repro.runtime.runtime import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_TABLES,
+    ZiggyRuntime,
+    get_runtime,
+    reset_runtime,
+    set_runtime,
+)
+from repro.runtime.stats_registry import RegistryStats, SharedStatsRegistry
+from repro.runtime.table_store import TableEntry, TableStore, TableStoreError
+
+__all__ = [
+    "ZiggyRuntime",
+    "get_runtime",
+    "set_runtime",
+    "reset_runtime",
+    "DEFAULT_MAX_TABLES",
+    "DEFAULT_MAX_BYTES",
+    "TableStore",
+    "TableEntry",
+    "TableStoreError",
+    "SharedStatsRegistry",
+    "RegistryStats",
+]

@@ -1,0 +1,133 @@
+"""The shared runtime — all cross-request state under one roof.
+
+A :class:`ZiggyRuntime` composes the two cross-request stores:
+
+* :class:`~repro.runtime.table_store.TableStore` — who holds tables, for
+  how long (ref-counted pins, LRU eviction under table/byte limits);
+* :class:`~repro.runtime.stats_registry.SharedStatsRegistry` — one
+  thread-safe :class:`StatsCache` per table fingerprint, shared by every
+  session, job and batch.
+
+The store's evictions are wired into the registry, so reclaiming a table
+also frees its cached moments — bounded memory end to end.
+
+Sessions and services *borrow* state from the runtime instead of owning
+it: :meth:`ZiggyRuntime.stats_for` hands out the shared cache for a
+table, and :meth:`ZiggyRuntime.lease` pins a table for the duration of a
+characterization so eviction never races a running query.
+
+A process-wide default runtime (:func:`get_runtime`) makes sharing the
+zero-configuration behaviour — two independently constructed sessions in
+one process automatically share per-table statistics.  Deployments that
+want their own limits build a runtime explicitly and pass it down
+(``repro serve --max-tables N --cache-bytes B`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.stats_cache import StatsCache
+from repro.engine.table import Table
+from repro.runtime.stats_registry import SharedStatsRegistry
+from repro.runtime.table_store import TableEntry, TableStore
+
+#: Default eviction limits of the process-wide runtime (and of
+#: ``repro serve``): plenty for interactive exploration, small enough
+#: that a long-lived process cannot accrete unbounded table state.
+DEFAULT_MAX_TABLES = 16
+DEFAULT_MAX_BYTES = 1 << 30  # 1 GiB of resident column data
+
+
+class ZiggyRuntime:
+    """Cross-request state: the table store plus the stats registry.
+
+    Args:
+        max_tables: resident-table limit for the store (None = unbounded).
+        max_bytes: resident-byte limit for the store (None = unbounded).
+    """
+
+    def __init__(self, max_tables: int | None = DEFAULT_MAX_TABLES,
+                 max_bytes: int | None = DEFAULT_MAX_BYTES):
+        self.tables = TableStore(max_tables=max_tables, max_bytes=max_bytes)
+        self.stats = SharedStatsRegistry()
+        self.tables.add_evict_listener(self._on_table_evicted)
+
+    def _on_table_evicted(self, entry) -> None:
+        # An alias registered under another name may keep the content
+        # resident; only drop the shared cache when the last one goes.
+        if not self.tables.has_resident_fingerprint(entry.fingerprint):
+            self.stats.evict(entry.fingerprint)
+
+    # -- borrowing ----------------------------------------------------------------
+
+    def register_table(self, table: Table, name: str | None = None) -> TableEntry:
+        """Make a table known to the runtime (idempotent, LRU bump)."""
+        return self.tables.register(table, name=name)
+
+    def stats_for(self, table: Table,
+                  borrower: str = "anonymous") -> StatsCache:
+        """The shared statistics cache for one table.
+
+        Registers the table as a side effect so the store's eviction
+        policy governs how long its derived state stays resident.
+        """
+        self.tables.register(table)
+        return self.stats.cache_for(table, borrower=borrower)
+
+    @contextmanager
+    def lease(self, table: Table,
+              borrower: str = "anonymous") -> Iterator[StatsCache]:
+        """Pin a table for the duration of a characterization.
+
+        Yields the table's shared cache; while the lease is held the
+        table (and therefore its cache) cannot be evicted, so limits
+        never interrupt running work — they apply between requests.
+        """
+        entry = self.tables.acquire(table)
+        try:
+            yield self.stats.cache_for(table, borrower=borrower)
+        finally:
+            self.tables.release(entry)
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Store + registry health in one JSON-able dict."""
+        return {"tables": self.tables.stats(),
+                "registry": self.stats.stats().to_dict()}
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default
+# ---------------------------------------------------------------------------
+
+_default_runtime: ZiggyRuntime | None = None
+_default_lock = threading.Lock()
+
+
+def get_runtime() -> ZiggyRuntime:
+    """The process-wide runtime, created on first use."""
+    global _default_runtime
+    with _default_lock:
+        if _default_runtime is None:
+            _default_runtime = ZiggyRuntime()
+        return _default_runtime
+
+
+def set_runtime(runtime: ZiggyRuntime) -> ZiggyRuntime:
+    """Install a specific runtime as the process-wide default."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = runtime
+        return runtime
+
+
+def reset_runtime() -> None:
+    """Forget the process-wide runtime (tests; a fresh one is lazily
+    created on the next :func:`get_runtime` call)."""
+    global _default_runtime
+    with _default_lock:
+        _default_runtime = None

@@ -1,0 +1,276 @@
+"""Process-wide table registration with ref-counting and LRU eviction.
+
+The :class:`TableStore` is the runtime's answer to "who may keep a table
+alive, and for how long?".  Every table that enters the shared runtime is
+registered here under a name, identified by its content
+:meth:`~repro.engine.table.Table.fingerprint`, and held with a strong
+reference only while it fits the store's limits:
+
+* ``max_tables`` bounds how many tables the store pins at once;
+* ``max_bytes`` bounds their combined column-data footprint.
+
+When a limit is exceeded the least-recently-used *unpinned* entry is
+evicted: the store drops its strong reference and notifies its eviction
+listeners (the :class:`~repro.runtime.SharedStatsRegistry` subscribes, so
+an evicted table's cached moments are freed with it).  Entries whose
+reference count is positive — a characterization is running against them
+— are never evicted mid-run.
+
+Weak-ref safety: after eviction the store remembers the table only
+through a :class:`weakref.ref`, so a table kept alive by some other owner
+(a session's database, a test fixture) can be looked up again without
+re-hashing, while a table nobody else holds is actually freed — the
+store never resurrects memory the process wanted back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import weakref
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.table import Table
+from repro.errors import ReproError
+
+
+class TableStoreError(ReproError):
+    """Raised on table-store misuse (unknown names, unbalanced release)."""
+
+
+@dataclass
+class TableEntry:
+    """The store's record of one registered table."""
+
+    name: str
+    fingerprint: str
+    nbytes: int
+    table: Table | None = None          # strong ref while resident
+    weak: weakref.ref | None = field(default=None, repr=False)
+    refcount: int = 0                   # pins held by running work
+    last_used: int = 0                  # LRU clock tick
+    registrations: int = 1              # how many times register() saw it
+    doomed: bool = False                # displaced while pinned; evict on
+                                        # last release
+
+    @property
+    def resident(self) -> bool:
+        """Whether the store still holds a strong reference."""
+        return self.table is not None
+
+    def resolve(self) -> Table | None:
+        """The table, via the strong or (post-eviction) weak reference."""
+        if self.table is not None:
+            return self.table
+        return self.weak() if self.weak is not None else None
+
+
+#: Eviction listener signature: called with the evicted entry *after* the
+#: strong reference is dropped (the entry's ``table`` is already None).
+EvictListener = Callable[[TableEntry], None]
+
+
+class TableStore:
+    """Named, fingerprinted, ref-counted table registry with LRU eviction.
+
+    Args:
+        max_tables: most resident (strongly held) tables; None = unbounded.
+        max_bytes: byte budget over resident tables' column data;
+            None = unbounded.
+    """
+
+    def __init__(self, max_tables: int | None = None,
+                 max_bytes: int | None = None):
+        if max_tables is not None and max_tables < 1:
+            raise TableStoreError("max_tables must be at least 1")
+        if max_bytes is not None and max_bytes < 0:
+            raise TableStoreError("max_bytes must be non-negative")
+        self.max_tables = max_tables
+        self.max_bytes = max_bytes
+        self._entries: dict[str, TableEntry] = {}
+        self._clock = itertools.count(1)
+        self._lock = threading.RLock()
+        self._listeners: list[EvictListener] = []
+        self.evictions = 0
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, table: Table, name: str | None = None) -> TableEntry:
+        """Register (or refresh) a table; returns its entry.
+
+        Re-registering the same content under the same name is a cheap
+        LRU bump (it also revives an evicted entry).  Registering
+        *different* content under an existing name replaces the entry
+        (and evicts the old content's runtime state).  Without an
+        explicit ``name``, content already registered under *any* name is
+        recognized by fingerprint and refreshed in place — a catalog
+        alias must never double-count bytes or split an entry.
+        """
+        return self._register(table, name, pin=False)
+
+    def _register(self, table: Table, name: str | None,
+                  pin: bool) -> TableEntry:
+        fingerprint = table.fingerprint()
+        with self._lock:
+            if name is None:
+                aliased = self._entry_by_fingerprint(fingerprint)
+                key = aliased.name if aliased is not None else table.name
+            else:
+                key = name
+            entry = self._entries.get(key)
+            if entry is not None and entry.fingerprint != fingerprint:
+                # Same name, new content: the old state goes — but never
+                # out from under an active lease.  A pinned entry is
+                # displaced to a tombstone key and evicted when its last
+                # pin is released; an unpinned one goes immediately.
+                del self._entries[key]
+                if entry.refcount > 0:
+                    entry.name = f"{key}#displaced-{next(self._clock)}"
+                    entry.doomed = True
+                    self._entries[entry.name] = entry
+                else:
+                    self._evict_entry(entry)
+                entry = None
+            if entry is not None:
+                entry.table = table          # revive if it had been evicted
+                entry.weak = weakref.ref(table)
+                entry.last_used = next(self._clock)
+                entry.registrations += 1
+            else:
+                entry = TableEntry(name=key, fingerprint=fingerprint,
+                                   nbytes=table.nbytes(), table=table,
+                                   weak=weakref.ref(table),
+                                   last_used=next(self._clock))
+                self._entries[key] = entry
+            if pin:
+                # Pin *before* enforcing limits, so the entry being
+                # leased can never be chosen as its own eviction victim.
+                entry.refcount += 1
+            self._enforce_limits()
+            return entry
+
+    def get(self, name: str) -> Table:
+        """Look up a registered table by name (bumps LRU recency)."""
+        with self._lock:
+            entry = self._entries.get(name)
+            table = entry.resolve() if entry is not None else None
+            if entry is None or table is None:
+                raise TableStoreError(
+                    f"table {name!r} is not registered"
+                    + ("" if entry is None else " (evicted and collected)"))
+            entry.last_used = next(self._clock)
+            return table
+
+    def entry_for(self, name: str) -> TableEntry | None:
+        """The entry registered under ``name``, if any."""
+        with self._lock:
+            return self._entries.get(name)
+
+    def _entry_by_fingerprint(self, fingerprint: str) -> TableEntry | None:
+        # Caller holds the lock.  Linear scan: stores hold at most a few
+        # dozen entries (max_tables-bounded), so an index isn't worth it.
+        # A resident entry wins over a ghost sharing the fingerprint.
+        ghost = None
+        for entry in self._entries.values():
+            if entry.fingerprint == fingerprint:
+                if entry.resident:
+                    return entry
+                ghost = entry
+        return ghost
+
+    def has_resident_fingerprint(self, fingerprint: str) -> bool:
+        """Whether any *resident* entry still carries this fingerprint
+        (used by eviction listeners to avoid dropping shared state that
+        another alias keeps alive)."""
+        with self._lock:
+            return any(e.fingerprint == fingerprint and e.resident
+                       for e in self._entries.values())
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names (resident or not), sorted."""
+        with self._lock:
+            return tuple(sorted(self._entries))
+
+    # -- ref-counting -------------------------------------------------------------
+
+    def acquire(self, table: Table, name: str | None = None) -> TableEntry:
+        """Register-and-pin: the entry cannot be evicted until released
+        (the pin lands before limit enforcement, so a lease taken under
+        limit pressure never evicts its own table)."""
+        return self._register(table, name, pin=True)
+
+    def release(self, entry: TableEntry) -> None:
+        """Drop one pin; eviction may reclaim the entry afterwards."""
+        with self._lock:
+            if entry.refcount <= 0:
+                raise TableStoreError(
+                    f"unbalanced release of table {entry.name!r}")
+            entry.refcount -= 1
+            if entry.refcount == 0 and entry.doomed and entry.resident:
+                self._evict_entry(entry)
+            self._enforce_limits()
+
+    # -- eviction -----------------------------------------------------------------
+
+    def add_evict_listener(self, listener: EvictListener) -> None:
+        """Subscribe to evictions (called after the strong ref is dropped)."""
+        self._listeners.append(listener)
+
+    def evict(self, name: str) -> bool:
+        """Explicitly evict one entry; returns False when absent,
+        pinned, or already evicted."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or not entry.resident or entry.refcount > 0:
+                return False
+            self._evict_entry(entry)
+            return True
+
+    def _evict_entry(self, entry: TableEntry) -> None:
+        # Caller holds the lock.  Drop the strong ref but keep the entry
+        # as a "ghost": the weak ref lets a table still alive elsewhere
+        # be looked up or re-registered without re-hashing, while a table
+        # nobody holds is actually freed.
+        entry.table = None
+        self.evictions += 1
+        for listener in self._listeners:
+            listener(entry)
+
+    def _enforce_limits(self) -> None:
+        # Caller holds the lock.
+        # Opportunistically drop ghosts whose table has been collected —
+        # they can never be revived and would accrete forever.
+        dead = [name for name, e in self._entries.items()
+                if not e.resident and e.resolve() is None]
+        for name in dead:
+            del self._entries[name]
+        while True:
+            resident = [e for e in self._entries.values() if e.resident]
+            over_count = (self.max_tables is not None
+                          and len(resident) > self.max_tables)
+            over_bytes = (self.max_bytes is not None
+                          and sum(e.nbytes for e in resident) > self.max_bytes)
+            if not (over_count or over_bytes):
+                return
+            victims = sorted((e for e in resident if e.refcount == 0),
+                             key=lambda e: e.last_used)
+            if not victims:
+                return  # everything is pinned; limits re-checked on release
+            self._evict_entry(victims[0])
+
+    # -- introspection ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """A snapshot for health endpoints and benchmarks."""
+        with self._lock:
+            resident = [e for e in self._entries.values() if e.resident]
+            return {
+                "tables": len(self._entries),
+                "resident": len(resident),
+                "pinned": sum(1 for e in resident if e.refcount > 0),
+                "resident_bytes": sum(e.nbytes for e in resident),
+                "evictions": self.evictions,
+                "max_tables": self.max_tables,
+                "max_bytes": self.max_bytes,
+            }

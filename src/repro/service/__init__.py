@@ -25,6 +25,7 @@ from repro.service.protocol import (
     ConfigureResponse,
     ErrorCode,
     JobControlRequest,
+    JobEvent,
     JobSnapshot,
     JobSubmitRequest,
     TableInfo,
@@ -32,6 +33,7 @@ from repro.service.protocol import (
     TablesRequest,
     ViewPage,
     ViewPageRequest,
+    job_event_from_stage,
     json_safe,
     parse_request,
     parse_response,
@@ -54,6 +56,8 @@ __all__ = [
     "BatchResponse",
     "ViewPage",
     "JobSnapshot",
+    "JobEvent",
+    "job_event_from_stage",
     "TableInfo",
     "TableList",
     "ConfigureResponse",

@@ -20,7 +20,7 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.errors import ServiceError
 from repro.service.protocol import (
@@ -31,6 +31,7 @@ from repro.service.protocol import (
     CharacterizeResponse,
     ConfigureRequest,
     ConfigureResponse,
+    JobEvent,
     JobSnapshot,
     JobSubmitRequest,
     TableList,
@@ -181,6 +182,81 @@ class ZiggyClient:
     def cancel(self, job_id: str) -> JobSnapshot:
         """Ask the server to cancel a job."""
         return parse_response(self._post(f"/v2/jobs/{job_id}/cancel", {}))
+
+    def stream_events(self, job_id: str,
+                      timeout: float | None = None) -> Iterator[JobEvent]:
+        """Iterate a job's events as the server streams them (SSE).
+
+        Yields :class:`JobEvent` objects in order — ``prepared``,
+        ``component-scored``, one ``view-ranked`` per view *while the
+        search is still running*, ``search-complete``, ``view-ready``,
+        ``result`` — and finally the terminal ``done`` event (carrying
+        ``{"status": ...}``), after which the iterator stops.  This
+        replaces poll-based partial-view consumption::
+
+            job = client.submit("gross > 2e8")
+            for event in client.stream_events(job.job_id):
+                if event.kind == "view-ready":
+                    print(event.data["rank"], event.data["explanation"])
+
+        ``timeout`` bounds each socket read, not the whole stream; the
+        server sends keep-alives, so the default is safe for long
+        searches.
+        """
+        url = f"{self.base_url}/v2/jobs/{job_id}/events"
+        request = urllib.request.Request(
+            url, headers={"Accept": "text/event-stream"})
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None
+                else self.timeout)
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                decoded = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                raise TransportError(
+                    f"GET {url}: non-JSON error (HTTP {exc.code})") from None
+            if isinstance(decoded, Mapping) and decoded.get("type") == ApiError.TYPE:
+                raise RemoteError(ApiError.from_dict(decoded),
+                                  status=exc.code) from None
+            raise TransportError(f"GET {url}: HTTP {exc.code}") from None
+        except (urllib.error.URLError, OSError) as exc:
+            raise TransportError(f"GET {url}: {exc}") from exc
+        with response:
+            seq, kind, data_lines = 0, None, []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\r\n")
+                if line.startswith(":"):
+                    continue  # keep-alive comment
+                if line.startswith("id:"):
+                    seq = int(line[len("id:"):].strip() or 0)
+                    continue
+                if line.startswith("event:"):
+                    kind = line[len("event:"):].strip()
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
+                    continue
+                if line == "" and kind is not None:
+                    try:
+                        data = json.loads("\n".join(data_lines) or "{}")
+                    except json.JSONDecodeError as exc:
+                        raise TransportError(
+                            f"GET {url}: bad event data: {exc}") from None
+                    event = JobEvent(seq=seq, kind=kind,
+                                     data=data if isinstance(data, dict)
+                                     else {"value": data})
+                    yield event
+                    if event.kind == JobEvent.DONE:
+                        return
+                    seq, kind, data_lines = 0, None, []
+        # The stream ended (connection closed) without the terminal
+        # "done" event: the server died or the socket was cut mid-job.
+        # Surface it — a truncated stream must never look like success.
+        raise TransportError(
+            f"GET {url}: event stream ended before the 'done' event "
+            f"(connection lost mid-job?)")
 
     def wait(self, job_id: str, timeout: float = 60.0,
              poll: float = 0.05) -> JobSnapshot:

@@ -16,6 +16,12 @@ the runner converts into the ``cancelled`` state.  A job that is still
 
 Progress events with stage ``"view"`` are captured as the job's partial
 results, so pollers can render views while the search is still running.
+
+Every progress event is additionally recorded in the job's **event log**
+(a monotonically numbered ``(seq, stage, payload)`` list) and announced
+on a condition variable, so streaming consumers — the service's
+``/v2/jobs/<id>/events`` endpoint — can block in :meth:`events_since`
+and relay events as they happen instead of polling snapshots.
 """
 
 from __future__ import annotations
@@ -56,13 +62,37 @@ class Job:
     result: Any = None
     error: BaseException | None = None
     partial: list = field(default_factory=list)
+    events: list = field(default_factory=list, repr=False)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def __post_init__(self):
+        # Shares the job lock, so event appends and state transitions
+        # wake streaming waiters atomically.
+        self.event_cond = threading.Condition(self.lock)
 
     @property
     def finished(self) -> bool:
         """Whether the job reached a terminal state."""
         return self.status in TERMINAL_STATES
+
+    def record_event(self, stage: str, payload: Any,
+                     mapper: "Callable[[int, str, Any], Any] | None" = None
+                     ) -> None:
+        """Append one numbered event and wake streaming consumers.
+
+        ``mapper(seq, stage, payload)`` transforms the payload before it
+        is stored — the service passes its wire serializer here, so the
+        event log holds small JSON-able summaries instead of raw pipeline
+        artifacts (which would pin per-query slices and tables for the
+        job's whole lifetime).  Must be called *without* the job lock
+        held.
+        """
+        with self.event_cond:
+            seq = len(self.events) + 1
+            item = payload if mapper is None else mapper(seq, stage, payload)
+            self.events.append((seq, stage, item))
+            self.event_cond.notify_all()
 
     def timings_ms(self) -> dict[str, float]:
         """Queue and run durations so far, in milliseconds."""
@@ -96,28 +126,36 @@ class JobManager:
     # -- lifecycle ---------------------------------------------------------------
 
     def submit(self, work: WorkFn,
-               on_progress: ProgressFn | None = None) -> str:
+               on_progress: ProgressFn | None = None,
+               event_mapper: Callable[[int, str, Any], Any] | None = None
+               ) -> str:
         """Queue ``work`` and return its job ID.
 
         ``work`` is called with a progress function it must invoke between
         units of work; ``on_progress`` additionally forwards every event
-        to the caller (e.g. a streaming HTTP response).
+        to the caller (e.g. a streaming HTTP response).  ``event_mapper``
+        transforms payloads before they enter the job's event log (see
+        :meth:`Job.record_event`).
         """
         with self._lock:
             job_id = f"job-{next(self._counter):06d}"
             job = Job(job_id=job_id)
             self._jobs[job_id] = job
-        future = self._executor.submit(self._run, job, work, on_progress)
+        future = self._executor.submit(self._run, job, work, on_progress,
+                                       event_mapper)
         with self._lock:
             self._futures[job_id] = future
         return job_id
 
     def _run(self, job: Job, work: WorkFn,
-             on_progress: ProgressFn | None) -> None:
-        with job.lock:
+             on_progress: ProgressFn | None,
+             event_mapper: Callable[[int, str, Any], Any] | None = None
+             ) -> None:
+        with job.event_cond:
             if job.cancel_event.is_set():
                 job.status = "cancelled"
                 job.finished_at = time.perf_counter()
+                job.event_cond.notify_all()
                 return
             job.status = "running"
             job.started_at = time.perf_counter()
@@ -128,6 +166,12 @@ class JobManager:
             if stage == "view":
                 with job.lock:
                     job.partial.append(payload)
+                    rank = len(job.partial)
+                # Record the keep-order rank with the view, so event
+                # consumers never rescan the log to reconstruct it.
+                job.record_event(stage, (rank, payload), event_mapper)
+            else:
+                job.record_event(stage, payload, event_mapper)
             if on_progress is not None:
                 on_progress(stage, payload)
             # Re-check after the caller's hook: a cancel that arrived while
@@ -138,21 +182,24 @@ class JobManager:
         try:
             result = work(progress)
         except JobCancelled:
-            with job.lock:
+            with job.event_cond:
                 job.status = "cancelled"
                 job.finished_at = time.perf_counter()
+                job.event_cond.notify_all()
         except BaseException as exc:  # noqa: BLE001 - reported via status
-            with job.lock:
+            with job.event_cond:
                 job.status = "failed"
                 job.error = exc
                 job.finished_at = time.perf_counter()
+                job.event_cond.notify_all()
         else:
-            with job.lock:
+            with job.event_cond:
                 # A cancel that lands after the last progress event loses
                 # the race: the work completed, so report the result.
                 job.status = "done"
                 job.result = result
                 job.finished_at = time.perf_counter()
+                job.event_cond.notify_all()
 
     # -- observation -------------------------------------------------------------
 
@@ -181,11 +228,39 @@ class JobManager:
         with self._lock:
             future = self._futures.get(job_id)
         if future is not None and future.cancel():
-            with job.lock:
+            with job.event_cond:
                 if not job.finished:
                     job.status = "cancelled"
                     job.finished_at = time.perf_counter()
+                job.event_cond.notify_all()
         return job
+
+    def events_since(self, job_id: str, after_seq: int = 0,
+                     timeout: float | None = None
+                     ) -> tuple[list[tuple[int, str, Any]], bool]:
+        """Events with ``seq > after_seq``, blocking until some arrive.
+
+        Returns ``(events, finished)``.  Blocks for at most ``timeout``
+        seconds (None = until an event arrives or the job finishes); an
+        empty list with ``finished=False`` means the wait timed out —
+        streamers use that as their keep-alive tick.
+        """
+        job = self.get(job_id)
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with job.event_cond:
+            while True:
+                # Sequence numbers are contiguous (seq == index + 1), so
+                # the unseen tail is a slice, not a scan.
+                fresh = job.events[after_seq:]
+                if fresh or job.finished:
+                    return fresh, job.finished
+                if deadline is None:
+                    job.event_cond.wait()
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not job.event_cond.wait(remaining):
+                    return job.events[after_seq:], job.finished
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until the job reaches a terminal state (or timeout)."""

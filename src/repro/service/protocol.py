@@ -681,6 +681,106 @@ class ConfigureResponse:
 
 
 @dataclass(frozen=True)
+class JobEvent:
+    """One streamed execution event of a job (the SSE wire unit).
+
+    ``seq`` is the job-local monotonic event number (clients resume a
+    dropped stream by discarding events they have seen).  ``kind`` is a
+    :mod:`repro.core.events` stage-event kind — ``prepared``,
+    ``component-scored``, ``view-ranked``, ``search-complete``,
+    ``view-ready``, ``result``, ``batch-item`` — or the terminal
+    ``done`` event carrying the job's final status.  ``data`` is a small
+    JSON-able summary of the stage artifact (full views for
+    ``view-ranked``/``view-ready``, counts elsewhere).
+    """
+
+    seq: int
+    kind: str
+    data: dict = field(default_factory=dict)
+
+    TYPE = "job_event"
+
+    #: The stream-terminating pseudo-kind.
+    DONE = "done"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": self.TYPE, "protocol": PROTOCOL_VERSION, "ok": True,
+                "seq": self.seq, "kind": self.kind,
+                "data": json_safe(self.data)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "JobEvent":
+        _check_protocol(payload)
+        return cls(seq=_opt_int(payload, "seq", 0) or 0,
+                   kind=str(_require(payload, "kind", cls.TYPE)),
+                   data=dict(payload.get("data") or {}))
+
+
+#: Legacy progress-stage name -> wire event kind (identity for the
+#: already-typed kinds the pipeline forwards through the job log).
+_WIRE_KIND_FOR_STAGE = {
+    "preparation": "prepared",
+    "view": "view-ranked",
+    "search": "search-complete",
+    "batch_item": "batch-item",
+}
+
+
+def job_event_from_stage(seq: int, stage: str, payload: Any) -> JobEvent:
+    """Serialize one recorded job progress event for the wire.
+
+    The payloads are pipeline-internal objects; each kind maps to a small
+    JSON-able summary (duck-typed so the protocol stays import-light).
+    Both view kinds arrive as ``(rank, ViewResult)`` — the job manager
+    stamps the keep-order rank on streamed views, the pipeline stamps the
+    final rank on ready views.
+    """
+    kind = _WIRE_KIND_FOR_STAGE.get(stage, stage)
+    data: dict[str, Any]
+    if kind in ("view-ranked", "view-ready") and isinstance(payload, tuple) \
+            and len(payload) == 2 and isinstance(payload[1], ViewResult):
+        rank, view = payload
+        data = view_to_dict(view, int(rank))
+    elif kind == "view-ranked" and isinstance(payload, ViewResult):
+        data = view_to_dict(payload, 0)  # rank unknown outside a job run
+    elif kind == "result" and isinstance(payload, CharacterizationResult):
+        data = {
+            "n_views": len(payload.views),
+            "predicate": payload.predicate,
+            "n_inside": payload.n_inside,
+            "n_outside": payload.n_outside,
+            "timings_ms": {k: json_safe(v * 1000.0)
+                           for k, v in payload.timings.items()},
+        }
+    elif kind == "prepared":
+        data = {
+            "n_columns": len(getattr(payload, "active_columns", ()) or ()),
+            "notes": list(getattr(payload, "notes", ()) or ()),
+        }
+    elif kind == "component-scored":
+        unary = getattr(payload, "unary", {}) or {}
+        pairwise = getattr(payload, "pairwise", {}) or {}
+        data = {
+            "n_unary": sum(len(v) for v in unary.values()),
+            "n_pairwise": sum(len(v) for v in pairwise.values()),
+        }
+    elif kind == "search-complete":
+        data = {
+            "n_candidates": int(getattr(payload, "n_candidates", 0) or 0),
+            "n_views": len(getattr(payload, "views", ()) or ()),
+        }
+    elif kind == "batch-item" and isinstance(payload, tuple) \
+            and len(payload) == 2:
+        index, result = payload
+        data = {"index": int(index),
+                "n_views": len(getattr(result, "views", ()) or ())}
+    else:
+        safe = json_safe(payload)
+        data = safe if isinstance(safe, dict) else {"info": repr(payload)}
+    return JobEvent(seq=seq, kind=kind, data=data)
+
+
+@dataclass(frozen=True)
 class ApiError:
     """A structured error — what every failure serializes to.
 
@@ -739,6 +839,7 @@ RESPONSE_TYPES: dict[str, Any] = {
     CharacterizeResponse.TYPE: CharacterizeResponse,
     BatchResponse.TYPE: BatchResponse,
     JobSnapshot.TYPE: JobSnapshot,
+    JobEvent.TYPE: JobEvent,
     TableList.TYPE: TableList,
     ConfigureResponse.TYPE: ConfigureResponse,
     ApiError.TYPE: ApiError,

@@ -18,9 +18,20 @@ POST        /v2/views                  page through the current result
 POST        /v2/configure              weights / options
 POST        /v2/jobs                   submit a job
 GET         /v2/jobs/<id>              poll a job
+GET         /v2/jobs/<id>/events       stream the job's events (SSE)
 POST        /v2/jobs/<id>/cancel       cancel a job
 POST        /v1                        legacy v1 action dict (adapter)
 ==========  =========================  =====================================
+
+The events route streams Server-Sent Events (``text/event-stream``,
+stdlib only — the response is written incrementally on a
+``Connection: close`` socket): one ``id:``/``event:``/``data:`` block
+per :class:`JobEvent` as the job produces them — ``prepared``,
+``component-scored``, ``view-ranked`` (views arrive as they are kept,
+*before* the job finishes), ``search-complete``, ``view-ready``,
+``result`` — terminated by a ``done`` event carrying the final job
+status.  Idle gaps are filled with ``: keepalive`` comments so client
+read timeouts don't fire mid-search.
 
 Error payloads are structured :class:`ApiError` dicts; the HTTP status
 mirrors the error code (400 family for caller mistakes, 404 for unknown
@@ -34,11 +45,13 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro.errors import ReproError
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ApiError,
     ErrorCode,
     ProtocolError,
+    json_safe,
 )
 from repro.service.service import ZiggyService
 
@@ -131,6 +144,10 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
         if path == "/v2/tables":
             self._send_json(self.service.dispatch({"type": "tables"}))
             return
+        if path.startswith("/v2/jobs/") and path.endswith("/events"):
+            job_id = path[len("/v2/jobs/"):-len("/events")]
+            self._stream_job_events(job_id)
+            return
         if path.startswith("/v2/jobs/"):
             job_id = path[len("/v2/jobs/"):]
             self._send_json(self.service.dispatch(
@@ -138,6 +155,56 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
             return
         self._send_error_payload(ErrorCode.BAD_REQUEST,
                                  f"no route for GET {self.path}", status=404)
+
+    # -- event streaming ---------------------------------------------------------
+
+    #: Longest idle stretch (seconds) before a keep-alive comment.
+    EVENT_POLL_SECONDS = 1.0
+
+    def _stream_job_events(self, job_id: str) -> None:
+        """Relay a job's event stream as Server-Sent Events.
+
+        The response carries no Content-Length and is terminated by
+        closing the connection (``Connection: close``), which every
+        HTTP/1.1 client understands — no chunked-encoding machinery
+        needed from the stdlib server.
+        """
+        try:
+            self.service.job_status(job_id)  # 404 before committing to SSE
+        except ReproError as exc:
+            self._send_json(ApiError.from_exception(exc).to_dict())
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        after = 0
+        try:
+            while True:
+                events, finished = self.service.job_events(
+                    job_id, after_seq=after,
+                    timeout=self.EVENT_POLL_SECONDS)
+                for event in events:
+                    after = max(after, event.seq)
+                    self._write_sse(event.seq, event.kind,
+                                    json.dumps(json_safe(event.data)))
+                if finished:
+                    final = self.service.job_status(job_id)
+                    self._write_sse(after + 1, "done",
+                                    json.dumps({"status": final.status}))
+                    return
+                if not events:
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            return  # client went away; nothing to clean up
+
+    def _write_sse(self, seq: int, kind: str, data: str) -> None:
+        block = f"id: {seq}\nevent: {kind}\ndata: {data}\n\n"
+        self.wfile.write(block.encode("utf-8"))
+        self.wfile.flush()
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         try:

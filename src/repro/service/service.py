@@ -2,19 +2,27 @@
 
 This is the object a deployment holds: it owns the shared
 :class:`Database`, one :class:`ZiggySession` per client ID (each with its
-own configuration, history and statistics caches), and a
-:class:`JobManager` for asynchronous characterizations.  Everything it
-speaks is the typed protocol of :mod:`repro.service.protocol`; the HTTP
-server and the v1 compatibility adapter are both thin shells around it.
+own configuration and history), and a :class:`JobManager` for
+asynchronous characterizations.  Everything it speaks is the typed
+protocol of :mod:`repro.service.protocol`; the HTTP server and the v1
+compatibility adapter are both thin shells around it.
 
-Sessions are serialized per client with a lock (the pipeline and its
-statistics cache are single-threaded by design), so concurrent requests
-for *different* clients run in parallel while requests for the *same*
-client queue up.
+Cross-request state is **borrowed from the runtime**, not owned: every
+session's per-table statistics cache comes from the
+:class:`~repro.runtime.ZiggyRuntime`'s shared registry, so two clients
+characterizing predicates on the same table share one global-statistics
+computation, and the runtime's table store bounds how much derived state
+stays resident.
+
+Sessions are serialized per client with a lock (a session's history and
+configuration are single-threaded state), so concurrent requests for
+*different* clients run in parallel — sharing the thread-safe statistics
+caches — while requests for the *same* client queue up.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from typing import Any, Callable, Mapping
@@ -28,6 +36,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro.runtime import ZiggyRuntime, get_runtime
 from repro.service.jobs import Job, JobManager
 from repro.service.protocol import (
     ApiError,
@@ -38,6 +47,7 @@ from repro.service.protocol import (
     ConfigureRequest,
     ConfigureResponse,
     JobControlRequest,
+    JobEvent,
     JobSnapshot,
     JobSubmitRequest,
     TableInfo,
@@ -45,6 +55,7 @@ from repro.service.protocol import (
     TablesRequest,
     ViewPage,
     ViewPageRequest,
+    job_event_from_stage,
     parse_request,
     view_to_dict,
 )
@@ -58,13 +69,25 @@ class ZiggyService:
             every client session.
         config: default configuration new sessions start from.
         max_workers: thread-pool size for asynchronous jobs.
+        runtime: the shared runtime to borrow cross-request state from;
+            defaults to the process-wide one, so several services in one
+            process (or a service plus library sessions) share per-table
+            statistics.
     """
+
+    #: Distinguishes service instances in the registry's borrower ledger
+    #: (two services sharing one runtime are distinct borrowers even for
+    #: equal client IDs).
+    _instances = itertools.count(1)
 
     def __init__(self, database: Database | None = None,
                  config: ZiggyConfig | None = None,
-                 max_workers: int = 2):
+                 max_workers: int = 2,
+                 runtime: ZiggyRuntime | None = None):
         self.database = database if database is not None else Database()
         self.config = config
+        self.runtime = runtime if runtime is not None else get_runtime()
+        self._instance = f"svc-{next(self._instances)}"
         self.jobs = JobManager(max_workers=max_workers)
         self._sessions: dict[str, ZiggySession] = {}
         self._locks: dict[str, threading.Lock] = {}
@@ -73,8 +96,9 @@ class ZiggyService:
     # -- catalog / sessions -------------------------------------------------------
 
     def register_table(self, table: Table, name: str | None = None) -> None:
-        """Add a dataset to the shared catalog."""
+        """Add a dataset to the shared catalog (and the runtime store)."""
         self.database.register(table, name=name)
+        self.runtime.register_table(table, name=name)
 
     def session(self, client_id: str = "default") -> ZiggySession:
         """The session for one client, created on first use."""
@@ -82,7 +106,9 @@ class ZiggyService:
             session = self._sessions.get(client_id)
             if session is None:
                 session = ZiggySession(database=self.database,
-                                       config=self.config)
+                                       config=self.config,
+                                       runtime=self.runtime,
+                                       client_id=f"{client_id}@{self._instance}")
                 self._sessions[client_id] = session
                 self._locks[client_id] = threading.Lock()
             return session
@@ -175,7 +201,11 @@ class ZiggyService:
                  else request)
         job_id = self.jobs.submit(
             lambda progress: self.characterize(inner, progress=progress),
-            on_progress=on_progress)
+            on_progress=on_progress,
+            # Events enter the log already in wire form: the log then
+            # holds small JSON-able dicts, not pipeline artifacts that
+            # would pin slices and tables for the job's lifetime.
+            event_mapper=job_event_from_stage)
         return self._snapshot(self.jobs.get(job_id))
 
     def job_status(self, job_id: str) -> JobSnapshot:
@@ -189,6 +219,21 @@ class ZiggyService:
     def wait(self, job_id: str, timeout: float | None = None) -> JobSnapshot:
         """Block until a job finishes (used by tests and simple clients)."""
         return self._snapshot(self.jobs.wait(job_id, timeout=timeout))
+
+    def job_events(self, job_id: str, after_seq: int = 0,
+                   timeout: float | None = None
+                   ) -> tuple[list[JobEvent], bool]:
+        """Typed wire events of a job after ``after_seq``.
+
+        Blocks until events arrive, the job finishes, or ``timeout``
+        elapses; returns ``(events, finished)``.  This is the
+        long-poll/stream primitive behind ``GET /v2/jobs/<id>/events``.
+        """
+        raw, finished = self.jobs.events_since(job_id, after_seq=after_seq,
+                                               timeout=timeout)
+        # Payloads were serialized at record time (see submit), so this
+        # is a plain unwrap.
+        return [event for _seq, _stage, event in raw], finished
 
     def view_page(self, request: ViewPageRequest) -> ViewPage:
         """Page through the client's current (latest) result."""

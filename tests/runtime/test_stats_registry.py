@@ -1,0 +1,133 @@
+"""Tests for the SharedStatsRegistry: fingerprint keying, cross-client
+hit accounting, thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.runtime import SharedStatsRegistry
+
+
+@pytest.fixture
+def table(rng):
+    return Table.from_dict({"x": rng.normal(size=200),
+                            "y": rng.normal(size=200)}, name="reg_t")
+
+
+class TestKeying:
+    def test_same_table_same_cache(self, table):
+        registry = SharedStatsRegistry()
+        assert registry.cache_for(table) is registry.cache_for(table)
+
+    def test_identical_content_shares_cache(self, rng):
+        data = rng.normal(size=100)
+        a = Table.from_dict({"v": data}, name="t")
+        b = Table.from_dict({"v": data.copy()}, name="t")
+        registry = SharedStatsRegistry()
+        assert registry.cache_for(a) is registry.cache_for(b)
+
+    def test_different_content_distinct_caches(self, rng):
+        a = Table.from_dict({"v": rng.normal(size=50)}, name="t")
+        b = Table.from_dict({"v": rng.normal(size=50)}, name="t")
+        registry = SharedStatsRegistry()
+        assert registry.cache_for(a) is not registry.cache_for(b)
+
+
+class TestCounters:
+    def test_first_borrow_is_miss(self, table):
+        registry = SharedStatsRegistry()
+        registry.cache_for(table, borrower="alice")
+        stats = registry.stats()
+        assert (stats.misses, stats.hits, stats.cross_client_hits) == (1, 0, 0)
+
+    def test_same_borrower_rehit_not_cross_client(self, table):
+        registry = SharedStatsRegistry()
+        registry.cache_for(table, borrower="alice")
+        registry.cache_for(table, borrower="alice")
+        stats = registry.stats()
+        assert stats.hits == 1
+        assert stats.cross_client_hits == 0
+
+    def test_second_client_counts_cross_client_hit(self, table):
+        registry = SharedStatsRegistry()
+        registry.cache_for(table, borrower="alice")
+        registry.cache_for(table, borrower="bob")
+        stats = registry.stats()
+        assert stats.hits == 1
+        assert stats.cross_client_hits == 1
+        assert stats.hit_rate == 0.5
+
+    def test_entries_reflect_cache_content(self, table):
+        registry = SharedStatsRegistry()
+        cache = registry.cache_for(table)
+        cache.global_column_stats(table, "x")
+        assert registry.stats().entries == 1
+
+
+class TestEviction:
+    def test_evict_drops_cache(self, table):
+        registry = SharedStatsRegistry()
+        registry.cache_for(table)
+        assert registry.evict(table.fingerprint()) is True
+        assert registry.peek(table.fingerprint()) is None
+        assert registry.evict(table.fingerprint()) is False
+
+    def test_borrowed_cache_survives_eviction(self, table):
+        registry = SharedStatsRegistry()
+        cache = registry.cache_for(table)
+        cache.global_column_stats(table, "x")
+        registry.evict(table.fingerprint())
+        # The borrower's reference still works; the registry just hands
+        # out a fresh cache next time.
+        assert cache.size == 1
+        assert registry.cache_for(table) is not cache
+
+    def test_clear(self, table):
+        registry = SharedStatsRegistry()
+        registry.cache_for(table)
+        registry.clear()
+        assert registry.stats().caches == 0
+
+
+class TestConcurrency:
+    def test_concurrent_borrows_agree_on_one_cache(self, table):
+        registry = SharedStatsRegistry()
+        results, barrier = [], threading.Barrier(8)
+
+        def borrow(i):
+            barrier.wait()
+            results.append(registry.cache_for(table, borrower=f"c{i}"))
+
+        threads = [threading.Thread(target=borrow, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in results}) == 1
+        stats = registry.stats()
+        assert stats.misses == 1
+        assert stats.hits == 7
+
+    def test_concurrent_cache_fills_compute_once(self, table):
+        """The thread-safe StatsCache computes a table-level statistic
+        exactly once no matter how many threads race for it."""
+        registry = SharedStatsRegistry()
+        cache = registry.cache_for(table)
+        barrier = threading.Barrier(6)
+        outputs = []
+
+        def fill():
+            barrier.wait()
+            outputs.append(cache.global_moments(table, ("x", "y")))
+
+        threads = [threading.Thread(target=fill) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(m is outputs[0] for m in outputs)
+        assert cache.counters.moments_misses == 1
+        assert cache.counters.moments_hits == 5

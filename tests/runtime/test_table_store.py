@@ -1,0 +1,234 @@
+"""Tests for the runtime TableStore: fingerprints, pins, LRU eviction."""
+
+import gc
+import weakref
+
+import numpy as np
+import pytest
+
+from repro.engine.table import Table
+from repro.runtime import TableStore, TableStoreError, ZiggyRuntime
+
+
+def make_table(name: str, seed: int = 0, n: int = 50) -> Table:
+    rng = np.random.default_rng(seed)
+    return Table.from_dict({"a": rng.normal(size=n),
+                            "b": rng.normal(size=n)}, name=name)
+
+
+class TestFingerprint:
+    def test_identical_content_same_fingerprint(self):
+        assert make_table("t", seed=1).fingerprint() == \
+            make_table("t", seed=1).fingerprint()
+
+    def test_different_data_different_fingerprint(self):
+        assert make_table("t", seed=1).fingerprint() != \
+            make_table("t", seed=2).fingerprint()
+
+    def test_same_data_different_name_differs(self):
+        a, b = make_table("t1", seed=1), make_table("t2", seed=1)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_memoized(self):
+        t = make_table("t")
+        assert t.fingerprint() is t.fingerprint()
+
+    def test_categorical_and_boolean_columns_hash(self):
+        t = Table.from_dict({"c": ["x", "y", None, "x"],
+                             "f": [True, False, None, True]}, name="mixed")
+        u = Table.from_dict({"c": ["x", "y", None, "x"],
+                             "f": [True, False, None, True]}, name="mixed")
+        assert t.fingerprint() == u.fingerprint()
+
+    def test_nbytes_positive(self):
+        assert make_table("t").nbytes() > 0
+
+
+class TestRegistration:
+    def test_register_and_get(self):
+        store = TableStore()
+        t = make_table("t")
+        entry = store.register(t)
+        assert entry.fingerprint == t.fingerprint()
+        assert store.get("t") is t
+
+    def test_reregister_same_content_bumps_not_replaces(self):
+        store = TableStore()
+        t = make_table("t")
+        first = store.register(t)
+        second = store.register(t)
+        assert first is second
+        assert second.registrations == 2
+        assert store.evictions == 0
+
+    def test_reregister_new_content_evicts_old(self):
+        store = TableStore()
+        evicted = []
+        store.add_evict_listener(lambda e: evicted.append(e.fingerprint))
+        old = make_table("t", seed=1)
+        store.register(old)
+        new = make_table("t", seed=2)
+        store.register(new)
+        assert evicted == [old.fingerprint()]
+        assert store.get("t") is new
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(TableStoreError):
+            TableStore().get("nope")
+
+    def test_catalog_alias_does_not_duplicate_entry(self):
+        """A table registered under a custom name, then re-registered
+        nameless (the stats_for path), refreshes the same entry — bytes
+        are never double-counted and evictions never split."""
+        store = TableStore()
+        t = make_table("orig")
+        under_alias = store.register(t, name="custom")
+        nameless = store.register(t)            # what stats_for/lease do
+        assert nameless is under_alias
+        assert store.stats()["tables"] == 1
+        assert store.stats()["resident_bytes"] == t.nbytes()
+
+    def test_explicit_second_alias_keeps_shared_cache_alive(self):
+        """Evicting one of two explicit aliases must not drop registry
+        state the other alias still needs."""
+        runtime = ZiggyRuntime()
+        t = make_table("orig")
+        runtime.tables.register(t, name="a")
+        runtime.tables.register(t, name="b")
+        cache = runtime.stats_for(t)
+        runtime.tables.evict("a")
+        assert runtime.stats.peek(t.fingerprint()) is cache
+        runtime.tables.evict("b")               # last alias: cache goes
+        assert runtime.stats.peek(t.fingerprint()) is None
+
+
+class TestEviction:
+    def test_lru_order(self):
+        store = TableStore(max_tables=2)
+        evicted = []
+        store.add_evict_listener(lambda e: evicted.append(e.name))
+        a, b, c = (make_table(n, seed=i) for i, n in enumerate("abc"))
+        store.register(a)
+        store.register(b)
+        store.get("a")           # bump a: b becomes the LRU victim
+        store.register(c)
+        assert evicted == ["b"]
+        # b stays listed as a non-resident ghost (its weak ref enables
+        # cheap revival while the object is alive elsewhere).
+        assert store.names() == ("a", "b", "c")
+        assert not store.entry_for("b").resident
+        assert store.stats()["resident"] == 2
+
+    def test_ghost_revival_and_lookup(self):
+        """An evicted table still held elsewhere stays reachable through
+        the weak ref and revives in place on re-registration."""
+        store = TableStore(max_tables=1)
+        a = make_table("a", seed=1)
+        ghost_entry = store.register(a)
+        store.register(make_table("b", seed=2))   # evicts a
+        assert not ghost_entry.resident
+        assert store.get("a") is a                # weak-ref lookup works
+        revived = store.register(a)
+        assert revived is ghost_entry
+        assert revived.resident
+
+    def test_replacing_pinned_name_defers_eviction_to_release(self):
+        """New content under a leased name must not evict the lease's
+        entry mid-run: it is displaced and goes only on last release."""
+        store = TableStore()
+        evicted = []
+        store.add_evict_listener(lambda e: evicted.append(e.fingerprint))
+        old = make_table("t", seed=1)
+        lease = store.acquire(old)
+        new = make_table("t", seed=2)
+        store.register(new, name="t")
+        assert store.get("t") is new          # the name serves new content
+        assert lease.resident                  # the lease is untouched
+        assert evicted == []
+        store.release(lease)                   # last pin: now it goes
+        assert evicted == [old.fingerprint()]
+        assert not lease.resident
+
+    def test_acquire_never_evicts_its_own_table(self):
+        """A lease taken under limit pressure pins before enforcement, so
+        the leased table is never its own eviction victim."""
+        store = TableStore(max_tables=1)
+        pinned = store.acquire(make_table("busy", seed=1))
+        entry = store.acquire(make_table("incoming", seed=2))
+        assert entry.resident            # over the limit, but pinned
+        assert entry.refcount == 1
+        store.release(entry)
+        store.release(pinned)
+
+    def test_byte_budget_evicts(self):
+        small = make_table("small", n=10)
+        store = TableStore(max_bytes=small.nbytes() + 1)
+        store.register(small)
+        store.register(make_table("big", n=10_000))
+        assert store.evictions >= 1
+
+    def test_pinned_entries_survive_limits(self):
+        store = TableStore(max_tables=1)
+        a = make_table("a")
+        entry = store.acquire(a)           # pin
+        store.register(make_table("b"))
+        assert store.entry_for("a") is not None   # pinned: not evicted
+        store.release(entry)
+        store.register(make_table("c"))    # limits re-enforced
+        assert store.entry_for("a") is None or not store.entry_for("a").resident
+
+    def test_unbalanced_release_raises(self):
+        store = TableStore()
+        entry = store.acquire(make_table("a"))
+        store.release(entry)
+        with pytest.raises(TableStoreError):
+            store.release(entry)
+
+    def test_eviction_frees_unreferenced_table(self):
+        """Weak-ref safety: once evicted, the store holds no strong ref."""
+        store = TableStore(max_tables=1)
+        t = make_table("dropme")
+        ref = weakref.ref(t)
+        store.register(t)
+        store.register(make_table("keeper"))
+        del t
+        gc.collect()
+        assert ref() is None
+
+    def test_stats_shape(self):
+        store = TableStore(max_tables=4)
+        store.register(make_table("a"))
+        stats = store.stats()
+        assert stats["tables"] == stats["resident"] == 1
+        assert stats["resident_bytes"] > 0
+        assert stats["max_tables"] == 4
+
+
+class TestRuntimeWiring:
+    def test_store_eviction_drops_registry_cache(self):
+        runtime = ZiggyRuntime(max_tables=1, max_bytes=None)
+        a, b = make_table("a", seed=1), make_table("b", seed=2)
+        cache_a = runtime.stats_for(a, borrower="x")
+        cache_a.global_column_stats(a, "a")
+        assert runtime.stats.peek(a.fingerprint()) is cache_a
+        runtime.stats_for(b, borrower="x")      # evicts a from the store
+        assert runtime.stats.peek(a.fingerprint()) is None
+        assert runtime.stats.stats().evictions == 1
+
+    def test_lease_blocks_eviction_until_released(self):
+        runtime = ZiggyRuntime(max_tables=1, max_bytes=None)
+        a, b = make_table("a", seed=1), make_table("b", seed=2)
+        with runtime.lease(a, borrower="x") as cache:
+            assert cache is runtime.stats.peek(a.fingerprint())
+            runtime.register_table(b)
+            # a is pinned by the lease: it must still be resident.
+            assert runtime.tables.entry_for("a").resident
+        # After the lease, re-enforcement may evict either LRU victim.
+        runtime.register_table(make_table("c", seed=3))
+        assert runtime.tables.stats()["resident"] <= 1
+
+    def test_snapshot_is_jsonable(self):
+        import json
+        runtime = ZiggyRuntime()
+        runtime.register_table(make_table("a"))
+        json.dumps(runtime.stats_snapshot())

@@ -27,6 +27,7 @@ from repro.service.protocol import (
     ConfigureResponse,
     ErrorCode,
     JobControlRequest,
+    JobEvent,
     JobSnapshot,
     JobSubmitRequest,
     TableInfo,
@@ -84,6 +85,9 @@ ALL_MESSAGES = [
     JobSnapshot(job_id="job-000003", status="failed",
                 error=ApiError(code=ErrorCode.SYNTAX_ERROR, message="bad")),
     JobSnapshot(job_id="job-000004", status="done", result=SAMPLE_RESPONSE),
+    JobEvent(seq=3, kind="view-ready",
+             data=view_to_dict(make_views(1)[0], 1)),
+    JobEvent(seq=9, kind="done", data={"status": "done"}),
     TableInfo(name="t", rows=10, columns=3, column_names=("a", "b", "c")),
     TableList(tables=(TableInfo(name="t", rows=1, columns=1,
                                 column_names=("a",)),)),

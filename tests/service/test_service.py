@@ -26,7 +26,13 @@ PREDICATES_10 = [f"gross > {g}"
 
 @pytest.fixture
 def service(boxoffice_small):
-    s = ZiggyService(max_workers=2)
+    # An isolated runtime per test: these tests assert per-service cache
+    # deltas, which the process-wide shared runtime would (by design)
+    # blur across tests.  Cross-client sharing through one runtime is
+    # covered by tests/service/test_shared_runtime.py.
+    from repro.runtime import ZiggyRuntime
+
+    s = ZiggyService(max_workers=2, runtime=ZiggyRuntime())
     s.register_table(boxoffice_small)
     yield s
     s.shutdown(wait=False)
@@ -102,8 +108,12 @@ class TestBatch:
     def test_batch_cache_reuse_beats_cold_queries(self, boxoffice_small):
         """Acceptance: a 10-predicate batch must hit the shared cache far
         more than 10 independent cold single queries would imply."""
+        # Isolated runtimes: the measurement needs genuinely cold caches,
+        # which the process-wide shared runtime would (correctly) defeat.
+        from repro.runtime import ZiggyRuntime
+
         # one cold single query, as the baseline
-        single = ZiggyService()
+        single = ZiggyService(runtime=ZiggyRuntime())
         single.register_table(boxoffice_small)
         single.characterize(CharacterizeRequest(where=PREDICATES_10[0]))
         counters = (single.session("default").engine_for("boxoffice")
@@ -111,7 +121,7 @@ class TestBatch:
         single_hits, single_misses = counters.hits, counters.misses
         single.shutdown(wait=False)
 
-        batched = ZiggyService()
+        batched = ZiggyService(runtime=ZiggyRuntime())
         batched.register_table(boxoffice_small)
         batch = batched.characterize_many(
             BatchRequest(predicates=tuple(PREDICATES_10)))
