@@ -120,8 +120,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="CSV file to serve as a table (repeatable)")
     parser.add_argument("--seed-rows", type=int, default=None, metavar="N",
                         help="shrink built-in datasets to N rows")
+    parser.add_argument("--executor", choices=("inline", "thread", "process"),
+                        default="thread",
+                        help="job execution backend: 'thread' (one pool in "
+                             "this process, the default), 'process' (shard "
+                             "jobs across worker processes by table "
+                             "fingerprint for multi-core throughput), or "
+                             "'inline' (synchronous; debugging)")
     parser.add_argument("--workers", type=int, default=2,
-                        help="job thread-pool size (default 2)")
+                        help="executor worker count: thread-pool size, or "
+                             "worker-process shard count with "
+                             "--executor process (default 2)")
     parser.add_argument("--max-tables", type=int, default=None, metavar="N",
                         help="most tables the shared runtime keeps resident "
                              "before LRU-evicting their cached statistics "
@@ -153,34 +162,38 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
                    else (args.cache_bytes or None))
     try:
         runtime = ZiggyRuntime(max_tables=max_tables, max_bytes=cache_bytes)
-        service = ZiggyService(max_workers=args.workers, runtime=runtime)
+        service = ZiggyService(max_workers=args.workers, runtime=runtime,
+                               executor=args.executor)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+    # The service now owns live resources (worker processes / thread
+    # pool); every startup failure past this point must release them.
+    try:
         names = args.dataset or list(dataset_names())
         kwargs = {"n_rows": args.seed_rows} if args.seed_rows else {}
         for name in names:
             service.register_table(load_dataset(name, **kwargs))
         for path in args.csv:
             service.register_table(read_csv(path))
-    except (ReproError, OSError) as exc:
-        print(f"error: {exc}", file=out)
-        return 1
-
-    try:
         server = make_server(service, host=args.host, port=args.port,
                              verbose=not args.quiet)
-    except OSError as exc:  # port in use, privileged port, bad host, ...
-        print(f"error: cannot bind {args.host}:{args.port}: {exc}", file=out)
+    except (ReproError, OSError) as exc:  # bad data, port in use, ...
+        service.shutdown(wait=False)
+        print(f"error: {exc}", file=out)
         return 1
     host, port = server.server_address[:2]
     print(f"serving {', '.join(service.database.table_names())} "
-          f"on http://{host}:{port} (protocol v2; Ctrl-C to stop)",
+          f"on http://{host}:{port} (protocol v2, "
+          f"executor={args.executor} x{args.workers}; Ctrl-C to stop)",
           file=out, flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("shutting down", file=out)
     finally:
-        server.server_close()
-        service.shutdown(wait=False)
+        server.close(wait=False)
     return 0
 
 

@@ -74,3 +74,80 @@ _LEGACY_STAGE_FOR = {
 def legacy_stage(kind: str) -> str:
     """The legacy ``progress(stage, payload)`` stage name for a kind."""
     return _LEGACY_STAGE_FOR.get(kind, kind)
+
+
+# ---------------------------------------------------------------------------
+# Compact payloads — the cross-process projection
+# ---------------------------------------------------------------------------
+#
+# Worker processes relay stage events back to the coordinating process.
+# The heavy stage artifacts (PreparedData pins column slices and the
+# selection's table; SearchOutput pins the dendrogram) must not cross the
+# boundary per event, so executors replace them with these summaries.
+# Each summary keeps the attributes downstream consumers duck-type on
+# (``active_columns``, ``notes``, ``n_candidates``, ...), so the job
+# event log and the wire serializer treat both forms identically.
+# View and result events pass through unchanged: their payloads are small
+# frozen dataclasses and the consumers need them in full.
+
+
+@dataclass(frozen=True)
+class PreparedSummary:
+    """Cross-process stand-in for a ``prepared`` event's PreparedData."""
+
+    active_columns: tuple[str, ...]
+    n_inside: int
+    n_outside: int
+    notes: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CatalogSummary:
+    """Cross-process stand-in for a ``component-scored`` catalog."""
+
+    n_unary: int
+    n_pairwise: int
+
+
+@dataclass(frozen=True)
+class SearchSummary:
+    """Cross-process stand-in for a ``search-complete`` SearchOutput."""
+
+    n_candidates: int
+    n_views: int
+    notes: tuple[str, ...] = ()
+
+
+def compact_event(event: StageEvent) -> StageEvent:
+    """The cheaply-serializable projection of one stage event.
+
+    Already-compact events come back unchanged (same object), so calling
+    this unconditionally in a relay loop costs nothing for the common
+    per-view events.
+    """
+    payload = event.payload
+    if event.kind == PREPARED and payload is not None \
+            and not isinstance(payload, PreparedSummary):
+        selection = getattr(payload, "selection", None)
+        return StageEvent(PREPARED, PreparedSummary(
+            active_columns=tuple(getattr(payload, "active_columns", ()) or ()),
+            n_inside=int(getattr(selection, "n_inside", 0) or 0),
+            n_outside=int(getattr(selection, "n_outside", 0) or 0),
+            notes=tuple(getattr(payload, "notes", ()) or ()),
+        ))
+    if event.kind == COMPONENT_SCORED and payload is not None \
+            and not isinstance(payload, CatalogSummary):
+        unary = getattr(payload, "unary", {}) or {}
+        pairwise = getattr(payload, "pairwise", {}) or {}
+        return StageEvent(COMPONENT_SCORED, CatalogSummary(
+            n_unary=sum(len(v) for v in unary.values()),
+            n_pairwise=sum(len(v) for v in pairwise.values()),
+        ))
+    if event.kind == SEARCH_COMPLETE and payload is not None \
+            and not isinstance(payload, SearchSummary):
+        return StageEvent(SEARCH_COMPLETE, SearchSummary(
+            n_candidates=int(getattr(payload, "n_candidates", 0) or 0),
+            n_views=len(getattr(payload, "views", ()) or ()),
+            notes=tuple(getattr(payload, "notes", ()) or ()),
+        ))
+    return event

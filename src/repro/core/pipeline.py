@@ -90,6 +90,33 @@ class CharacterizationPlan:
     cache: StatsCache | None
     predicate_text: str
 
+    def __getstate__(self) -> dict:
+        """Pickle the plan *without* its statistics cache.
+
+        Plans are the library-level unit of shippable work: a pickled
+        plan can be rebuilt in another process and re-executed (the
+        service's process backend ships higher-level
+        :class:`~repro.runtime.CharacterizationTask` descriptions
+        instead, but library embedders move plans directly).  The cache
+        is per-process runtime state, so shipping it would both bloat
+        the payload and fork the sharing contract; the receiving side
+        rebinds its own via :meth:`with_cache`.
+        """
+        state = dict(self.__dict__)
+        state["cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def with_cache(self, cache: StatsCache | None) -> "CharacterizationPlan":
+        """The same plan bound to a different statistics cache (what a
+        worker shard calls after unpickling)."""
+        return CharacterizationPlan(
+            selection=self.selection, config=self.config,
+            registry=self.registry, cache=cache,
+            predicate_text=self.predicate_text)
+
     @classmethod
     def for_selection(cls, selection: Selection, config: ZiggyConfig,
                       registry: ComponentRegistry | None = None,

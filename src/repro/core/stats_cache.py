@@ -92,6 +92,47 @@ class StatsCache:
         self._inside_moments: dict[tuple[str, str, tuple[str, ...]], PairwiseMoments] = {}
         self._dependency: dict[tuple[str, str, int, tuple[str, ...]], DependencyMatrix] = {}
 
+    # -- serialization -----------------------------------------------------------
+
+    #: The entry stores pickled by ``__getstate__``, in declaration order.
+    _STORES = ("_column_stats", "_inside_stats", "_global_moments",
+               "_inside_moments", "_dependency")
+
+    def __getstate__(self) -> dict:
+        """Pickle the entries and counters, never the lock.
+
+        Entries are :class:`SummaryStats` / :class:`PairwiseMoments` /
+        :class:`DependencyMatrix` values keyed by content fingerprints, so
+        a cache snapshot is self-contained: executor backends ship it to
+        worker processes to warm a shard without re-scanning the table.
+        """
+        with self._lock:
+            state = {name: dict(getattr(self, name)) for name in self._STORES}
+            state["counters"] = self.counters
+            return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.counters = state.pop("counters", None) or CacheCounters()
+        self._lock = threading.RLock()
+        for name in self._STORES:
+            setattr(self, name, dict(state.get(name) or {}))
+
+    def merge_from(self, other: "StatsCache") -> int:
+        """Absorb another cache's entries (existing keys win); returns the
+        number of entries copied.  This is how a worker shard adopts a
+        pre-warmed snapshot shipped from the coordinating process."""
+        copied = 0
+        with other._lock:
+            snapshots = [dict(getattr(other, name)) for name in self._STORES]
+        with self._lock:
+            for name, snap in zip(self._STORES, snapshots):
+                store = getattr(self, name)
+                for key, value in snap.items():
+                    if key not in store:
+                        store[key] = value
+                        copied += 1
+        return copied
+
     # -- keys -------------------------------------------------------------------
 
     @staticmethod

@@ -8,7 +8,11 @@ Everything that outlives a single request lives here (see
 * :class:`SharedStatsRegistry` — one thread-safe ``StatsCache`` per table
   fingerprint, shared across every client session, job and batch;
 * :class:`ZiggyRuntime` — the composition of the two, with a
-  process-wide default (:func:`get_runtime`).
+  process-wide default (:func:`get_runtime`);
+* :mod:`repro.runtime.executors` — pluggable execution backends
+  (inline / thread / process shards routed by table fingerprint) that
+  run characterization jobs for the service layer (see
+  ``docs/executors.md``).
 
 Layering: ``runtime`` sits between the engine (tables, fingerprints) and
 the app/service layers, which *borrow* state from it instead of owning
@@ -23,10 +27,32 @@ from repro.runtime.runtime import (
     reset_runtime,
     set_runtime,
 )
+from repro.runtime.executors import (
+    EXECUTOR_KINDS,
+    CharacterizationTask,
+    Executor,
+    ExecutorError,
+    InlineExecutor,
+    ProcessShardExecutor,
+    ThreadExecutor,
+    WorkerError,
+    create_executor,
+    shard_index,
+)
 from repro.runtime.stats_registry import RegistryStats, SharedStatsRegistry
 from repro.runtime.table_store import TableEntry, TableStore, TableStoreError
 
 __all__ = [
+    "CharacterizationTask",
+    "EXECUTOR_KINDS",
+    "Executor",
+    "ExecutorError",
+    "InlineExecutor",
+    "ProcessShardExecutor",
+    "ThreadExecutor",
+    "WorkerError",
+    "create_executor",
+    "shard_index",
     "ZiggyRuntime",
     "get_runtime",
     "set_runtime",

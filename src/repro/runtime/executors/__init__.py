@@ -1,0 +1,93 @@
+"""Pluggable execution backends for characterization work.
+
+See :mod:`repro.runtime.executors.base` for the contract and
+``docs/executors.md`` for the ownership/sharding rules.  The factory
+here is what the service and CLI speak::
+
+    executor = create_executor("process", workers=4)
+    executor.register_table(table)
+    ...
+    executor.close()
+"""
+
+from __future__ import annotations
+
+from repro.runtime.executors.base import (
+    CharacterizationTask,
+    ExecutionHandle,
+    Executor,
+    ExecutorError,
+    OUTCOME_STATUSES,
+    WorkerError,
+    shard_index,
+)
+from repro.runtime.executors.local import (
+    InlineExecutor,
+    TaskContext,
+    ThreadExecutor,
+)
+from repro.runtime.executors.process import ProcessShardExecutor
+
+#: Backend names ``create_executor`` accepts, in rough cost order.
+EXECUTOR_KINDS = ("inline", "thread", "process")
+
+_EXECUTOR_CLASSES = {
+    "inline": InlineExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessShardExecutor,
+}
+
+
+def create_executor(kind: str, workers: int = 2, *,
+                    runtime=None, mp_context: str | None = None,
+                    name: str | None = None) -> Executor:
+    """Build a backend by name.
+
+    Args:
+        kind: one of :data:`EXECUTOR_KINDS`.
+        workers: thread-pool size / shard count (ignored by ``inline``).
+        runtime: shared :class:`~repro.runtime.ZiggyRuntime` for the
+            local backends' task context.  Process shards own their own
+            runtimes, but inherit this runtime's **eviction limits**
+            (``max_tables`` / ``max_bytes``), so the operator's memory
+            bounds govern the processes where caches accumulate.
+        mp_context: multiprocessing start method for ``process``.
+        name: thread/process name prefix.
+    """
+    cls = _EXECUTOR_CLASSES.get(kind)
+    if cls is None:
+        raise ExecutorError(
+            f"unknown executor kind {kind!r} "
+            f"(available: {', '.join(EXECUTOR_KINDS)})")
+    kwargs: dict = {}
+    if kind == "inline":
+        kwargs["runtime"] = runtime
+    elif kind == "thread":
+        kwargs.update(max_workers=workers, runtime=runtime)
+        if name is not None:
+            kwargs["name"] = name
+    else:
+        kwargs.update(workers=workers, mp_context=mp_context)
+        if runtime is not None:
+            kwargs.update(max_tables=runtime.tables.max_tables,
+                          max_bytes=runtime.tables.max_bytes)
+        if name is not None:
+            kwargs["name"] = name
+    return cls(**kwargs)
+
+
+__all__ = [
+    "CharacterizationTask",
+    "EXECUTOR_KINDS",
+    "ExecutionHandle",
+    "Executor",
+    "ExecutorError",
+    "InlineExecutor",
+    "OUTCOME_STATUSES",
+    "ProcessShardExecutor",
+    "TaskContext",
+    "ThreadExecutor",
+    "WorkerError",
+    "create_executor",
+    "shard_index",
+]

@@ -1,0 +1,499 @@
+"""The process-shard executor: characterizations across worker processes.
+
+The GIL caps a thread backend at roughly one core of characterization
+throughput no matter how many clients are hitting the service.  This
+backend escapes it with a persistent pool of **worker processes**, each
+owning a full :class:`~repro.runtime.ZiggyRuntime` (table store + shared
+statistics registry) plus its own catalog and engines.
+
+Sharding rule — the whole point of the layout:
+
+* tables are **registered by value once per owning worker** (the table
+  pickles over the task queue at registration time, never per job);
+* every job routes by the table's **content fingerprint**
+  (:func:`~repro.runtime.executors.base.shard_index`), so all work for
+  one table lands on one shard and that table's statistics cache lives
+  in exactly one process — computation sharing keeps working, it just
+  happens per shard instead of per process.
+
+Event relay: workers execute through the same task path as the local
+backends, compact each stage event
+(:func:`~repro.core.events.compact_event`) and put it on a shared
+results queue; a pump thread in the coordinating process replays the
+events into the submission's ``progress`` callback — in order, with the
+legacy stage names — so the job event log, partial-view capture and SSE
+streaming are byte-identical to a thread-backend run.
+
+Cancellation crosses the boundary as a control message: when the
+coordinator's ``progress`` raises
+:class:`~repro.errors.JobCancelled` (or ``handle.cancel()`` is called),
+the owning worker's listener thread flags the task and the worker aborts
+at its next stage boundary — the same cooperative granularity the local
+backends have.
+
+The pool prefers the ``fork`` start method (cheap, tables already in
+memory page-share until written) and falls back to ``spawn`` where fork
+is unavailable; both are explicit via ``mp_context``.  Workers are
+started eagerly in the constructor, before the service spins up any
+server threads, so forking never races live locks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import pickle
+import threading
+import time
+from typing import Any, Callable
+
+from repro.core.events import StageEvent, compact_event, legacy_stage
+from repro.errors import JobCancelled
+from repro.runtime.runtime import DEFAULT_MAX_BYTES, DEFAULT_MAX_TABLES
+from repro.runtime.executors.base import (
+    CharacterizationTask,
+    ExecutionHandle,
+    Executor,
+    ExecutorError,
+    FinishFn,
+    ProgressFn,
+    WorkerError,
+    shard_index,
+)
+
+#: Message tags, worker -> coordinator.
+_STARTED, _EVENT, _DONE, _FAILED, _CANCELLED = (
+    "started", "event", "done", "failed", "cancelled")
+
+#: Registration-failure tag (keyed by table, not task).
+_REGISTER_FAILED = "register-failed"
+
+
+def _wire_exception(exc: BaseException) -> BaseException:
+    """An exception that is guaranteed to survive the queue."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure means wrap
+        return WorkerError(f"{type(exc).__name__}: {exc}")
+
+
+def _worker_main(worker_id: int, tasks, control, results,
+                 limits: "tuple | None" = None) -> None:
+    """Entry point of one shard (runs in the worker process).
+
+    ``tasks`` carries registration and task messages; ``control``
+    carries cancellation flags (read by a listener thread so they
+    overtake the task the worker is busy with); ``results`` carries
+    started/event/terminal messages back.  ``limits`` is the
+    coordinator's ``(max_tables, max_bytes)`` pair, so the operator's
+    memory bounds govern the shards where caches actually accumulate.
+    """
+    # Imported here (not at module top) so a spawn-started worker pays
+    # the import once, and so this module stays importable in contexts
+    # that never start workers.
+    from repro.runtime.executors.local import TaskContext
+    from repro.runtime.runtime import ZiggyRuntime
+
+    cancelled: set[int] = set()
+    flag_lock = threading.Lock()
+
+    def listen() -> None:
+        while True:
+            message = control.get()
+            if message is None:
+                return
+            with flag_lock:
+                cancelled.add(message)
+
+    threading.Thread(target=listen, daemon=True,
+                     name=f"ziggy-shard-{worker_id}-ctl").start()
+
+    limits = limits if limits is not None else (None, None)
+    runtime = ZiggyRuntime(max_tables=limits[0], max_bytes=limits[1])
+    context = TaskContext(runtime)
+    while True:
+        message = tasks.get()
+        if message is None:
+            control.put(None)  # release the listener thread
+            return
+        op = message[0]
+        if op == "register":
+            _, name, fingerprint, table, cache = message
+            try:
+                context.register_table(table, name=name, cache=cache)
+            except Exception:  # noqa: BLE001 - snapshot may be at fault
+                try:
+                    # A corrupt cache snapshot must not cost the table.
+                    context.register_table(table, name=name)
+                except Exception as exc:  # noqa: BLE001 - report upstream
+                    results.put((_REGISTER_FAILED, name, fingerprint,
+                                 _wire_exception(exc)))
+            continue
+        _, task_id, task = message
+        with flag_lock:
+            if task_id in cancelled:
+                cancelled.discard(task_id)
+                results.put((_CANCELLED, task_id))
+                continue
+        results.put((_STARTED, task_id))
+
+        def progress(stage: str, payload: Any,
+                     _task_id: int = task_id) -> None:
+            with flag_lock:
+                if _task_id in cancelled:
+                    raise JobCancelled(str(_task_id))
+            event = compact_event(StageEvent(_stage_kind(stage), payload))
+            results.put((_EVENT, _task_id,
+                         legacy_stage(event.kind), event.payload))
+
+        try:
+            result = context.run(task, progress=progress)
+        except JobCancelled:
+            results.put((_CANCELLED, task_id))
+        except BaseException as exc:  # noqa: BLE001 - relayed as outcome
+            results.put((_FAILED, task_id, _wire_exception(exc)))
+        else:
+            # Queue puts pickle in a feeder thread, where a failure is
+            # silent; pre-validate so an unpicklable result surfaces as
+            # a failed outcome instead of a hung job.
+            try:
+                pickle.dumps(result)
+            except Exception as exc:  # noqa: BLE001 - report, don't hang
+                results.put((_FAILED, task_id, _wire_exception(exc)))
+            else:
+                results.put((_DONE, task_id, result))
+        with flag_lock:
+            cancelled.discard(task_id)
+
+
+#: legacy stage name -> typed event kind (inverse of ``legacy_stage``,
+#: for the compaction step; unknown names pass through).
+_KIND_FOR_STAGE = {
+    "preparation": "prepared",
+    "view": "view-ranked",
+    "search": "search-complete",
+    "batch_item": "batch-item",
+}
+
+
+def _stage_kind(stage: str) -> str:
+    return _KIND_FOR_STAGE.get(stage, stage)
+
+
+class _ProcessHandle(ExecutionHandle):
+    """Coordinator-side record of one task in flight on a shard."""
+
+    def __init__(self, executor: "ProcessShardExecutor", task_id: int,
+                 worker_index: int, begin: Callable[[], None],
+                 progress: ProgressFn, finish: FinishFn):
+        self.task_id = task_id
+        self.worker_index = worker_index
+        self.begin = begin
+        self.progress = progress
+        self._finish = finish
+        self._executor = executor
+        self._lock = threading.Lock()
+        self._started = False
+        self._finished = threading.Event()
+        self._cancel_sent = False
+
+    # -- pump-side -----------------------------------------------------------
+
+    def mark_started(self) -> bool:
+        with self._lock:
+            already = self._started
+            self._started = True
+        return already
+
+    def finish(self, status: str, result: Any,
+               error: BaseException | None) -> None:
+        with self._lock:
+            if self._finished.is_set():
+                return
+            self._finished.set()
+        self._finish(status, result, error)
+
+    # -- ExecutionHandle -----------------------------------------------------
+
+    def cancel(self) -> bool:
+        # Never claim "the work provably never began": the task message
+        # is already on the shard's queue, and a _STARTED report may be
+        # in flight.  The cancel flag overtakes the queue (listener
+        # thread), so a not-yet-started task is skipped and reported
+        # cancelled, and a running one aborts at its next stage
+        # boundary — the outcome always arrives through ``finish``.
+        self._executor._send_cancel(self)
+        return False
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._finished.wait(timeout)
+
+
+class _Worker:
+    def __init__(self, process, tasks, control):
+        self.process = process
+        self.tasks = tasks
+        self.control = control
+
+
+class ProcessShardExecutor(Executor):
+    """A persistent pool of worker processes, sharded by fingerprint.
+
+    Args:
+        workers: shard count (one process each).
+        mp_context: multiprocessing start method (``"fork"`` where
+            available, else ``"spawn"``); pass explicitly to override.
+        name: process-name prefix.
+    """
+
+    kind = "process"
+    supports_callables = False
+
+    #: Seconds between pump liveness checks of the worker processes.
+    POLL_SECONDS = 0.2
+
+    def __init__(self, workers: int = 2, mp_context: str | None = None,
+                 name: str = "ziggy-shard",
+                 max_tables: "int | None" = DEFAULT_MAX_TABLES,
+                 max_bytes: "int | None" = DEFAULT_MAX_BYTES, **_ignored):
+        if workers < 1:
+            raise ExecutorError("process backend needs at least 1 worker")
+        if mp_context is None:
+            mp_context = ("fork" if "fork" in mp.get_all_start_methods()
+                          else "spawn")
+        self._ctx = mp.get_context(mp_context)
+        self.mp_method = mp_context
+        self.n_workers = workers
+        #: Eviction limits each worker's private runtime is built with.
+        self.max_tables = max_tables
+        self.max_bytes = max_bytes
+        self._results = self._ctx.Queue()
+        self._workers: list[_Worker] = []
+        for index in range(workers):
+            tasks = self._ctx.Queue()
+            control = self._ctx.Queue()
+            process = self._ctx.Process(
+                target=_worker_main, args=(index, tasks, control,
+                                           self._results,
+                                           (max_tables, max_bytes)),
+                daemon=True, name=f"{name}-{index}")
+            process.start()
+            self._workers.append(_Worker(process, tasks, control))
+        self._lock = threading.Lock()
+        self._pending: dict[int, _ProcessHandle] = {}
+        self._task_ids = itertools.count(1)
+        self._registered: dict[int, set[tuple[str, str]]] = {
+            i: set() for i in range(workers)}
+        self._register_errors: dict[str, str] = {}
+        self._closed = False
+        self._pump = threading.Thread(target=self._pump_loop, daemon=True,
+                                      name=f"{name}-pump")
+        self._pump.start()
+
+    # -- registration --------------------------------------------------------
+
+    def shard_for(self, routing_key: str) -> int:
+        """The worker index a routing key maps to (stable)."""
+        return shard_index(routing_key, self.n_workers)
+
+    def register_table(self, table, name: str | None = None,
+                       cache=None) -> None:
+        """Ship a table, by value, to its owning shard (once).
+
+        The optional ``cache`` snapshot warms the shard's statistics
+        registry with entries the coordinator already computed.
+        """
+        fingerprint = table.fingerprint()
+        index = self.shard_for(fingerprint)
+        key = (name or table.name, fingerprint)
+        with self._lock:
+            if self._closed:
+                raise ExecutorError("executor is closed")
+            if key in self._registered[index]:
+                return
+            self._registered[index].add(key)
+            # Enqueue while still holding the lock: a concurrent caller
+            # who sees the key marked must be guaranteed the register
+            # message is already ahead of any task it then submits
+            # (queue puts are cheap — the feeder thread does the work).
+            self._workers[index].tasks.put(("register", name or table.name,
+                                            fingerprint, table, cache))
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, work, *, begin, progress, finish) -> ExecutionHandle:
+        if callable(work) or not isinstance(work, CharacterizationTask):
+            raise ExecutorError(
+                "the process backend executes serializable "
+                "CharacterizationTasks, not in-process callables")
+        index = self.shard_for(work.routing_key)
+        with self._lock:
+            if self._closed:
+                raise ExecutorError("executor is closed")
+            task_id = next(self._task_ids)
+            handle = _ProcessHandle(self, task_id, index, begin, progress,
+                                    finish)
+            self._pending[task_id] = handle
+        self._workers[index].tasks.put(("task", task_id, work))
+        return handle
+
+    def _send_cancel(self, handle: _ProcessHandle) -> None:
+        with handle._lock:
+            if handle._cancel_sent or handle._finished.is_set():
+                return
+            handle._cancel_sent = True
+        try:
+            self._workers[handle.worker_index].control.put(handle.task_id)
+        except (OSError, ValueError):
+            pass  # worker gone; the pump's liveness check fails the task
+
+    # -- the event pump ------------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        """Replay worker messages into the submitters' callbacks."""
+        import queue as queue_mod
+        last_reap = time.monotonic()
+        while True:
+            # Liveness-check the shards on idle gaps *and* on a clock,
+            # so a dead worker is noticed even while other shards keep
+            # the results queue busy.
+            if time.monotonic() - last_reap >= 1.0:
+                last_reap = time.monotonic()
+                if self._reap_dead_workers():
+                    return
+            try:
+                message = self._results.get(timeout=self.POLL_SECONDS)
+            except queue_mod.Empty:
+                last_reap = time.monotonic()
+                if self._reap_dead_workers():
+                    return
+                continue
+            if message is None:
+                return
+            tag = message[0]
+            if tag == _REGISTER_FAILED:
+                # Unmark so a later register_table re-ships the table
+                # instead of silently assuming the shard has it.
+                _, name, fingerprint, error = message
+                with self._lock:
+                    for keys in self._registered.values():
+                        keys.discard((name, fingerprint))
+                    self._register_errors[name] = str(error)
+                continue
+            task_id = message[1]
+            with self._lock:
+                handle = self._pending.get(task_id)
+            if handle is None:
+                continue
+            if tag == _STARTED:
+                handle.mark_started()
+                try:
+                    handle.begin()
+                except JobCancelled:
+                    self._send_cancel(handle)
+                except BaseException:  # noqa: BLE001 - never kill the pump
+                    self._send_cancel(handle)
+            elif tag == _EVENT:
+                _, _, stage, payload = message
+                try:
+                    handle.progress(stage, payload)
+                except JobCancelled:
+                    self._send_cancel(handle)
+                except BaseException:  # noqa: BLE001 - never kill the pump
+                    pass
+            else:
+                outcome = (("done", message[2], None) if tag == _DONE else
+                           ("failed", None, message[2]) if tag == _FAILED
+                           else ("cancelled", None, None))
+                # Finish on its own thread: the caller's finish hook may
+                # take session locks or post-process results, and must
+                # not stall event relay for every other shard.  The
+                # handle stays pending until the hook has run, so a
+                # wait=True close cannot return with the job still
+                # non-terminal.
+                def _complete(handle=handle, outcome=outcome):
+                    try:
+                        handle.finish(*outcome)
+                    finally:
+                        with self._lock:
+                            self._pending.pop(handle.task_id, None)
+
+                threading.Thread(target=_complete, daemon=True,
+                                 name="ziggy-shard-finish").start()
+
+    def _reap_dead_workers(self) -> bool:
+        """Fail tasks stranded on dead workers; True when the executor
+        is closed **and** nothing is left in flight."""
+        with self._lock:
+            dead = {index for index, worker in enumerate(self._workers)
+                    if not worker.process.is_alive()}
+            stranded = [h for h in self._pending.values()
+                        if h.worker_index in dead]
+            for handle in stranded:
+                self._pending.pop(handle.task_id, None)
+        for handle in stranded:
+            handle.finish("failed", None, WorkerError(
+                f"worker shard {handle.worker_index} died "
+                f"(exitcode {self._workers[handle.worker_index].process.exitcode})"))
+        with self._lock:
+            return self._closed and not self._pending
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop the shards; idempotent.
+
+        ``wait=True`` lets queued/running tasks finish first (the
+        shutdown sentinel queues behind them); ``wait=False`` terminates
+        the workers and fails whatever was in flight.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if wait:
+            # The sentinel queues behind in-flight tasks: workers drain
+            # their queues (outcomes land through the pump), then exit.
+            for worker in self._workers:
+                worker.tasks.put(None)
+            for worker in self._workers:
+                worker.process.join(timeout=30)
+            # The workers have exited, but their final outcomes may
+            # still sit in the results queue: let the pump deliver them
+            # before declaring anything abandoned.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._pending:
+                        break
+                time.sleep(0.02)
+        with self._lock:
+            leftovers = list(self._pending.values())
+            self._pending.clear()
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5)
+        for handle in leftovers:
+            handle.finish("cancelled", None, None)
+        self._results.put(None)
+        self._pump.join(timeout=5)
+        self._results.close()
+        for worker in self._workers:
+            worker.tasks.close()
+            worker.control.close()
+
+    def describe(self) -> dict:
+        with self._lock:
+            shards = {
+                str(index): sorted(name for name, _fp in keys)
+                for index, keys in self._registered.items()}
+            in_flight = len(self._pending)
+            register_errors = dict(self._register_errors)
+        info = {"kind": self.kind, "workers": self.n_workers,
+                "mp_method": self.mp_method, "shards": shards,
+                "in_flight": in_flight}
+        if register_errors:
+            info["register_errors"] = register_errors
+        return info

@@ -1,27 +1,40 @@
 """Asynchronous job execution for long-running characterizations.
 
-A :class:`JobManager` runs submitted work on a thread pool and tracks a
-small, observable lifecycle per job::
+A :class:`JobManager` tracks a small, observable lifecycle per job::
 
     pending -> running -> done | failed | cancelled
        \\______________________________/
               cancel() at any point
 
-Cancellation is cooperative: the work function receives a ``progress``
-callback and must call it between units of work (the pipeline already
-does, once per stage and once per ranked view); when the job has been
-cancelled, the next ``progress`` call raises :class:`JobCancelled`, which
-the runner converts into the ``cancelled`` state.  A job that is still
-``pending`` when cancelled never starts.
+but no longer runs anything itself: execution is delegated to a
+pluggable :class:`~repro.runtime.executors.Executor` backend — inline
+(synchronous), thread pool (the default, the pre-refactor behaviour) or
+a pool of worker processes sharded by table fingerprint.  The manager
+owns the lifecycle bookkeeping; the backend owns the where and how.
+
+Work arrives either as an in-process callable ``work(progress)`` or as
+a serializable :class:`~repro.runtime.executors.CharacterizationTask`
+(the only form a process backend accepts).  Either way the progress
+stream is identical: cancellation is cooperative — when a job has been
+cancelled, the next ``progress`` call raises :class:`JobCancelled`, and
+the backend aborts the work at that stage boundary (local backends
+immediately, process shards at the worker's next event).  A job that is
+still ``pending`` when cancelled never starts.
 
 Progress events with stage ``"view"`` are captured as the job's partial
 results, so pollers can render views while the search is still running.
-
 Every progress event is additionally recorded in the job's **event log**
 (a monotonically numbered ``(seq, stage, payload)`` list) and announced
 on a condition variable, so streaming consumers — the service's
 ``/v2/jobs/<id>/events`` endpoint — can block in :meth:`events_since`
 and relay events as they happen instead of polling snapshots.
+
+Retention is bounded: terminal jobs beyond ``max_finished`` (or older
+than ``finished_ttl`` seconds) are pruned on submission, and a pruned
+job behaves exactly like an unknown one — :class:`JobNotFoundError`,
+including for :meth:`events_since` waiters that were already blocked on
+it when the prune happened (they are woken and raised, never left
+waiting forever).
 """
 
 from __future__ import annotations
@@ -29,11 +42,17 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import JobCancelled, JobNotFoundError
+from repro.runtime.executors import (
+    CharacterizationTask,
+    ExecutionHandle,
+    Executor,
+    ExecutorError,
+    ThreadExecutor,
+)
 
 #: Valid job states.
 JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
@@ -43,6 +62,14 @@ TERMINAL_STATES = ("done", "failed", "cancelled")
 
 ProgressFn = Callable[[str, Any], None]
 WorkFn = Callable[[ProgressFn], Any]
+
+#: Default retention: how many terminal jobs stay queryable.
+DEFAULT_MAX_FINISHED = 256
+
+#: Longest stretch a blocked ``events_since`` waits before re-checking
+#: that its job still exists (pruning wakes waiters explicitly; this is
+#: the belt to that suspender).
+_WAIT_SLICE_SECONDS = 1.0
 
 
 @dataclass
@@ -65,6 +92,9 @@ class Job:
     events: list = field(default_factory=list, repr=False)
     cancel_event: threading.Event = field(default_factory=threading.Event)
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: Set (under the lock) when the manager forgets the job; blocked
+    #: event streamers check it to fail fast instead of waiting forever.
+    pruned: bool = False
 
     def __post_init__(self):
         # Shares the job lock, so event appends and state transitions
@@ -108,57 +138,129 @@ class Job:
 
 
 class JobManager:
-    """Runs work functions on a bounded thread pool with job tracking.
+    """Tracks jobs and runs them through an executor backend.
 
     Args:
-        max_workers: pool size; excess jobs queue in ``pending`` state.
+        max_workers: worker count for the default thread backend (and
+            recorded for introspection); ignored when ``backend`` is
+            given.
         name: thread-name prefix (shows up in debuggers and logs).
+        backend: the execution backend; defaults to a
+            :class:`ThreadExecutor` of ``max_workers`` threads — exactly
+            the pre-refactor behaviour.  The manager takes ownership and
+            closes it on :meth:`shutdown`.
+        max_finished: most terminal jobs kept queryable (older ones are
+            pruned oldest-first on submission); None = unbounded.
+        finished_ttl: seconds a terminal job stays queryable; None = no
+            time limit.
     """
 
-    def __init__(self, max_workers: int = 2, name: str = "ziggy-job"):
-        self._executor = ThreadPoolExecutor(max_workers=max_workers,
-                                            thread_name_prefix=name)
+    def __init__(self, max_workers: int = 2, name: str = "ziggy-job",
+                 backend: Executor | None = None,
+                 max_finished: int | None = DEFAULT_MAX_FINISHED,
+                 finished_ttl: float | None = None):
+        self.backend = (backend if backend is not None
+                        else ThreadExecutor(max_workers=max_workers,
+                                            name=name))
+        self.max_finished = max_finished
+        self.finished_ttl = finished_ttl
         self._jobs: dict[str, Job] = {}
-        self._futures: dict[str, Future] = {}
+        self._handles: dict[str, ExecutionHandle] = {}
         self._counter = itertools.count(1)
         self._lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def submit(self, work: WorkFn,
+    def submit(self, work: WorkFn | None = None,
                on_progress: ProgressFn | None = None,
-               event_mapper: Callable[[int, str, Any], Any] | None = None
+               event_mapper: Callable[[int, str, Any], Any] | None = None,
+               *, task: CharacterizationTask | None = None,
+               result_mapper: Callable[[Any], Any] | None = None
                ) -> str:
-        """Queue ``work`` and return its job ID.
+        """Queue work on the backend and return its job ID.
 
-        ``work`` is called with a progress function it must invoke between
-        units of work; ``on_progress`` additionally forwards every event
-        to the caller (e.g. a streaming HTTP response).  ``event_mapper``
-        transforms payloads before they enter the job's event log (see
-        :meth:`Job.record_event`).
+        ``work`` is an in-process callable invoked with a progress
+        function it must call between units of work; ``task`` is the
+        serializable equivalent for backends that cross a process
+        boundary.  Callers may pass either or both — the manager picks
+        the form its backend supports (callable preferred locally).
+
+        ``on_progress`` additionally forwards every event to the caller
+        (e.g. a streaming HTTP response); ``event_mapper`` transforms
+        payloads before they enter the job's event log (see
+        :meth:`Job.record_event`); ``result_mapper`` post-processes a
+        successful result *before* it is stored on the job (the service
+        uses it to turn a worker shard's raw pipeline result into a wire
+        response and to record session history).
         """
+        if self.backend.supports_callables:
+            unit: Any = work if work is not None else task
+        else:
+            unit = task
+        if unit is None:
+            raise ExecutorError(
+                f"the {self.backend.kind!r} backend needs a serializable "
+                "task for this submission, and none was provided")
         with self._lock:
+            doomed = self._prune_locked()
             job_id = f"job-{next(self._counter):06d}"
             job = Job(job_id=job_id)
             self._jobs[job_id] = job
-        future = self._executor.submit(self._run, job, work, on_progress,
-                                       event_mapper)
-        with self._lock:
-            self._futures[job_id] = future
-        return job_id
+        self._wake_pruned(doomed)
 
-    def _run(self, job: Job, work: WorkFn,
-             on_progress: ProgressFn | None,
-             event_mapper: Callable[[int, str, Any], Any] | None = None
-             ) -> None:
-        with job.event_cond:
-            if job.cancel_event.is_set():
-                job.status = "cancelled"
+        def begin() -> None:
+            with job.event_cond:
+                if job.cancel_event.is_set() or job.finished:
+                    raise JobCancelled(job.job_id)
+                job.status = "running"
+                job.started_at = time.perf_counter()
+
+        def finish(status: str, result: Any,
+                   error: BaseException | None) -> None:
+            with job.event_cond:
+                if job.finished:  # cancel/finish races resolve first-wins
+                    job.event_cond.notify_all()
+                    return
+            # Map outside the job lock (the mapper may take session
+            # locks) and only for a job that is still live — a job
+            # already terminal must not grow history side effects.
+            if status == "done" and result_mapper is not None:
+                try:
+                    result = result_mapper(result)
+                except BaseException as exc:  # noqa: BLE001 - surfaces on job
+                    status, result, error = "failed", None, exc
+            with job.event_cond:
+                if job.finished:
+                    job.event_cond.notify_all()
+                    return
+                job.status = status
+                job.result = result
+                job.error = error
                 job.finished_at = time.perf_counter()
                 job.event_cond.notify_all()
-                return
-            job.status = "running"
-            job.started_at = time.perf_counter()
+
+        try:
+            handle = self.backend.submit(
+                unit, begin=begin,
+                progress=self._progress_fn(job, on_progress, event_mapper),
+                finish=finish)
+        except BaseException:
+            # The backend rejected the work (e.g. already closed): the
+            # just-created record must not linger as a forever-pending
+            # ghost that retention never prunes.
+            with self._lock:
+                self._jobs.pop(job_id, None)
+            raise
+        with self._lock:
+            if job_id in self._jobs:  # not pruned while submitting
+                self._handles[job_id] = handle
+        return job_id
+
+    def _progress_fn(self, job: Job, on_progress: ProgressFn | None,
+                     event_mapper: Callable[[int, str, Any], Any] | None
+                     ) -> ProgressFn:
+        """The per-job progress callback: cancellation checks, partial
+        capture, event log, caller relay — identical for every backend."""
 
         def progress(stage: str, payload: Any) -> None:
             if job.cancel_event.is_set():
@@ -179,27 +281,47 @@ class JobManager:
             if job.cancel_event.is_set():
                 raise JobCancelled(job.job_id)
 
-        try:
-            result = work(progress)
-        except JobCancelled:
+        return progress
+
+    # -- retention ---------------------------------------------------------------
+
+    def _prune_locked(self) -> list[Job]:
+        """Forget terminal jobs beyond the retention policy.
+
+        Caller holds ``self._lock``.  Returns the pruned jobs (their
+        waiters still need waking, which must happen without the manager
+        lock — see :meth:`prune`).
+        """
+        terminal = [job for job in self._jobs.values() if job.finished]
+        doomed: list[Job] = []
+        if self.finished_ttl is not None:
+            horizon = time.perf_counter() - self.finished_ttl
+            doomed.extend(job for job in terminal
+                          if (job.finished_at or 0.0) <= horizon)
+        if self.max_finished is not None:
+            keep = [job for job in terminal if job not in doomed]
+            if len(keep) > self.max_finished:
+                excess = len(keep) - self.max_finished
+                # insertion order == submission order -> oldest first
+                doomed.extend(keep[:excess])
+        for job in doomed:
+            self._jobs.pop(job.job_id, None)
+            self._handles.pop(job.job_id, None)
+        return doomed
+
+    @staticmethod
+    def _wake_pruned(doomed: list[Job]) -> None:
+        for job in doomed:
             with job.event_cond:
-                job.status = "cancelled"
-                job.finished_at = time.perf_counter()
+                job.pruned = True
                 job.event_cond.notify_all()
-        except BaseException as exc:  # noqa: BLE001 - reported via status
-            with job.event_cond:
-                job.status = "failed"
-                job.error = exc
-                job.finished_at = time.perf_counter()
-                job.event_cond.notify_all()
-        else:
-            with job.event_cond:
-                # A cancel that lands after the last progress event loses
-                # the race: the work completed, so report the result.
-                job.status = "done"
-                job.result = result
-                job.finished_at = time.perf_counter()
-                job.event_cond.notify_all()
+
+    def prune(self) -> int:
+        """Apply the retention policy now; returns pruned-job count."""
+        with self._lock:
+            doomed = self._prune_locked()
+        self._wake_pruned(doomed)
+        return len(doomed)
 
     # -- observation -------------------------------------------------------------
 
@@ -219,15 +341,16 @@ class JobManager:
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; returns the job record.
 
-        A ``pending`` job is cancelled immediately (its future never
-        runs); a ``running`` job stops at its next progress event; a
+        A ``pending`` job is cancelled immediately (it never runs); a
+        ``running`` job stops at its next progress event — for process
+        shards that means a cancel message to the owning worker; a
         finished job is left untouched.
         """
         job = self.get(job_id)
         job.cancel_event.set()
         with self._lock:
-            future = self._futures.get(job_id)
-        if future is not None and future.cancel():
+            handle = self._handles.get(job_id)
+        if handle is not None and handle.cancel():
             with job.event_cond:
                 if not job.finished:
                     job.status = "cancelled"
@@ -244,36 +367,51 @@ class JobManager:
         seconds (None = until an event arrives or the job finishes); an
         empty list with ``finished=False`` means the wait timed out —
         streamers use that as their keep-alive tick.
+
+        A stale cursor (``after_seq`` beyond the log) is not an error:
+        it yields no events until newer ones arrive, and ``finished``
+        still reports truthfully — that is how a reconnecting stream
+        resumes.  Raises :class:`JobNotFoundError` when the job is
+        unknown **or gets pruned mid-wait**; waiters are woken by the
+        prune, and additionally re-check on a bounded slice so no call
+        ever blocks forever on a forgotten job.
         """
         job = self.get(job_id)
         deadline = (time.monotonic() + timeout
                     if timeout is not None else None)
         with job.event_cond:
             while True:
+                if job.pruned:
+                    raise JobNotFoundError(job_id)
                 # Sequence numbers are contiguous (seq == index + 1), so
                 # the unseen tail is a slice, not a scan.
                 fresh = job.events[after_seq:]
                 if fresh or job.finished:
                     return fresh, job.finished
                 if deadline is None:
-                    job.event_cond.wait()
+                    job.event_cond.wait(_WAIT_SLICE_SECONDS)
                     continue
                 remaining = deadline - time.monotonic()
-                if remaining <= 0 or not job.event_cond.wait(remaining):
+                if remaining <= 0:
                     return job.events[after_seq:], job.finished
+                job.event_cond.wait(min(remaining, _WAIT_SLICE_SECONDS))
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:
         """Block until the job reaches a terminal state (or timeout)."""
         job = self.get(job_id)
-        with self._lock:
-            future = self._futures.get(job_id)
-        if future is not None:
-            try:
-                future.result(timeout=timeout)
-            except (CancelledError, Exception):  # noqa: B014 - CancelledError
-                pass  # is a BaseException; outcomes surface via job.status
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        with job.event_cond:
+            while not job.finished and not job.pruned:
+                if deadline is None:
+                    job.event_cond.wait(_WAIT_SLICE_SECONDS)
+                    continue
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                job.event_cond.wait(min(remaining, _WAIT_SLICE_SECONDS))
         return job
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and (optionally) wait for running jobs."""
-        self._executor.shutdown(wait=wait, cancel_futures=True)
+        """Stop accepting work and close the backend (idempotent)."""
+        self.backend.close(wait=wait)

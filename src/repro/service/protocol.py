@@ -758,16 +758,23 @@ def job_event_from_stage(seq: int, stage: str, payload: Any) -> JobEvent:
             "notes": list(getattr(payload, "notes", ()) or ()),
         }
     elif kind == "component-scored":
-        unary = getattr(payload, "unary", {}) or {}
-        pairwise = getattr(payload, "pairwise", {}) or {}
-        data = {
-            "n_unary": sum(len(v) for v in unary.values()),
-            "n_pairwise": sum(len(v) for v in pairwise.values()),
-        }
+        # Local runs carry the full catalog; cross-process runs carry the
+        # executor layer's CatalogSummary, which pre-counts.
+        if hasattr(payload, "n_unary"):
+            data = {"n_unary": int(payload.n_unary),
+                    "n_pairwise": int(payload.n_pairwise)}
+        else:
+            unary = getattr(payload, "unary", {}) or {}
+            pairwise = getattr(payload, "pairwise", {}) or {}
+            data = {
+                "n_unary": sum(len(v) for v in unary.values()),
+                "n_pairwise": sum(len(v) for v in pairwise.values()),
+            }
     elif kind == "search-complete":
         data = {
             "n_candidates": int(getattr(payload, "n_candidates", 0) or 0),
-            "n_views": len(getattr(payload, "views", ()) or ()),
+            "n_views": (int(payload.n_views) if hasattr(payload, "n_views")
+                        else len(getattr(payload, "views", ()) or ())),
         }
     elif kind == "batch-item" and isinstance(payload, tuple) \
             and len(payload) == 2:

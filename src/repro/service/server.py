@@ -94,6 +94,11 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
     server_version = f"ZiggyServe/{PROTOCOL_VERSION}"
     protocol_version = "HTTP/1.1"
 
+    #: Socket timeout (seconds) for reads on a kept-alive connection:
+    #: an idle client cannot pin a handler thread past a drain (the
+    #: stdlib handler closes the connection when the read times out).
+    timeout = 10.0
+
     # The ThreadingHTTPServer subclass below carries these.
     @property
     def service(self) -> ZiggyService:
@@ -138,6 +143,7 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
             from repro import __version__
             self._send_json({"ok": True, "protocol": PROTOCOL_VERSION,
                              "version": __version__,
+                             "executor": self.service.executor.describe(),
                              "tables": list(self.service.database
                                             .table_names())})
             return
@@ -181,19 +187,34 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.close_connection = True
         after = 0
+        stopping = getattr(self.server, "stopping", None)
         try:
             while True:
-                events, finished = self.service.job_events(
-                    job_id, after_seq=after,
-                    timeout=self.EVENT_POLL_SECONDS)
+                try:
+                    events, finished = self.service.job_events(
+                        job_id, after_seq=after,
+                        timeout=self.EVENT_POLL_SECONDS)
+                except ReproError:
+                    # The job was pruned mid-stream (bounded retention);
+                    # terminate like a vanished resource, not a hang.
+                    self._write_sse(after + 1, "done",
+                                    json.dumps({"status": "unknown"}))
+                    return
                 for event in events:
                     after = max(after, event.seq)
                     self._write_sse(event.seq, event.kind,
                                     json.dumps(json_safe(event.data)))
                 if finished:
-                    final = self.service.job_status(job_id)
+                    try:
+                        status = self.service.job_status(job_id).status
+                    except ReproError:  # pruned between the two calls
+                        status = "unknown"
                     self._write_sse(after + 1, "done",
-                                    json.dumps({"status": final.status}))
+                                    json.dumps({"status": status}))
+                    return
+                if stopping is not None and stopping.is_set():
+                    # Server draining: end the stream so the handler
+                    # thread can be joined instead of leaked.
                     return
                 if not events:
                     self.wfile.write(b": keepalive\n\n")
@@ -255,19 +276,58 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
 
 
 class ZiggyServer(ThreadingHTTPServer):
-    """The HTTP server bound to one :class:`ZiggyService`."""
+    """The HTTP server bound to one :class:`ZiggyService`.
+
+    Handler threads are daemonic (a crashed handler must never pin the
+    interpreter), but ``block_on_close`` keeps them joinable: a clean
+    :meth:`close` sets :attr:`stopping` (ending in-flight SSE streams at
+    their next tick), stops the accept loop, joins every handler thread,
+    and shuts the service's executor backend down — nothing is leaked
+    on ``serve_forever`` exit.
+    """
 
     daemon_threads = True
+    block_on_close = True
 
     def __init__(self, address: tuple[str, int], service: ZiggyService,
                  verbose: bool = False):
         super().__init__(address, ZiggyRequestHandler)
         self.service = service
         self.verbose = verbose
+        #: Set while a clean shutdown is draining handlers; streaming
+        #: handlers poll it so they terminate instead of outliving the
+        #: accept loop.
+        self.stopping = threading.Event()
+        self._serving = False
         # Lazy import: app.api imports the service layer; importing it at
         # module top would be circular.
         from repro.app.api import ZiggyApi
         self.legacy_api = ZiggyApi(service=service)
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:  # noqa: D102
+        self._serving = True
+        try:
+            super().serve_forever(poll_interval)
+        finally:
+            self._serving = False
+
+    def close(self, shutdown_service: bool = True,
+              wait: bool = True) -> None:
+        """Drain and stop everything, in dependency order (idempotent).
+
+        1. flag :attr:`stopping` so SSE streams end at their next tick;
+        2. stop the accept loop (when it is running);
+        3. close the listening socket and **join** in-flight handler
+           threads (``block_on_close``);
+        4. shut the service down — which closes the executor backend
+           (thread pool or worker processes).
+        """
+        self.stopping.set()
+        if self._serving:
+            self.shutdown()
+        self.server_close()
+        if shutdown_service:
+            self.service.shutdown(wait=wait)
 
 
 def make_server(service: ZiggyService, host: str = "127.0.0.1",
@@ -288,5 +348,4 @@ def serve_forever(service: ZiggyService, host: str = "127.0.0.1",
     except KeyboardInterrupt:
         pass
     finally:
-        server.server_close()
-        service.shutdown(wait=False)
+        server.close(wait=False)

@@ -27,8 +27,9 @@ import threading
 import time
 from typing import Any, Callable, Mapping
 
-from repro.app.session import ZiggySession
+from repro.app.session import SessionEntry, ZiggySession
 from repro.core.config import ZiggyConfig
+from repro.core.views import CharacterizationResult
 from repro.engine.database import Database
 from repro.engine.table import Table
 from repro.errors import (
@@ -36,7 +37,13 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
-from repro.runtime import ZiggyRuntime, get_runtime
+from repro.runtime import (
+    CharacterizationTask,
+    Executor,
+    ZiggyRuntime,
+    create_executor,
+    get_runtime,
+)
 from repro.service.jobs import Job, JobManager
 from repro.service.protocol import (
     ApiError,
@@ -68,11 +75,19 @@ class ZiggyService:
         database: shared catalog; tables registered here are visible to
             every client session.
         config: default configuration new sessions start from.
-        max_workers: thread-pool size for asynchronous jobs.
+        max_workers: worker count for the job executor backend
+            (thread-pool size, or shard count for ``process``).
         runtime: the shared runtime to borrow cross-request state from;
             defaults to the process-wide one, so several services in one
             process (or a service plus library sessions) share per-table
             statistics.
+        executor: the job execution backend — an
+            :class:`~repro.runtime.Executor` instance or one of the
+            names ``"inline"`` / ``"thread"`` / ``"process"`` (see
+            ``docs/executors.md``).  The service takes ownership and
+            closes it on :meth:`shutdown`.  With ``"process"``,
+            asynchronous jobs run in worker processes sharded by table
+            fingerprint; synchronous calls still run in-process.
     """
 
     #: Distinguishes service instances in the registry's borrower ledger
@@ -83,22 +98,34 @@ class ZiggyService:
     def __init__(self, database: Database | None = None,
                  config: ZiggyConfig | None = None,
                  max_workers: int = 2,
-                 runtime: ZiggyRuntime | None = None):
+                 runtime: ZiggyRuntime | None = None,
+                 executor: "str | Executor" = "thread"):
         self.database = database if database is not None else Database()
         self.config = config
         self.runtime = runtime if runtime is not None else get_runtime()
         self._instance = f"svc-{next(self._instances)}"
-        self.jobs = JobManager(max_workers=max_workers)
+        if isinstance(executor, str):
+            executor = create_executor(executor, workers=max_workers,
+                                       runtime=self.runtime)
+        self.executor = executor
+        self.jobs = JobManager(backend=executor)
         self._sessions: dict[str, ZiggySession] = {}
         self._locks: dict[str, threading.Lock] = {}
         self._registry_lock = threading.Lock()
+        # A pre-populated catalog must reach the backend too (process
+        # shards only execute tables they have been shipped).
+        for table_name in self.database.table_names():
+            self.executor.register_table(self.database.table(table_name),
+                                         name=table_name)
 
     # -- catalog / sessions -------------------------------------------------------
 
     def register_table(self, table: Table, name: str | None = None) -> None:
-        """Add a dataset to the shared catalog (and the runtime store)."""
+        """Add a dataset to the shared catalog, the runtime store, and
+        the executor backend (process shards receive it by value)."""
         self.database.register(table, name=name)
         self.runtime.register_table(table, name=name)
+        self.executor.register_table(table, name=name)
 
     def session(self, client_id: str = "default") -> ZiggySession:
         """The session for one client, created on first use."""
@@ -196,17 +223,71 @@ class ZiggyService:
 
         Returns the initial (``pending``) snapshot; poll with
         :meth:`job_status` and stop with :meth:`cancel`.
+
+        On a callable-capable backend (inline/thread) the job is the
+        same closure as a synchronous :meth:`characterize`.  On a
+        process backend the request is distilled into a serializable
+        :class:`~repro.runtime.CharacterizationTask` routed to the shard
+        that owns the table's fingerprint; the worker's raw pipeline
+        result is mapped back into a wire response — and into the
+        client's session history — when it returns.
         """
         inner = (request.request if isinstance(request, JobSubmitRequest)
                  else request)
-        job_id = self.jobs.submit(
-            lambda progress: self.characterize(inner, progress=progress),
-            on_progress=on_progress,
-            # Events enter the log already in wire form: the log then
-            # holds small JSON-able dicts, not pipeline artifacts that
-            # would pin slices and tables for the job's lifetime.
-            event_mapper=job_event_from_stage)
+        if self.jobs.backend.supports_callables:
+            job_id = self.jobs.submit(
+                lambda progress: self.characterize(inner, progress=progress),
+                on_progress=on_progress,
+                # Events enter the log already in wire form: the log then
+                # holds small JSON-able dicts, not pipeline artifacts that
+                # would pin slices and tables for the job's lifetime.
+                event_mapper=job_event_from_stage)
+        else:
+            job_id = self._submit_task(inner, on_progress=on_progress)
         return self._snapshot(self.jobs.get(job_id))
+
+    def _submit_task(self, inner: CharacterizeRequest,
+                     on_progress: Callable[[str, Any], None] | None = None
+                     ) -> str:
+        """Submit across the process boundary: snapshot session state
+        into a task, reconcile the result back into the session."""
+        session = self.session(inner.client_id)
+        with self._session_lock(inner.client_id):
+            # Same session semantics as the synchronous path: request
+            # overrides apply to the session, then the effective config
+            # travels with the task.
+            self._apply_overrides(session, inner.weights, inner.options)
+            table_name = session.resolve_table(inner.table)
+            effective_config = session.config
+        table = self.database.table(table_name)
+
+        def result_mapper(result: CharacterizationResult
+                          ) -> CharacterizeResponse:
+            # Runs on the executor's completion thread when the shard
+            # reports done: record history (so views/detail panels work
+            # exactly as after a local run) and produce the wire
+            # response.  The selection re-evaluates *before* taking the
+            # session lock, so a concurrent synchronous request for the
+            # same client is never blocked behind the scan.
+            selection = self.database.select(table_name, inner.where)
+            with self._session_lock(inner.client_id):
+                session.history.append(SessionEntry(
+                    query_text=inner.where, table_name=table_name,
+                    result=result, selection=selection))
+            return CharacterizeResponse.from_result(
+                result, table=table_name,
+                page=inner.page, page_size=inner.page_size)
+
+        return self.jobs.submit(
+            task=CharacterizationTask(
+                table=table_name,
+                where=inner.where,
+                fingerprint=table.fingerprint(),
+                config=effective_config,
+                client_id=f"{inner.client_id}@{self._instance}"),
+            on_progress=on_progress,
+            event_mapper=job_event_from_stage,
+            result_mapper=result_mapper)
 
     def job_status(self, job_id: str) -> JobSnapshot:
         """A point-in-time snapshot of one job (with partial views)."""

@@ -113,6 +113,30 @@ class SummaryStats:
         """``maximum - minimum``; ``nan`` when empty."""
         return self.maximum - self.minimum
 
+    # -- serialization -------------------------------------------------------
+
+    def to_wire(self) -> tuple:
+        """A flat 8-tuple of native numbers — the compact wire form.
+
+        For protocols that move cache entries outside pickle (snapshot
+        files, cross-host transports): a tuple of scalars serializes to
+        a fraction of a full dataclass payload and round-trips exactly,
+        non-finite floats included.  (In-process executor backends ship
+        whole caches via :class:`StatsCache` pickling, which keeps the
+        dataclasses; this is the building block for anything leaner.)
+        """
+        return (int(self.n), int(self.n_missing), float(self.mean),
+                float(self.m2), float(self.m3), float(self.m4),
+                float(self.minimum), float(self.maximum))
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "SummaryStats":
+        """Rebuild a summary from :meth:`to_wire` output."""
+        n, n_missing, mean, m2, m3, m4, minimum, maximum = wire
+        return cls(n=int(n), n_missing=int(n_missing), mean=float(mean),
+                   m2=float(m2), m3=float(m3), m4=float(m4),
+                   minimum=float(minimum), maximum=float(maximum))
+
     # -- algebra -------------------------------------------------------------
 
     def subtract(self, part: "SummaryStats") -> "SummaryStats":
