@@ -41,9 +41,13 @@ import numpy as np
 from repro.data.crime import make_crime
 from repro.runtime import ZiggyRuntime
 from repro.service import CharacterizeRequest, ZiggyService
+from repro.service.protocol import BatchRequest
 
 #: Fraction of rows each benchmark predicate selects (top tail).
 QUANTILE = 0.8
+
+#: Row-fraction cuts for the batch comparison's predicates per table.
+BATCH_QUANTILES = (0.5, 0.7, 0.9)
 
 
 def build_tables(n_tables: int, n_rows: int, n_shards: int) -> list:
@@ -108,6 +112,71 @@ def run_round(backend: str, tables: list, workers: int) -> dict:
         service.shutdown(wait=False)
 
 
+def batch_predicates_for(table) -> list:
+    values = table.column("violent_crime_rate").numeric_values()
+    return [f"violent_crime_rate > {float(np.nanquantile(values, q)):.6f}"
+            for q in BATCH_QUANTILES]
+
+
+def run_batch_round(backend: str, tables: list, workers: int) -> dict:
+    """Shard-grouped vs interleaved submission of one warm batch.
+
+    The same entries — every batch predicate of every table — go
+    through the service twice after a warm-up pass:
+
+    * **interleaved**: one job per predicate, submitted round-robin
+      across the tables (the access pattern a naive client produces);
+    * **grouped**: one ``characterize_many`` call, whose shard-aware
+      scheduler turns the entries into one batch task per table.
+
+    Both passes run on warm statistics caches, so the numbers isolate
+    scheduling overhead (submission count, event relay, interleaving)
+    rather than cache effects; the acceptance bar is grouped being no
+    slower than interleaved.
+    """
+    service = ZiggyService(max_workers=workers, runtime=ZiggyRuntime(),
+                           executor=backend)
+    try:
+        for table in tables:
+            service.register_table(table)
+        per_table = {table.name: batch_predicates_for(table)
+                     for table in tables}
+        # Warm every table's statistics cache (whichever process owns it).
+        for table in tables:
+            service.characterize(CharacterizeRequest(
+                where=predicate_for(table), table=table.name))
+        entries = [(table.name, where)
+                   for index in range(len(BATCH_QUANTILES))
+                   for table in tables
+                   for where in [per_table[table.name][index]]]
+        start = time.perf_counter()
+        job_ids = [service.submit(CharacterizeRequest(
+            where=where, table=table_name)).job_id
+            for table_name, where in entries]
+        snapshots = [service.wait(job_id, timeout=600)
+                     for job_id in job_ids]
+        interleaved_ms = (time.perf_counter() - start) * 1000.0
+        if any(s.status != "done" for s in snapshots):
+            raise RuntimeError(f"{backend}: interleaved jobs failed: "
+                               f"{[s.status for s in snapshots]}")
+        start = time.perf_counter()
+        response = service.characterize_many(BatchRequest(items=entries))
+        grouped_ms = (time.perf_counter() - start) * 1000.0
+        if len(response.results) != len(entries):
+            raise RuntimeError(f"{backend}: batch returned "
+                               f"{len(response.results)} results for "
+                               f"{len(entries)} entries")
+        return {
+            "entries": len(entries),
+            "interleaved_ms": round(interleaved_ms, 1),
+            "grouped_ms": round(grouped_ms, 1),
+            "grouped_vs_interleaved": round(
+                grouped_ms / max(interleaved_ms, 1e-9), 3),
+        }
+    finally:
+        service.shutdown(wait=False)
+
+
 def run_benchmark(n_tables: int, n_rows: int, workers: int,
                   repeats: int) -> dict:
     tables = build_tables(n_tables, n_rows, n_shards=workers)
@@ -145,6 +214,8 @@ def run_benchmark(n_tables: int, n_rows: int, workers: int,
         thread_ms / max(process_ms, 1e-9), 3)
     shards = report["backends"]["process"]["executor"]["shards"]
     report["shards_used"] = sum(1 for names in shards.values() if names)
+    report["batch"] = {backend: run_batch_round(backend, tables, workers)
+                       for backend in ("thread", "process")}
     return report
 
 
@@ -191,6 +262,12 @@ def main(argv=None) -> int:
               f"{row['per_job_ms']:>12.1f}")
     print(f"speedup (process vs thread): x{report['speedup_process_vs_thread']}"
           f"   shards used: {report['shards_used']}")
+    print(f"{'batch':<9} {'grouped(ms)':>12} {'interleaved(ms)':>16} "
+          f"{'ratio':>7}")
+    for backend, row in report["batch"].items():
+        print(f"{backend:<9} {row['grouped_ms']:>12.1f} "
+              f"{row['interleaved_ms']:>16.1f} "
+              f"{row['grouped_vs_interleaved']:>7.3f}")
     print(f"wrote {args.out}")
 
     # Sanity gates.  Correctness gates always arm; the multi-core
@@ -208,6 +285,17 @@ def main(argv=None) -> int:
     if cpus < args.gate_cores:
         print(f"note: {cpus} core(s) — speedup gate not armed "
               f"(needs {args.gate_cores})")
+    # Shard-grouped batch submission must not lose to interleaved
+    # submission on warm tables (15% tolerance absorbs timer noise on
+    # busy CI runners; the gate needs real cores to be meaningful).
+    if cpus >= args.gate_cores:
+        for backend, row in report["batch"].items():
+            if row["grouped_ms"] > row["interleaved_ms"] * 1.15:
+                print(f"ERROR: {backend}: shard-grouped batch submission "
+                      f"slower than interleaved on warm tables "
+                      f"({row['grouped_ms']}ms vs "
+                      f"{row['interleaved_ms']}ms)", file=sys.stderr)
+                return 1
     return 0
 
 

@@ -131,6 +131,12 @@ def build_serve_parser() -> argparse.ArgumentParser:
                         help="executor worker count: thread-pool size, or "
                              "worker-process shard count with "
                              "--executor process (default 2)")
+    parser.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                        help="with --executor process: how often one dead "
+                             "worker shard is respawned (registrations "
+                             "replayed, in-flight jobs retried) before the "
+                             "shard is declared dead (default 2; 0 disables "
+                             "self-healing)")
     parser.add_argument("--max-tables", type=int, default=None, metavar="N",
                         help="most tables the shared runtime keeps resident "
                              "before LRU-evicting their cached statistics "
@@ -163,7 +169,8 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
     try:
         runtime = ZiggyRuntime(max_tables=max_tables, max_bytes=cache_bytes)
         service = ZiggyService(max_workers=args.workers, runtime=runtime,
-                               executor=args.executor)
+                               executor=args.executor,
+                               max_restarts=args.max_restarts)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=out)
         return 1

@@ -118,6 +118,18 @@ class SearchSummary:
     notes: tuple[str, ...] = ()
 
 
+@dataclass(frozen=True)
+class BatchItemSummary:
+    """Cross-process stand-in for a ``batch-item`` result.
+
+    The full per-predicate result already crosses once, in the batch
+    task's terminal outcome; relaying it a second time per event would
+    double the result IPC traffic for nothing.
+    """
+
+    n_views: int
+
+
 def compact_event(event: StageEvent) -> StageEvent:
     """The cheaply-serializable projection of one stage event.
 
@@ -150,4 +162,10 @@ def compact_event(event: StageEvent) -> StageEvent:
             n_views=len(getattr(payload, "views", ()) or ()),
             notes=tuple(getattr(payload, "notes", ()) or ()),
         ))
+    if event.kind == BATCH_ITEM and isinstance(payload, tuple) \
+            and len(payload) == 2 \
+            and not isinstance(payload[1], BatchItemSummary):
+        index, result = payload
+        return StageEvent(BATCH_ITEM, (int(index), BatchItemSummary(
+            n_views=len(getattr(result, "views", ()) or ()))))
     return event

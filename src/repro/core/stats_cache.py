@@ -117,6 +117,20 @@ class StatsCache:
         for name in self._STORES:
             setattr(self, name, dict(state.get(name) or {}))
 
+    def snapshot(self) -> "StatsCache":
+        """A detached, picklable copy of this cache's current entries.
+
+        Counters start fresh on the copy (they describe *this* cache's
+        history, not the snapshot's).  This is what the process executor
+        ships when it replays table registrations into a respawned
+        worker shard: snapshotting at replay time — rather than reusing
+        the registration-time object — means statistics computed since
+        registration warm-restore too.
+        """
+        clone = StatsCache()
+        clone.merge_from(self)
+        return clone
+
     def merge_from(self, other: "StatsCache") -> int:
         """Absorb another cache's entries (existing keys win); returns the
         number of entries copied.  This is how a worker shard adopts a

@@ -29,6 +29,8 @@ from repro.runtime.runtime import (
 )
 from repro.runtime.executors import (
     EXECUTOR_KINDS,
+    WORKER_RESTART_STAGE,
+    BatchGroup,
     CharacterizationTask,
     Executor,
     ExecutorError,
@@ -37,14 +39,18 @@ from repro.runtime.executors import (
     ThreadExecutor,
     WorkerError,
     create_executor,
+    plan_batch,
     shard_index,
 )
 from repro.runtime.stats_registry import RegistryStats, SharedStatsRegistry
 from repro.runtime.table_store import TableEntry, TableStore, TableStoreError
 
 __all__ = [
+    "BatchGroup",
     "CharacterizationTask",
     "EXECUTOR_KINDS",
+    "WORKER_RESTART_STAGE",
+    "plan_batch",
     "Executor",
     "ExecutorError",
     "InlineExecutor",

@@ -13,12 +13,14 @@ here is what the service and CLI speak::
 from __future__ import annotations
 
 from repro.runtime.executors.base import (
+    BatchGroup,
     CharacterizationTask,
     ExecutionHandle,
     Executor,
     ExecutorError,
     OUTCOME_STATUSES,
     WorkerError,
+    plan_batch,
     shard_index,
 )
 from repro.runtime.executors.local import (
@@ -26,7 +28,12 @@ from repro.runtime.executors.local import (
     TaskContext,
     ThreadExecutor,
 )
-from repro.runtime.executors.process import ProcessShardExecutor
+from repro.runtime.executors.process import (
+    DEFAULT_MAX_RESTARTS,
+    DEFAULT_MAX_RETRIES,
+    ProcessShardExecutor,
+    WORKER_RESTART_STAGE,
+)
 
 #: Backend names ``create_executor`` accepts, in rough cost order.
 EXECUTOR_KINDS = ("inline", "thread", "process")
@@ -40,7 +47,9 @@ _EXECUTOR_CLASSES = {
 
 def create_executor(kind: str, workers: int = 2, *,
                     runtime=None, mp_context: str | None = None,
-                    name: str | None = None) -> Executor:
+                    name: str | None = None,
+                    max_restarts: int | None = None,
+                    max_retries: int | None = None) -> Executor:
     """Build a backend by name.
 
     Args:
@@ -53,6 +62,11 @@ def create_executor(kind: str, workers: int = 2, *,
             bounds govern the processes where caches accumulate.
         mp_context: multiprocessing start method for ``process``.
         name: thread/process name prefix.
+        max_restarts: respawn budget per dead worker shard (``process``
+            only; default :data:`DEFAULT_MAX_RESTARTS`).
+        max_retries: re-execution budget per in-flight task after a
+            worker death (``process`` only; default
+            :data:`DEFAULT_MAX_RETRIES`).
     """
     cls = _EXECUTOR_CLASSES.get(kind)
     if cls is None:
@@ -73,11 +87,18 @@ def create_executor(kind: str, workers: int = 2, *,
                           max_bytes=runtime.tables.max_bytes)
         if name is not None:
             kwargs["name"] = name
+        if max_restarts is not None:
+            kwargs["max_restarts"] = max_restarts
+        if max_retries is not None:
+            kwargs["max_retries"] = max_retries
     return cls(**kwargs)
 
 
 __all__ = [
+    "BatchGroup",
     "CharacterizationTask",
+    "DEFAULT_MAX_RESTARTS",
+    "DEFAULT_MAX_RETRIES",
     "EXECUTOR_KINDS",
     "ExecutionHandle",
     "Executor",
@@ -87,7 +108,9 @@ __all__ = [
     "ProcessShardExecutor",
     "TaskContext",
     "ThreadExecutor",
+    "WORKER_RESTART_STAGE",
     "WorkerError",
     "create_executor",
+    "plan_batch",
     "shard_index",
 ]

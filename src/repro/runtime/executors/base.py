@@ -43,7 +43,7 @@ from __future__ import annotations
 import abc
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Callable, ClassVar, Mapping
+from typing import Any, Callable, ClassVar, Mapping, Sequence
 
 from repro.errors import ReproError
 
@@ -71,7 +71,7 @@ class WorkerError(ReproError):
 
 @dataclass(frozen=True)
 class CharacterizationTask:
-    """A serializable description of one characterization.
+    """A serializable description of one characterization (or batch).
 
     This is the unit a process shard executes: everything is a value
     (names, predicate text, a frozen config), never live state, so the
@@ -89,6 +89,12 @@ class CharacterizationTask:
             for the run (None = the worker's default).
         weights: component-weight overrides merged into the config.
         client_id: borrower tag for the shard's runtime ledger.
+        wheres: when non-empty, the task is a **batch**: the executing
+            context runs every predicate sequentially against one engine
+            (one warm statistics cache), emits a ``batch_item`` event
+            per predicate, and the result is the *list* of
+            characterization results in predicate order.  ``where`` is
+            ignored for a batch task.
     """
 
     table: str
@@ -97,11 +103,25 @@ class CharacterizationTask:
     config: Any = None
     weights: Mapping = field(default_factory=dict)
     client_id: str = "default"
+    wheres: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "wheres", tuple(self.wheres))
 
     @property
     def routing_key(self) -> str:
         """What shard routing hashes on."""
         return self.fingerprint or self.table
+
+    @property
+    def is_batch(self) -> bool:
+        """Whether this task carries several predicates for one table."""
+        return bool(self.wheres)
+
+    @property
+    def predicates(self) -> tuple:
+        """The predicate(s) this task executes, in order."""
+        return self.wheres if self.wheres else (self.where,)
 
 
 def shard_index(routing_key: str, n_shards: int) -> int:
@@ -114,6 +134,66 @@ def shard_index(routing_key: str, n_shards: int) -> int:
     if n_shards <= 0:
         raise ValueError("n_shards must be positive")
     return zlib.crc32(routing_key.encode("utf-8")) % n_shards
+
+
+@dataclass(frozen=True)
+class BatchGroup:
+    """One shard-bound slice of a batch: every predicate of one table.
+
+    Attributes:
+        table: catalog table name shared by the group.
+        routing_key: what the group routes on (fingerprint or name) —
+            the executor derives the owning shard from it.
+        indices: positions of the group's entries in the original batch,
+            in submission order (how results fold back into place).
+        wheres: the group's predicates, aligned with ``indices``.
+    """
+
+    table: str
+    routing_key: str
+    indices: tuple
+    wheres: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "indices", tuple(self.indices))
+        object.__setattr__(self, "wheres", tuple(self.wheres))
+
+
+def plan_batch(entries: "Sequence[tuple]") -> "list[BatchGroup]":
+    """The shard-aware batch schedule: group entries by owning table.
+
+    ``entries`` is a sequence of ``(table, routing_key, where)`` triples
+    in submission order.  The plan has one :class:`BatchGroup` per
+    distinct ``(table, routing_key)`` pair, in first-appearance order, so
+
+    * one table's predicates **never split across shards** — every group
+      routes on one key, so it runs back-to-back against that shard's
+      single warm statistics cache instead of interleaving cold
+      submissions, and groups for different shards run concurrently;
+    * two *names* for identical content stay distinct groups (results
+      and history must report the name the caller used) while still
+      landing on the same shard — their routing keys are equal.
+
+    Entry order is preserved inside each group; ``indices`` lets the
+    caller reassemble results in original submission order.
+    """
+    groups: dict[tuple, list] = {}
+    order: list[tuple] = []
+    for position, (table, routing_key, where) in enumerate(entries):
+        key = (str(table), str(routing_key))
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((position, str(where)))
+    return [
+        BatchGroup(
+            table=key[0],
+            routing_key=key[1],
+            indices=tuple(position for position, _ in groups[key]),
+            wheres=tuple(where for _, where in groups[key]),
+        )
+        for key in order
+    ]
 
 
 class ExecutionHandle(abc.ABC):

@@ -66,6 +66,12 @@ class TaskContext:
         Events flow through ``progress`` in their legacy ``(stage,
         payload)`` form — the same stream a local closure produces — so
         the job manager's bookkeeping cannot tell the backends apart.
+
+        A batch task (``task.wheres``) runs every predicate against one
+        engine — one warm statistics cache, exactly like
+        :meth:`~repro.app.session.ZiggySession.run_many` — emitting a
+        ``batch_item`` event per predicate and returning the *list* of
+        results in predicate order.
         """
         with self._lock:
             table = self.database.table(task.table)
@@ -83,8 +89,18 @@ class TaskContext:
                     self._engines[task.table] = engine
             if engine.cache is not cache:
                 engine.rebind_cache(cache)
-            return engine.characterize(task.where, table=task.table,
-                                       config=config, progress=progress)
+            if not task.is_batch:
+                return engine.characterize(task.where, table=task.table,
+                                           config=config, progress=progress)
+            results = []
+            for index, where in enumerate(task.wheres):
+                result = engine.characterize(where, table=task.table,
+                                             config=config,
+                                             progress=progress)
+                results.append(result)
+                if progress is not None:
+                    progress("batch_item", (index, result))
+            return results
 
 
 def run_unit(work: WorkFn | CharacterizationTask, context: TaskContext,

@@ -36,18 +36,37 @@ memory page-share until written) and falls back to ``spawn`` where fork
 is unavailable; both are explicit via ``mp_context``.  Workers are
 started eagerly in the constructor, before the service spins up any
 server threads, so forking never races live locks.
+
+Self-healing: a worker that dies (OOM-killed, segfaulted, SIGKILL'd) is
+**respawned** instead of taking its jobs down with it.  The pump's
+liveness check hands the dead shard to a respawn thread, which starts a
+replacement process, replays the shard's table registrations with fresh
+:meth:`~repro.core.stats_cache.StatsCache.snapshot` warm-cache
+snapshots, and re-enqueues the shard's in-flight tasks — each retried
+task first emits a ``worker-restart`` stage event through its
+``progress`` relay, so job event logs and SSE streams observe the
+recovery.  Two bounds keep this honest: ``max_restarts`` caps how often
+one shard may be respawned (exhausting it fails the shard's jobs with
+:class:`WorkerError` and marks the shard dead for new submissions), and
+``max_retries`` caps how often one task may be re-executed (a task is
+retried at-least-once semantics only while its budget lasts; past it,
+the task fails with :class:`WorkerError` even though the shard itself
+recovers).  A cancel that arrives while the shard is down wins: the
+task is reported ``cancelled`` instead of being re-enqueued.
 """
 
 from __future__ import annotations
 
 import itertools
 import multiprocessing as mp
+import os
 import pickle
 import threading
 import time
 from typing import Any, Callable
 
 from repro.core.events import StageEvent, compact_event, legacy_stage
+from repro.core.stats_cache import StatsCache
 from repro.errors import JobCancelled
 from repro.runtime.runtime import DEFAULT_MAX_BYTES, DEFAULT_MAX_TABLES
 from repro.runtime.executors.base import (
@@ -67,6 +86,17 @@ _STARTED, _EVENT, _DONE, _FAILED, _CANCELLED = (
 
 #: Registration-failure tag (keyed by table, not task).
 _REGISTER_FAILED = "register-failed"
+
+#: The stage name a retried task's recovery event carries (flows through
+#: the ordinary progress relay, so job event logs and SSE streams see it
+#: as a ``worker-restart`` event between the stages of the two attempts).
+WORKER_RESTART_STAGE = "worker-restart"
+
+#: How often one shard may be respawned before it is declared dead.
+DEFAULT_MAX_RESTARTS = 2
+
+#: How often one in-flight task may be re-executed after worker deaths.
+DEFAULT_MAX_RETRIES = 1
 
 
 def _wire_exception(exc: BaseException) -> BaseException:
@@ -108,6 +138,22 @@ def _worker_main(worker_id: int, tasks, control, results,
 
     threading.Thread(target=listen, daemon=True,
                      name=f"ziggy-shard-{worker_id}-ctl").start()
+
+    parent = os.getppid()
+
+    def watch_parent() -> None:
+        # A hard-killed coordinator (SIGKILL, default-action SIGTERM)
+        # never runs the multiprocessing atexit cleanup, so its daemon
+        # workers would linger — holding inherited sockets (including
+        # the server's listening port) forever.  Reparenting is the
+        # tell: exit immediately.
+        while True:
+            time.sleep(1.0)
+            if os.getppid() != parent:
+                os._exit(0)
+
+    threading.Thread(target=watch_parent, daemon=True,
+                     name=f"ziggy-shard-{worker_id}-watchdog").start()
 
     limits = limits if limits is not None else (None, None)
     runtime = ZiggyRuntime(max_tables=limits[0], max_bytes=limits[1])
@@ -185,16 +231,25 @@ class _ProcessHandle(ExecutionHandle):
     """Coordinator-side record of one task in flight on a shard."""
 
     def __init__(self, executor: "ProcessShardExecutor", task_id: int,
-                 worker_index: int, begin: Callable[[], None],
+                 worker_index: int, task: CharacterizationTask,
+                 begin: Callable[[], None],
                  progress: ProgressFn, finish: FinishFn):
         self.task_id = task_id
         self.worker_index = worker_index
+        #: Kept for re-enqueueing after a worker respawn.
+        self.task = task
+        #: Failed execution attempts so far (bumped per worker death).
+        self.attempts = 0
         self.begin = begin
         self.progress = progress
         self._finish = finish
         self._executor = executor
         self._lock = threading.Lock()
         self._started = False
+        #: Whether the *current* attempt began executing (reset on every
+        #: requeue) — distinct from ``_started``, which deduplicates the
+        #: job-lifetime ``begin`` callback and is never reset.
+        self._attempt_started = False
         self._finished = threading.Event()
         self._cancel_sent = False
 
@@ -204,7 +259,28 @@ class _ProcessHandle(ExecutionHandle):
         with self._lock:
             already = self._started
             self._started = True
+            self._attempt_started = True
         return already
+
+    def reset_attempt(self) -> None:
+        """Called by the respawn requeue, before the retry is enqueued:
+        the new attempt has not started until its own ``_STARTED``."""
+        with self._lock:
+            self._attempt_started = False
+
+    @property
+    def cancel_requested(self) -> bool:
+        with self._lock:
+            return self._cancel_sent
+
+    @property
+    def attempt_started(self) -> bool:
+        with self._lock:
+            return self._attempt_started
+
+    @property
+    def finished(self) -> bool:
+        return self._finished.is_set()
 
     def finish(self, status: str, result: Any,
                error: BaseException | None) -> None:
@@ -236,15 +312,38 @@ class _Worker:
         self.tasks = tasks
         self.control = control
 
+    def dispose_queues(self) -> None:
+        """Release the queues of a worker that will never read again.
+
+        ``cancel_join_thread`` first: a feeder thread may be blocked
+        mid-``send`` on a pipe whose reader was SIGKILL'd with the pipe
+        full — without the cancel, interpreter exit would join that
+        feeder forever.  Losing the buffered messages is exactly right:
+        the reader is gone.
+        """
+        for queue in (self.tasks, self.control):
+            try:
+                queue.cancel_join_thread()
+                queue.close()
+            except (OSError, ValueError):
+                pass  # already closed
+
 
 class ProcessShardExecutor(Executor):
-    """A persistent pool of worker processes, sharded by fingerprint.
+    """A persistent, self-healing pool of worker processes, sharded by
+    fingerprint.
 
     Args:
         workers: shard count (one process each).
         mp_context: multiprocessing start method (``"fork"`` where
             available, else ``"spawn"``); pass explicitly to override.
         name: process-name prefix.
+        max_restarts: how often one dead shard may be respawned before
+            it is declared dead (0 disables self-healing: the
+            pre-respawn behaviour of failing jobs on the first death).
+        max_retries: how often one in-flight task may be re-executed
+            after worker deaths before it fails with
+            :class:`WorkerError`.
     """
 
     kind = "process"
@@ -253,10 +352,16 @@ class ProcessShardExecutor(Executor):
     #: Seconds between pump liveness checks of the worker processes.
     POLL_SECONDS = 0.2
 
+    #: Longest a clean close waits for an active respawn to settle
+    #: before failing its tasks with a shutdown error instead.
+    RESPAWN_DRAIN_SECONDS = 10.0
+
     def __init__(self, workers: int = 2, mp_context: str | None = None,
                  name: str = "ziggy-shard",
                  max_tables: "int | None" = DEFAULT_MAX_TABLES,
-                 max_bytes: "int | None" = DEFAULT_MAX_BYTES, **_ignored):
+                 max_bytes: "int | None" = DEFAULT_MAX_BYTES,
+                 max_restarts: int = DEFAULT_MAX_RESTARTS,
+                 max_retries: int = DEFAULT_MAX_RETRIES, **_ignored):
         if workers < 1:
             raise ExecutorError("process backend needs at least 1 worker")
         if mp_context is None:
@@ -265,31 +370,50 @@ class ProcessShardExecutor(Executor):
         self._ctx = mp.get_context(mp_context)
         self.mp_method = mp_context
         self.n_workers = workers
+        self.name = name
         #: Eviction limits each worker's private runtime is built with.
         self.max_tables = max_tables
         self.max_bytes = max_bytes
+        self.max_restarts = max(0, int(max_restarts))
+        self.max_retries = max(0, int(max_retries))
         self._results = self._ctx.Queue()
-        self._workers: list[_Worker] = []
-        for index in range(workers):
-            tasks = self._ctx.Queue()
-            control = self._ctx.Queue()
-            process = self._ctx.Process(
-                target=_worker_main, args=(index, tasks, control,
-                                           self._results,
-                                           (max_tables, max_bytes)),
-                daemon=True, name=f"{name}-{index}")
-            process.start()
-            self._workers.append(_Worker(process, tasks, control))
+        self._workers: list[_Worker] = [
+            self._spawn_process(index) for index in range(workers)]
         self._lock = threading.Lock()
         self._pending: dict[int, _ProcessHandle] = {}
         self._task_ids = itertools.count(1)
-        self._registered: dict[int, set[tuple[str, str]]] = {
-            i: set() for i in range(workers)}
+        #: Per shard: (name, fingerprint) -> (table, cache) — both the
+        #: "already shipped" marker and the replay source for respawns.
+        self._registrations: "dict[int, dict[tuple[str, str], tuple]]" = {
+            i: {} for i in range(workers)}
         self._register_errors: dict[str, str] = {}
+        #: Respawns spent per shard, and shards past their cap.
+        self._restarts: dict[int, int] = {i: 0 for i in range(workers)}
+        self._dead_shards: set[int] = set()
+        #: Shards currently being respawned, and the threads doing it.
+        self._respawning: set[int] = set()
+        self._respawn_threads: list[threading.Thread] = []
+        #: Tasks submitted while their shard was down — enqueued onto
+        #: the replacement worker once the respawn settles.
+        self._parked: dict[int, list[_ProcessHandle]] = {
+            i: [] for i in range(workers)}
         self._closed = False
         self._pump = threading.Thread(target=self._pump_loop, daemon=True,
                                       name=f"{name}-pump")
         self._pump.start()
+
+    def _spawn_process(self, index: int, generation: int = 0) -> _Worker:
+        """Start one shard process (initial spawn and respawns)."""
+        tasks = self._ctx.Queue()
+        control = self._ctx.Queue()
+        suffix = f"-r{generation}" if generation else ""
+        process = self._ctx.Process(
+            target=_worker_main, args=(index, tasks, control,
+                                       self._results,
+                                       (self.max_tables, self.max_bytes)),
+            daemon=True, name=f"{self.name}-{index}{suffix}")
+        process.start()
+        return _Worker(process, tasks, control)
 
     # -- registration --------------------------------------------------------
 
@@ -310,9 +434,12 @@ class ProcessShardExecutor(Executor):
         with self._lock:
             if self._closed:
                 raise ExecutorError("executor is closed")
-            if key in self._registered[index]:
+            if key in self._registrations[index]:
                 return
-            self._registered[index].add(key)
+            # The stored pair doubles as the respawn replay source: a
+            # replacement worker receives the same table and a fresh
+            # snapshot of this cache.
+            self._registrations[index][key] = (table, cache)
             # Enqueue while still holding the lock: a concurrent caller
             # who sees the key marked must be guaranteed the register
             # message is already ahead of any task it then submits
@@ -331,11 +458,22 @@ class ProcessShardExecutor(Executor):
         with self._lock:
             if self._closed:
                 raise ExecutorError("executor is closed")
+            if index in self._dead_shards:
+                raise ExecutorError(
+                    f"worker shard {index} is dead (respawn cap of "
+                    f"{self.max_restarts} exhausted); its tables are "
+                    "unavailable")
             task_id = next(self._task_ids)
-            handle = _ProcessHandle(self, task_id, index, begin, progress,
-                                    finish)
+            handle = _ProcessHandle(self, task_id, index, work, begin,
+                                    progress, finish)
             self._pending[task_id] = handle
-        self._workers[index].tasks.put(("task", task_id, work))
+            if index in self._respawning:
+                # The shard is mid-respawn: its old queue is gone and
+                # the replacement is not accepting yet.  Park the task;
+                # the respawn thread enqueues it once the worker is up.
+                self._parked[index].append(handle)
+            else:
+                self._workers[index].tasks.put(("task", task_id, work))
         return handle
 
     def _send_cancel(self, handle: _ProcessHandle) -> None:
@@ -377,8 +515,8 @@ class ProcessShardExecutor(Executor):
                 # instead of silently assuming the shard has it.
                 _, name, fingerprint, error = message
                 with self._lock:
-                    for keys in self._registered.values():
-                        keys.discard((name, fingerprint))
+                    for registrations in self._registrations.values():
+                        registrations.pop((name, fingerprint), None)
                     self._register_errors[name] = str(error)
                 continue
             task_id = message[1]
@@ -387,7 +525,10 @@ class ProcessShardExecutor(Executor):
             if handle is None:
                 continue
             if tag == _STARTED:
-                handle.mark_started()
+                # ``begin`` fires exactly once per job, even when the
+                # task is re-executed on a respawned worker.
+                if handle.mark_started():
+                    continue
                 try:
                     handle.begin()
                 except JobCancelled:
@@ -423,21 +564,199 @@ class ProcessShardExecutor(Executor):
                                  name="ziggy-shard-finish").start()
 
     def _reap_dead_workers(self) -> bool:
-        """Fail tasks stranded on dead workers; True when the executor
-        is closed **and** nothing is left in flight."""
+        """Detect dead workers and recover (or fail) their shards; True
+        when the executor is closed **and** nothing is left in flight."""
         with self._lock:
-            dead = {index for index, worker in enumerate(self._workers)
-                    if not worker.process.is_alive()}
+            dead = [index for index, worker in enumerate(self._workers)
+                    if not worker.process.is_alive()
+                    and index not in self._respawning
+                    and index not in self._dead_shards]
+        for index in dead:
+            self._recover_shard(index)
+        with self._lock:
+            return (self._closed and not self._pending
+                    and not self._respawning)
+
+    def _recover_shard(self, index: int) -> None:
+        """One dead shard: budget its tasks' retries and either kick off
+        a respawn or fail everything stranded there."""
+        doomed: list[tuple[_ProcessHandle, str]] = []
+        thread: threading.Thread | None = None
+        with self._lock:
+            worker = self._workers[index]
+            if worker.process.is_alive():  # lost a race with a respawn
+                return
+            exitcode = worker.process.exitcode
             stranded = [h for h in self._pending.values()
-                        if h.worker_index in dead]
-            for handle in stranded:
+                        if h.worker_index == index]
+            died = f"worker shard {index} died (exitcode {exitcode})"
+            if self._closed or self._restarts[index] >= self.max_restarts:
+                if not self._closed:
+                    self._dead_shards.add(index)
+                reason = (f"{died} while the executor was closing"
+                          if self._closed else
+                          f"{died} and its respawn cap is exhausted "
+                          f"(max_restarts={self.max_restarts})")
+                for handle in stranded:
+                    self._pending.pop(handle.task_id, None)
+                    doomed.append((handle, reason))
+            else:
+                self._restarts[index] += 1
+                restart_no = self._restarts[index]
+                self._respawning.add(index)
+                retried: list[_ProcessHandle] = []
+                for handle in stranded:
+                    if handle.attempt_started:
+                        # Only an attempt that actually began is
+                        # charged: it may be the task that crashed the
+                        # worker.  A still-queued task (including a
+                        # retry that never got to run) retries free.
+                        handle.attempts += 1
+                    if handle.attempts > self.max_retries:
+                        self._pending.pop(handle.task_id, None)
+                        doomed.append((handle,
+                            f"{died}; the task's retry budget is "
+                            f"exhausted (max_retries={self.max_retries})"))
+                    else:
+                        retried.append(handle)
+                thread = threading.Thread(
+                    target=self._respawn_shard,
+                    args=(index, exitcode, restart_no, retried),
+                    daemon=True, name=f"{self.name}-respawn-{index}")
+                self._respawn_threads.append(thread)
+        for handle, reason in doomed:
+            handle.finish("failed", None, WorkerError(reason))
+        if thread is not None:
+            thread.start()
+
+    def _respawn_shard(self, index: int, exitcode, restart_no: int,
+                       retried: "list[_ProcessHandle]") -> None:
+        """Replace one dead worker: fresh process, registrations
+        replayed with warm-cache snapshots, in-flight tasks re-enqueued
+        (each announcing a ``worker-restart`` event).  Runs on its own
+        thread so the event pump keeps relaying for healthy shards."""
+        try:
+            worker = None
+            spawn_error: BaseException | None = None
+            if not self._closed:
+                try:
+                    worker = self._spawn_process(index,
+                                                 generation=restart_no)
+                except BaseException as exc:  # noqa: BLE001 - fork/EAGAIN
+                    spawn_error = exc
+            if worker is not None:
+                swapped = False
+                with self._lock:
+                    # Decide under the lock, once: a close() that wins
+                    # the race sees either the old worker (and disposes
+                    # it) or the swapped-in replacement — never neither.
+                    if not self._closed:
+                        retired = self._workers[index]
+                        self._workers[index] = worker
+                        registrations = list(
+                            self._registrations[index].items())
+                        swapped = True
+                if swapped:
+                    # The dead predecessor's queues are unreachable now
+                    # (every put path goes through the swap lock above);
+                    # release them so their feeder threads cannot pin
+                    # interpreter exit.
+                    retired.dispose_queues()
+                else:
+                    worker.process.terminate()
+                    worker = None
+            if worker is None:
+                if spawn_error is not None:
+                    # The replacement could not even start: the shard is
+                    # gone for good, exactly like an exhausted cap.
+                    with self._lock:
+                        self._dead_shards.add(index)
+                    self._abandon(retried, WorkerError(
+                        f"respawn of worker shard {index} failed: "
+                        f"{type(spawn_error).__name__}: {spawn_error}"))
+                else:
+                    self._abandon(retried, ExecutorError(
+                        f"executor closed during respawn of worker shard "
+                        f"{index}"))
+                return
+            for (name, fingerprint), (table, cache) in registrations:
+                # Snapshot live caches at replay time, so statistics
+                # computed since registration warm-restore as well.
+                snapshot = (cache.snapshot()
+                            if isinstance(cache, StatsCache) else cache)
+                worker.tasks.put(("register", name, fingerprint, table,
+                                  snapshot))
+            for handle in sorted(retried, key=lambda h: h.task_id):
+                if handle.finished:
+                    continue  # its outcome arrived before the death
+                self._requeue(handle, worker, restart_no, exitcode)
+        finally:
+            self._settle_respawn(index)
+
+    def _requeue(self, handle: _ProcessHandle, worker: _Worker,
+                 restart_no: int, exitcode) -> bool:
+        """Re-enqueue one retried task (cancel wins; restart announced)."""
+        if handle.cancel_requested:
+            with self._lock:
                 self._pending.pop(handle.task_id, None)
-        for handle in stranded:
-            handle.finish("failed", None, WorkerError(
-                f"worker shard {handle.worker_index} died "
-                f"(exitcode {self._workers[handle.worker_index].process.exitcode})"))
+            handle.finish("cancelled", None, None)
+            return False
+        try:
+            handle.progress(WORKER_RESTART_STAGE, {
+                "worker": handle.worker_index,
+                "restart": restart_no,
+                "attempt": handle.attempts + 1,
+                "max_retries": self.max_retries,
+                "exitcode": exitcode,
+            })
+        except JobCancelled:
+            with self._lock:
+                self._pending.pop(handle.task_id, None)
+            handle.finish("cancelled", None, None)
+            return False
+        except BaseException:  # noqa: BLE001 - never kill the respawn
+            pass
+        handle.reset_attempt()
+        worker.tasks.put(("task", handle.task_id, handle.task))
+        return True
+
+    def _settle_respawn(self, index: int) -> None:
+        """Drain tasks parked during the respawn and reopen the shard."""
+        while True:
+            with self._lock:
+                parked = self._parked[index]
+                self._parked[index] = []
+                if not parked:
+                    # Clear the flag while holding the lock, so the
+                    # next submit enqueues directly — behind everything
+                    # this drain already enqueued.
+                    self._respawning.discard(index)
+                    return
+                worker = self._workers[index]
+                closed = self._closed
+                dead = index in self._dead_shards
+            if closed or dead:
+                self._abandon(parked, ExecutorError(
+                    f"worker shard {index} went away mid-submission "
+                    + ("(executor closed during its respawn)" if closed
+                       else "(its respawn failed)")))
+                continue
+            for handle in parked:
+                if handle.cancel_requested:
+                    with self._lock:
+                        self._pending.pop(handle.task_id, None)
+                    handle.finish("cancelled", None, None)
+                else:
+                    worker.tasks.put(("task", handle.task_id, handle.task))
+
+    def _abandon(self, handles: "list[_ProcessHandle]",
+                 error: BaseException) -> None:
+        """Fail handles with a clean error (shutdown mid-respawn)."""
         with self._lock:
-            return self._closed and not self._pending
+            for handle in handles:
+                self._pending.pop(handle.task_id, None)
+        for handle in handles:
+            handle.finish("failed", None, error)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -447,11 +766,34 @@ class ProcessShardExecutor(Executor):
         ``wait=True`` lets queued/running tasks finish first (the
         shutdown sentinel queues behind them); ``wait=False`` terminates
         the workers and fails whatever was in flight.
+
+        A close that lands **during an active worker respawn** must not
+        hang: the drain waits on the respawn thread(s) for at most
+        :attr:`RESPAWN_DRAIN_SECONDS`, and anything still stranded after
+        that fails with a clean shutdown :class:`ExecutorError` instead
+        of blocking the caller forever.
         """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+            respawn_threads = list(self._respawn_threads)
+        # Respawn threads observe ``_closed`` and abandon their tasks
+        # with a clean error; the bounded join is the backstop for a
+        # thread wedged mid-spawn.
+        deadline = time.monotonic() + (self.RESPAWN_DRAIN_SECONDS
+                                       if wait else 1.0)
+        for thread in respawn_threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            stuck = [h for h in self._pending.values()
+                     if h.worker_index in self._respawning]
+            for handle in stuck:
+                self._pending.pop(handle.task_id, None)
+        for handle in stuck:
+            handle.finish("failed", None, ExecutorError(
+                f"executor closed during respawn of worker shard "
+                f"{handle.worker_index} (drain timed out)"))
         if wait:
             # The sentinel queues behind in-flight tasks: workers drain
             # their queues (outcomes land through the pump), then exit.
@@ -479,21 +821,36 @@ class ProcessShardExecutor(Executor):
             handle.finish("cancelled", None, None)
         self._results.put(None)
         self._pump.join(timeout=5)
+        # Every reader is gone (workers terminated, pump stopped):
+        # buffered messages are undeliverable, so the feeders must not
+        # be joined on them at interpreter exit.
+        self._results.cancel_join_thread()
         self._results.close()
         for worker in self._workers:
-            worker.tasks.close()
-            worker.control.close()
+            worker.dispose_queues()
 
     def describe(self) -> dict:
         with self._lock:
             shards = {
-                str(index): sorted(name for name, _fp in keys)
-                for index, keys in self._registered.items()}
+                str(index): sorted(name for name, _fp in registrations)
+                for index, registrations in self._registrations.items()}
             in_flight = len(self._pending)
             register_errors = dict(self._register_errors)
+            restarts = {str(index): count
+                        for index, count in self._restarts.items() if count}
+            dead_shards = sorted(self._dead_shards)
+            respawning = sorted(self._respawning)
         info = {"kind": self.kind, "workers": self.n_workers,
                 "mp_method": self.mp_method, "shards": shards,
-                "in_flight": in_flight}
+                "in_flight": in_flight,
+                "max_restarts": self.max_restarts,
+                "max_retries": self.max_retries}
+        if restarts:
+            info["restarts"] = restarts
+        if dead_shards:
+            info["dead_shards"] = dead_shards
+        if respawning:
+            info["respawning"] = respawning
         if register_errors:
             info["register_errors"] = register_errors
         return info

@@ -23,6 +23,9 @@ still ``pending`` when cancelled never starts.
 
 Progress events with stage ``"view"`` are captured as the job's partial
 results, so pollers can render views while the search is still running.
+A ``"worker-restart"`` event (emitted by the self-healing process
+backend when a job's worker died and the task was re-enqueued) resets
+the partial capture: the retry re-streams its views from rank one.
 Every progress event is additionally recorded in the job's **event log**
 (a monotonically numbered ``(seq, stage, payload)`` list) and announced
 on a condition variable, so streaming consumers — the service's
@@ -272,6 +275,15 @@ class JobManager:
                 # Record the keep-order rank with the view, so event
                 # consumers never rescan the log to reconstruct it.
                 job.record_event(stage, (rank, payload), event_mapper)
+            elif stage == "worker-restart":
+                # The job's worker died and the task re-executes from
+                # scratch on a respawned shard: drop the aborted
+                # attempt's partial views so the retry's stream rebuilds
+                # them with correct ranks (the event log keeps the full
+                # history, restart marker included).
+                with job.lock:
+                    job.partial.clear()
+                job.record_event(stage, payload, event_mapper)
             else:
                 job.record_event(stage, payload, event_mapper)
             if on_progress is not None:

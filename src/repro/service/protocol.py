@@ -242,44 +242,91 @@ class CharacterizeRequest:
 class BatchRequest:
     """Characterize several predicates in one call, sharing statistics.
 
-    The service runs the predicates sequentially against one engine, so
-    the shared :class:`StatsCache` turns every table-level computation
-    after the first predicate into a hit.
+    Two shapes are accepted: ``predicates`` (all against one ``table``,
+    the original form) or ``items`` — ``(table, where)`` pairs that may
+    span several tables.  Either way the service's shard-aware batch
+    scheduler groups the entries by owning table, so each table's
+    predicates run back-to-back against one warm :class:`StatsCache`
+    (and, on the process backend, each table's group runs on the one
+    shard that owns its fingerprint) instead of interleaving cold
+    submissions.  Results come back in submission order regardless of
+    how the scheduler grouped them.
     """
 
-    predicates: tuple[str, ...]
+    predicates: tuple[str, ...] = ()
     table: str | None = None
     client_id: str = "default"
     page_size: int | None = None
     options: dict = field(default_factory=dict)
+    items: tuple = ()
 
     TYPE = "batch"
 
     def __post_init__(self):
         object.__setattr__(self, "predicates", tuple(self.predicates))
-        if not self.predicates:
+        object.__setattr__(self, "items", tuple(
+            (table, str(where)) for table, where in self.items))
+        if not self.predicates and not self.items:
             raise ProtocolError("a batch request needs at least one predicate")
+        if self.predicates and self.items:
+            raise ProtocolError(
+                "a batch request takes either 'predicates' or 'items', "
+                "not both")
+
+    def entries(self) -> tuple:
+        """The batch as ``(table, where)`` pairs, in submission order.
+
+        ``table`` may be None (the session's sole table resolves it);
+        ``items`` entries without a table fall back to ``self.table``.
+        """
+        if self.items:
+            return tuple((table if table is not None else self.table, where)
+                         for table, where in self.items)
+        return tuple((self.table, where) for where in self.predicates)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "type": self.TYPE, "protocol": PROTOCOL_VERSION,
             "predicates": list(self.predicates), "table": self.table,
             "client_id": self.client_id, "page_size": self.page_size,
             "options": json_safe(self.options),
         }
+        if self.items:
+            payload["items"] = [{"table": table, "where": where}
+                                for table, where in self.items]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "BatchRequest":
         _check_protocol(payload)
-        predicates = _require(payload, "predicates", cls.TYPE)
-        if isinstance(predicates, str) or not isinstance(predicates, Sequence):
+        raw_items = payload.get("items")
+        items: tuple = ()
+        if raw_items:
+            if isinstance(raw_items, (str, Mapping)) \
+                    or not isinstance(raw_items, Sequence):
+                raise ProtocolError(
+                    "field 'items' must be a list of {table, where} objects")
+            built = []
+            for entry in raw_items:
+                if not isinstance(entry, Mapping) or "where" not in entry:
+                    raise ProtocolError(
+                        "each batch item needs at least a 'where' field")
+                built.append((entry.get("table"), str(entry["where"])))
+            items = tuple(built)
+        predicates = payload.get("predicates")
+        if not items:
+            predicates = _require(payload, "predicates", cls.TYPE)
+        if predicates is not None and (
+                isinstance(predicates, str)
+                or not isinstance(predicates, Sequence)):
             raise ProtocolError("field 'predicates' must be a list of strings")
         return cls(
-            predicates=tuple(str(p) for p in predicates),
+            predicates=tuple(str(p) for p in predicates or ()),
             table=payload.get("table"),
             client_id=str(payload.get("client_id", "default")),
             page_size=_opt_int(payload, "page_size", None),
             options=dict(payload.get("options") or {}),
+            items=items,
         )
 
 
@@ -692,6 +739,13 @@ class JobEvent:
     ``done`` event carrying the job's final status.  ``data`` is a small
     JSON-able summary of the stage artifact (full views for
     ``view-ranked``/``view-ready``, counts elsewhere).
+
+    Jobs on the self-healing process backend may additionally emit a
+    ``worker-restart`` event when their worker died and the task was
+    re-enqueued on the respawned shard: ``data`` carries ``worker``,
+    ``restart`` (the shard's respawn ordinal), ``attempt`` and
+    ``exitcode``.  Stage events of the aborted attempt precede it;
+    the retry's events follow from ``prepared`` again.
     """
 
     seq: int
@@ -778,9 +832,13 @@ def job_event_from_stage(seq: int, stage: str, payload: Any) -> JobEvent:
         }
     elif kind == "batch-item" and isinstance(payload, tuple) \
             and len(payload) == 2:
+        # Local runs carry (index, full result); cross-process runs
+        # carry (index, BatchItemSummary) — both pre-count the views.
         index, result = payload
         data = {"index": int(index),
-                "n_views": len(getattr(result, "views", ()) or ())}
+                "n_views": (int(result.n_views)
+                            if hasattr(result, "n_views")
+                            else len(getattr(result, "views", ()) or ()))}
     else:
         safe = json_safe(payload)
         data = safe if isinstance(safe, dict) else {"info": repr(payload)}

@@ -298,6 +298,10 @@ class ZiggyServer(ThreadingHTTPServer):
         #: handlers poll it so they terminate instead of outliving the
         #: accept loop.
         self.stopping = threading.Event()
+        #: Set by :meth:`close` when the service drain failed (e.g. an
+        #: executor backend wedged mid-respawn) — the close itself still
+        #: completes, sockets and threads released.
+        self.shutdown_error: BaseException | None = None
         self._serving = False
         # Lazy import: app.api imports the service layer; importing it at
         # module top would be circular.
@@ -321,13 +325,23 @@ class ZiggyServer(ThreadingHTTPServer):
            threads (``block_on_close``);
         4. shut the service down — which closes the executor backend
            (thread pool or worker processes).
+
+        The service drain is bounded even when the executor is mid
+        worker-respawn (the backend waits on its respawn thread with a
+        timeout and fails stranded work with a clean error); should the
+        drain itself raise, the error lands in :attr:`shutdown_error`
+        rather than aborting the close half-way — sockets and handler
+        threads are already released by then.
         """
         self.stopping.set()
         if self._serving:
             self.shutdown()
         self.server_close()
         if shutdown_service:
-            self.service.shutdown(wait=wait)
+            try:
+                self.service.shutdown(wait=wait)
+            except ReproError as exc:
+                self.shutdown_error = exc
 
 
 def make_server(service: ZiggyService, host: str = "127.0.0.1",

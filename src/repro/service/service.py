@@ -33,16 +33,19 @@ from repro.core.views import CharacterizationResult
 from repro.engine.database import Database
 from repro.engine.table import Table
 from repro.errors import (
+    JobCancelled,
     NoActiveQueryError,
     ProtocolError,
     ReproError,
 )
 from repro.runtime import (
+    BatchGroup,
     CharacterizationTask,
     Executor,
     ZiggyRuntime,
     create_executor,
     get_runtime,
+    plan_batch,
 )
 from repro.service.jobs import Job, JobManager
 from repro.service.protocol import (
@@ -85,9 +88,15 @@ class ZiggyService:
             :class:`~repro.runtime.Executor` instance or one of the
             names ``"inline"`` / ``"thread"`` / ``"process"`` (see
             ``docs/executors.md``).  The service takes ownership and
-            closes it on :meth:`shutdown`.  With ``"process"``,
-            asynchronous jobs run in worker processes sharded by table
-            fingerprint; synchronous calls still run in-process.
+            closes it on :meth:`shutdown`.  With ``"process"``, **all**
+            characterization work — synchronous calls, batches and
+            asynchronous jobs alike — runs in worker processes sharded
+            by table fingerprint, so every endpoint behaves identically
+            across backends.
+        max_restarts: respawn budget per dead worker shard (``process``
+            backend only; see ``docs/executors.md`` failure semantics).
+        max_retries: re-execution budget per in-flight task after a
+            worker death (``process`` backend only).
     """
 
     #: Distinguishes service instances in the registry's borrower ledger
@@ -99,14 +108,18 @@ class ZiggyService:
                  config: ZiggyConfig | None = None,
                  max_workers: int = 2,
                  runtime: ZiggyRuntime | None = None,
-                 executor: "str | Executor" = "thread"):
+                 executor: "str | Executor" = "thread",
+                 max_restarts: int | None = None,
+                 max_retries: int | None = None):
         self.database = database if database is not None else Database()
         self.config = config
         self.runtime = runtime if runtime is not None else get_runtime()
         self._instance = f"svc-{next(self._instances)}"
         if isinstance(executor, str):
             executor = create_executor(executor, workers=max_workers,
-                                       runtime=self.runtime)
+                                       runtime=self.runtime,
+                                       max_restarts=max_restarts,
+                                       max_retries=max_retries)
         self.executor = executor
         self.jobs = JobManager(backend=executor)
         self._sessions: dict[str, ZiggySession] = {}
@@ -172,7 +185,29 @@ class ZiggyService:
     def characterize(self, request: CharacterizeRequest,
                      progress: Callable[[str, Any], None] | None = None
                      ) -> CharacterizeResponse:
-        """Run one characterization synchronously."""
+        """Run one characterization synchronously **through the
+        configured executor backend**.
+
+        Inline, thread and process backends behave identically for this
+        endpoint: on a local backend the work is the same session
+        closure as before; on the process backend the request is routed
+        to the shard that owns the table's fingerprint — so synchronous
+        calls warm (and profit from) the *same* per-shard statistics
+        caches as jobs and batches, instead of silently computing on
+        the coordinator.
+        """
+        if self.executor.supports_callables:
+            return self._execute_sync(
+                lambda p: self._characterize_local(request, progress=p),
+                progress=progress)
+        task, result_mapper = self._task_for(request)
+        return self._execute_sync(task, progress=progress,
+                                  result_mapper=result_mapper)
+
+    def _characterize_local(self, request: CharacterizeRequest,
+                            progress: Callable[[str, Any], None] | None = None
+                            ) -> CharacterizeResponse:
+        """The in-process session path (what local backends execute)."""
         session = self.session(request.client_id)
         with self._session_lock(request.client_id):
             self._apply_overrides(session, request.weights, request.options)
@@ -183,38 +218,185 @@ class ZiggyService:
             result, table=table_name,
             page=request.page, page_size=request.page_size)
 
+    def _execute_sync(self, unit, *,
+                      progress: Callable[[str, Any], None] | None = None,
+                      result_mapper: Callable[[Any], Any] | None = None):
+        """Run one unit of work on the backend and block for its outcome.
+
+        The backend's ``finish`` contract guarantees exactly one
+        terminal callback, so this wait cannot dangle: a worker death is
+        either healed (respawn + retry) or surfaced as the error below.
+        """
+        outcome: dict[str, Any] = {}
+        done = threading.Event()
+
+        def relay(stage: str, payload: Any) -> None:
+            if progress is not None:
+                progress(stage, payload)
+
+        def finish(status: str, result: Any,
+                   error: BaseException | None) -> None:
+            outcome["terminal"] = (status, result, error)
+            done.set()
+
+        self.executor.submit(unit, begin=lambda: None, progress=relay,
+                             finish=finish)
+        done.wait()
+        status, result, error = outcome["terminal"]
+        if status == "failed":
+            raise error
+        if status == "cancelled":
+            raise JobCancelled("synchronous request was cancelled")
+        return result_mapper(result) if result_mapper is not None else result
+
     def characterize_many(self, request: BatchRequest,
                           progress: Callable[[str, Any], None] | None = None
                           ) -> BatchResponse:
-        """Run a batch of predicates against one engine.
+        """Run a batch through the shard-aware batch scheduler.
 
-        The predicates share the session engine's :class:`StatsCache`, so
-        table-level statistics are computed once; the response reports the
-        cache counters as evidence of the sharing.
+        Entries are grouped by owning table (:func:`plan_batch`), so
+        each table's predicates run back-to-back against one warm
+        :class:`StatsCache` — one cold preparation per table, never
+        interleaved cold submissions.  On the process backend each
+        group is one serializable batch task routed to the shard owning
+        the table's fingerprint, and groups for different shards run
+        concurrently.  Results return in submission order; the response
+        reports the cache counters as evidence of the sharing (local
+        backends only — shard caches live in other processes).
         """
         session = self.session(request.client_id)
+        entries = request.entries()
         t0 = time.perf_counter()
         with self._session_lock(request.client_id):
             self._apply_overrides(session, {}, request.options)
-            table_name = session.resolve_table(request.table)
-            cache = session.engine_for(table_name).cache
-            # Snapshot so the response reports THIS batch's hits/misses,
-            # not the engine's lifetime totals.
-            hits_before = cache.counters.hits if cache is not None else 0
-            misses_before = cache.counters.misses if cache is not None else 0
-            results = session.run_many(request.predicates, table=table_name,
-                                       progress=progress)
+            resolved = [session.resolve_table(table) for table, _ in entries]
+            effective_config = session.config
+        keyed = [(table_name, self.database.table(table_name).fingerprint(),
+                  where)
+                 for table_name, (_, where) in zip(resolved, entries)]
+        groups = plan_batch(keyed)
+        if self.executor.supports_callables:
+            results, hits, misses = self._run_groups_local(
+                session, request, groups, progress)
+        else:
+            results = self._run_groups_sharded(
+                session, request, groups, effective_config, progress)
+            hits = misses = None  # the shards' caches are not ours to read
         total_ms = (time.perf_counter() - t0) * 1000.0
-        responses = tuple(
-            CharacterizeResponse.from_result(r, table=table_name,
-                                             page_size=request.page_size)
-            for r in results)
-        hits = (cache.counters.hits - hits_before
-                if cache is not None else None)
-        misses = (cache.counters.misses - misses_before
-                  if cache is not None else None)
-        return BatchResponse(results=responses, total_time_ms=total_ms,
+        responses = []
+        for position, result in enumerate(results):
+            table_name = keyed[position][0]
+            responses.append(CharacterizeResponse.from_result(
+                result, table=table_name, page_size=request.page_size))
+        return BatchResponse(results=tuple(responses), total_time_ms=total_ms,
                              cache_hits=hits, cache_misses=misses)
+
+    def _run_groups_local(self, session: ZiggySession, request: BatchRequest,
+                          groups: "list[BatchGroup]", progress
+                          ) -> "tuple[list, int | None, int | None]":
+        """Execute batch groups on the session (local backends)."""
+        results: list[Any] = [None] * sum(len(g.indices) for g in groups)
+        hits: "int | None" = 0
+        misses: "int | None" = 0
+        with self._session_lock(request.client_id):
+            for group in groups:
+                cache = session.engine_for(group.table).cache
+                # Snapshot so the response reports THIS batch's
+                # hits/misses, not the engine's lifetime totals.
+                hits_before = cache.counters.hits if cache is not None else 0
+                misses_before = (cache.counters.misses
+                                 if cache is not None else 0)
+                group_results = session.run_many(
+                    group.wheres, table=group.table,
+                    progress=self._group_progress(group, progress))
+                for local, result in enumerate(group_results):
+                    results[group.indices[local]] = result
+                if cache is None:
+                    hits = misses = None
+                elif hits is not None and misses is not None:
+                    hits += cache.counters.hits - hits_before
+                    misses += cache.counters.misses - misses_before
+            # ``run_many`` appended history in group-execution order;
+            # restore submission order so every backend records the
+            # same session history for the same batch.
+            tail = session.history[-len(results):]
+            positions = [position for group in groups
+                         for position in group.indices]
+            reordered = list(tail)
+            for entry, position in zip(tail, positions):
+                reordered[position] = entry
+            session.history[-len(results):] = reordered
+        return results, hits, misses
+
+    def _run_groups_sharded(self, session: ZiggySession,
+                            request: BatchRequest,
+                            groups: "list[BatchGroup]", config, progress
+                            ) -> list:
+        """Execute batch groups as concurrent shard-routed batch tasks."""
+        waiters = []
+        for group in groups:
+            outcome: dict[str, Any] = {}
+            done = threading.Event()
+
+            def finish(status, result, error, _outcome=outcome, _done=done):
+                _outcome["terminal"] = (status, result, error)
+                _done.set()
+
+            self.executor.submit(
+                CharacterizationTask(
+                    table=group.table, where=group.wheres[0],
+                    wheres=group.wheres, fingerprint=group.routing_key,
+                    config=config,
+                    client_id=f"{request.client_id}@{self._instance}"),
+                begin=lambda: None,
+                progress=self._group_progress(group, progress),
+                finish=finish)
+            waiters.append((group, outcome, done))
+        failure: BaseException | None = None
+        results: list[Any] = [None] * sum(len(g.indices) for g in groups)
+        for group, outcome, done in waiters:
+            done.wait()
+            status, group_results, error = outcome["terminal"]
+            if status == "failed" and failure is None:
+                failure = error
+            elif status == "cancelled" and failure is None:
+                failure = JobCancelled("batch group was cancelled")
+            elif status == "done":
+                for local, result in enumerate(group_results):
+                    results[group.indices[local]] = result
+        if failure is not None:
+            raise failure
+        # Reconcile the shards' raw results into the session exactly as
+        # a local run would have: history entries in submission order.
+        order = sorted(
+            ((group.indices[local], group, where, result)
+             for group, outcome, _ in waiters
+             for local, (where, result) in enumerate(
+                 zip(group.wheres, outcome["terminal"][1]))),
+            key=lambda item: item[0])
+        with self._session_lock(request.client_id):
+            for _, group, where, result in order:
+                selection = self.database.select(group.table, where)
+                session.history.append(SessionEntry(
+                    query_text=where, table_name=group.table,
+                    result=result, selection=selection))
+        return results
+
+    @staticmethod
+    def _group_progress(group: "BatchGroup", progress):
+        """Remap a group's ``batch_item`` indices to batch positions."""
+        if progress is None:
+            return None
+
+        def relay(stage: str, payload: Any) -> None:
+            if stage == "batch_item" and isinstance(payload, tuple) \
+                    and len(payload) == 2:
+                local, result = payload
+                progress(stage, (group.indices[int(local)], result))
+            else:
+                progress(stage, payload)
+
+        return relay
 
     def submit(self, request: JobSubmitRequest | CharacterizeRequest,
                on_progress: Callable[[str, Any], None] | None = None
@@ -235,25 +417,34 @@ class ZiggyService:
         inner = (request.request if isinstance(request, JobSubmitRequest)
                  else request)
         if self.jobs.backend.supports_callables:
+            # The closure runs the *local* session path directly: the
+            # job already occupies a backend worker, so routing it back
+            # through ``characterize`` would double-submit (and starve
+            # a one-worker pool).
             job_id = self.jobs.submit(
-                lambda progress: self.characterize(inner, progress=progress),
+                lambda progress: self._characterize_local(
+                    inner, progress=progress),
                 on_progress=on_progress,
                 # Events enter the log already in wire form: the log then
                 # holds small JSON-able dicts, not pipeline artifacts that
                 # would pin slices and tables for the job's lifetime.
                 event_mapper=job_event_from_stage)
         else:
-            job_id = self._submit_task(inner, on_progress=on_progress)
+            task, result_mapper = self._task_for(inner)
+            job_id = self.jobs.submit(
+                task=task,
+                on_progress=on_progress,
+                event_mapper=job_event_from_stage,
+                result_mapper=result_mapper)
         return self._snapshot(self.jobs.get(job_id))
 
-    def _submit_task(self, inner: CharacterizeRequest,
-                     on_progress: Callable[[str, Any], None] | None = None
-                     ) -> str:
-        """Submit across the process boundary: snapshot session state
-        into a task, reconcile the result back into the session."""
+    def _task_for(self, inner: CharacterizeRequest
+                  ) -> "tuple[CharacterizationTask, Callable[[Any], Any]]":
+        """Distill a request into a serializable task plus the mapper
+        that reconciles the shard's raw result back into the session."""
         session = self.session(inner.client_id)
         with self._session_lock(inner.client_id):
-            # Same session semantics as the synchronous path: request
+            # Same session semantics as the local path: request
             # overrides apply to the session, then the effective config
             # travels with the task.
             self._apply_overrides(session, inner.weights, inner.options)
@@ -263,12 +454,11 @@ class ZiggyService:
 
         def result_mapper(result: CharacterizationResult
                           ) -> CharacterizeResponse:
-            # Runs on the executor's completion thread when the shard
-            # reports done: record history (so views/detail panels work
-            # exactly as after a local run) and produce the wire
-            # response.  The selection re-evaluates *before* taking the
-            # session lock, so a concurrent synchronous request for the
-            # same client is never blocked behind the scan.
+            # Runs when the shard reports done: record history (so
+            # views/detail panels work exactly as after a local run) and
+            # produce the wire response.  The selection re-evaluates
+            # *before* taking the session lock, so a concurrent request
+            # for the same client is never blocked behind the scan.
             selection = self.database.select(table_name, inner.where)
             with self._session_lock(inner.client_id):
                 session.history.append(SessionEntry(
@@ -278,16 +468,13 @@ class ZiggyService:
                 result, table=table_name,
                 page=inner.page, page_size=inner.page_size)
 
-        return self.jobs.submit(
-            task=CharacterizationTask(
-                table=table_name,
-                where=inner.where,
-                fingerprint=table.fingerprint(),
-                config=effective_config,
-                client_id=f"{inner.client_id}@{self._instance}"),
-            on_progress=on_progress,
-            event_mapper=job_event_from_stage,
-            result_mapper=result_mapper)
+        task = CharacterizationTask(
+            table=table_name,
+            where=inner.where,
+            fingerprint=table.fingerprint(),
+            config=effective_config,
+            client_id=f"{inner.client_id}@{self._instance}")
+        return task, result_mapper
 
     def job_status(self, job_id: str) -> JobSnapshot:
         """A point-in-time snapshot of one job (with partial views)."""

@@ -1,0 +1,148 @@
+"""Property-based tests (stdlib ``random``, fixed seeds) for the shard
+router and the shard-aware batch planner.
+
+The routing function is load-bearing in two ways: the coordinator and
+every worker must agree on it (stability), and a fleet of shards must
+share load evenly (uniformity).  The batch planner's core invariant is
+that one table's work never splits across shards — that is what keeps
+each table's statistics cache singular and warm.
+"""
+
+import pickle
+import random
+import string
+
+import pytest
+
+from repro.runtime.executors import (
+    CharacterizationTask,
+    plan_batch,
+    shard_index,
+)
+
+SEED = 20260730
+
+
+def random_fingerprints(rng: random.Random, count: int) -> list:
+    return ["".join(rng.choices("0123456789abcdef", k=16))
+            for _ in range(count)]
+
+
+class TestShardIndexProperties:
+    def test_stable_across_pickle_roundtrips(self):
+        rng = random.Random(SEED)
+        for fingerprint in random_fingerprints(rng, 200):
+            task = CharacterizationTask(
+                table="t", where="x > 1", fingerprint=fingerprint)
+            for n_shards in (1, 2, 3, 4, 8):
+                before = shard_index(task.routing_key, n_shards)
+                clone = pickle.loads(pickle.dumps(task))
+                assert clone == task
+                assert shard_index(clone.routing_key, n_shards) == before
+                # double roundtrip — serialization is not drifting
+                clone2 = pickle.loads(pickle.dumps(clone))
+                assert shard_index(clone2.routing_key, n_shards) == before
+
+    def test_batch_task_routing_survives_pickling(self):
+        rng = random.Random(SEED + 1)
+        for fingerprint in random_fingerprints(rng, 50):
+            task = CharacterizationTask(
+                table="t", where="x > 1", fingerprint=fingerprint,
+                wheres=("x > 1", "y < 2", "z = 3"))
+            clone = pickle.loads(pickle.dumps(task))
+            assert clone.is_batch and clone.predicates == task.wheres
+            assert clone.routing_key == task.routing_key
+
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_uniform_within_20_percent_over_1k_fingerprints(self, n_shards):
+        rng = random.Random(SEED + n_shards)
+        fingerprints = random_fingerprints(rng, 1000)
+        counts = [0] * n_shards
+        for fingerprint in fingerprints:
+            counts[shard_index(fingerprint, n_shards)] += 1
+        expected = len(fingerprints) / n_shards
+        for shard, count in enumerate(counts):
+            assert 0.8 * expected <= count <= 1.2 * expected, (
+                f"shard {shard} holds {count} of {len(fingerprints)} keys "
+                f"(expected {expected:.0f} ±20%): {counts}")
+
+    def test_arbitrary_text_keys_stay_bounded(self):
+        rng = random.Random(SEED + 99)
+        alphabet = string.printable
+        for _ in range(500):
+            key = "".join(rng.choices(alphabet, k=rng.randint(1, 40)))
+            for n_shards in (1, 3, 7):
+                shard = shard_index(key, n_shards)
+                assert 0 <= shard < n_shards
+                assert shard == shard_index(key, n_shards)  # deterministic
+
+
+class TestBatchPlannerProperties:
+    def _random_entries(self, rng: random.Random, n_tables: int,
+                        n_entries: int) -> list:
+        tables = [(f"table_{i}",
+                   "".join(rng.choices("0123456789abcdef", k=16)))
+                  for i in range(n_tables)]
+        return [(*rng.choice(tables), f"col > {rng.randint(0, 99)}")
+                for _ in range(n_entries)]
+
+    def test_grouping_never_splits_one_table_across_shards(self):
+        rng = random.Random(SEED)
+        for _trial in range(50):
+            n_shards = rng.randint(1, 8)
+            entries = self._random_entries(rng, rng.randint(1, 6),
+                                           rng.randint(1, 40))
+            groups = plan_batch(entries)
+            # each (table, routing key) pair maps to exactly one group ...
+            keys = [(group.table, group.routing_key) for group in groups]
+            assert len(keys) == len(set(keys))
+            assert set(keys) == {(table, key) for table, key, _ in entries}
+            for group in groups:
+                # ... whose entries all share the group's identity, so
+                # the executor routes the whole group to one shard
+                shards = set()
+                for index in group.indices:
+                    table, key, _ = entries[index]
+                    assert (table, key) == (group.table, group.routing_key)
+                    shards.add(shard_index(key, n_shards))
+                assert len(shards) == 1
+
+    def test_indices_partition_the_batch_in_order(self):
+        rng = random.Random(SEED + 7)
+        for _trial in range(50):
+            entries = self._random_entries(rng, rng.randint(1, 5),
+                                           rng.randint(1, 30))
+            groups = plan_batch(entries)
+            seen = sorted(i for group in groups for i in group.indices)
+            assert seen == list(range(len(entries)))
+            for group in groups:
+                assert list(group.indices) == sorted(group.indices)
+                assert len(group.indices) == len(group.wheres)
+                for index, where in zip(group.indices, group.wheres):
+                    assert entries[index][2] == where
+
+    def test_groups_come_in_first_appearance_order(self):
+        entries = [("b", "fp_b", "x > 1"), ("a", "fp_a", "x > 2"),
+                   ("b", "fp_b", "x > 3"), ("c", "fp_c", "x > 4"),
+                   ("a", "fp_a", "x > 5")]
+        groups = plan_batch(entries)
+        assert [group.table for group in groups] == ["b", "a", "c"]
+        assert groups[0].wheres == ("x > 1", "x > 3")
+        assert groups[1].wheres == ("x > 2", "x > 5")
+        assert groups[0].indices == (0, 2)
+        assert groups[1].indices == (1, 4)
+
+    def test_same_content_under_two_names_keeps_names_apart(self):
+        # identical fingerprint (same content), distinct catalog names:
+        # the groups stay separate — results and history must carry the
+        # name the caller used — while routing to the same shard
+        entries = [("alias_a", "same_fp", "x > 1"),
+                   ("alias_b", "same_fp", "x > 2"),
+                   ("alias_a", "same_fp", "x > 3")]
+        groups = plan_batch(entries)
+        assert [group.table for group in groups] == ["alias_a", "alias_b"]
+        assert groups[0].wheres == ("x > 1", "x > 3")
+        assert groups[1].wheres == ("x > 2",)
+        for n_shards in (2, 4, 8):
+            assert len({shard_index(group.routing_key, n_shards)
+                        for group in groups}) == 1

@@ -154,6 +154,43 @@ class TestBatch:
         assert page.total >= 0  # latest batch entry is current
         assert len(service.session("hist").history) == 2
 
+    def test_batch_items_span_tables_in_submission_order(self, service,
+                                                         crime_small):
+        service.register_table(crime_small)
+        batch = service.characterize_many(BatchRequest(items=(
+            ("boxoffice", "gross > 150000000"),
+            ("us_crime", "violent_crime_rate > 0.2"),
+            ("boxoffice", "gross > 250000000"),
+        ), client_id="multi"))
+        assert [r.table for r in batch.results] == \
+            ["boxoffice", "us_crime", "boxoffice"]
+        history = service.session("multi").history
+        assert [entry.table_name for entry in history] == \
+            ["boxoffice", "us_crime", "boxoffice"]
+
+    def test_same_content_under_two_names_keeps_history_honest(
+            self, boxoffice_small):
+        """Regression: two catalog names for identical content (equal
+        fingerprints) must not merge into one batch group — responses
+        and session history report the name the caller used."""
+        from repro.runtime import ZiggyRuntime
+
+        svc = ZiggyService(runtime=ZiggyRuntime())
+        svc.register_table(boxoffice_small, name="alias_a")
+        svc.register_table(boxoffice_small, name="alias_b")
+        try:
+            batch = svc.characterize_many(BatchRequest(items=(
+                ("alias_a", "gross > 150000000"),
+                ("alias_b", "gross > 250000000"),
+            ), client_id="alias"))
+            assert [r.table for r in batch.results] == \
+                ["alias_a", "alias_b"]
+            history = svc.session("alias").history
+            assert [entry.table_name for entry in history] == \
+                ["alias_a", "alias_b"]
+        finally:
+            svc.shutdown(wait=False)
+
 
 class TestJobs:
     def test_submit_poll_result(self, service):
