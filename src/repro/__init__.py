@@ -52,6 +52,7 @@ from repro.core.views import (
     View,
     ViewResult,
 )
+from repro.persistence import DurableState
 from repro.runtime import ZiggyRuntime, get_runtime
 from repro.data.registry import dataset_names, load_dataset
 from repro.engine.csvio import read_csv, write_csv
@@ -90,6 +91,7 @@ __all__ = [
     "ReproError",
     "ServiceError",
     "ZiggyService",
+    "DurableState",
     "CharacterizeRequest",
     "BatchRequest",
     "ApiError",

@@ -137,6 +137,30 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "replayed, in-flight jobs retried) before the "
                              "shard is declared dead (default 2; 0 disables "
                              "self-healing)")
+    parser.add_argument("--state-dir", default=None, metavar="PATH",
+                        help="directory for durable state: the job journal "
+                             "and warm-cache snapshots survive restarts "
+                             "(default: none — fully in-memory)")
+    parser.add_argument("--recover", choices=("resume", "fail", "discard"),
+                        default="resume",
+                        help="with --state-dir: what happens to jobs that "
+                             "were in flight when the previous coordinator "
+                             "stopped — 'resume' re-runs them under their "
+                             "original ids (default), 'fail' marks them "
+                             "interrupted, 'discard' forgets them")
+    parser.add_argument("--snapshot-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="with --state-dir: cadence of background "
+                             "warm-cache snapshot passes (default 30; 0 "
+                             "disables the cadence, drain-time snapshots "
+                             "still happen)")
+    parser.add_argument("--fsync", choices=("never", "rotate", "always"),
+                        default=None,
+                        help="with --state-dir: journal fsync policy "
+                             "(default 'rotate' — fsync at segment "
+                             "boundaries and close; see "
+                             "docs/persistence.md for the durability "
+                             "matrix)")
     parser.add_argument("--max-tables", type=int, default=None, metavar="N",
                         help="most tables the shared runtime keeps resident "
                              "before LRU-evicting their cached statistics "
@@ -170,7 +194,10 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
         runtime = ZiggyRuntime(max_tables=max_tables, max_bytes=cache_bytes)
         service = ZiggyService(max_workers=args.workers, runtime=runtime,
                                executor=args.executor,
-                               max_restarts=args.max_restarts)
+                               max_restarts=args.max_restarts,
+                               state_dir=args.state_dir,
+                               snapshot_interval=args.snapshot_interval,
+                               fsync=args.fsync)
     except (ReproError, OSError) as exc:
         print(f"error: {exc}", file=out)
         return 1
@@ -184,16 +211,38 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
             service.register_table(load_dataset(name, **kwargs))
         for path in args.csv:
             service.register_table(read_csv(path))
+        # Recovery runs after the catalog is registered (resume
+        # re-executes against it) and before the first request lands.
+        report = service.recover(policy=args.recover)
         server = make_server(service, host=args.host, port=args.port,
                              verbose=not args.quiet)
     except (ReproError, OSError) as exc:  # bad data, port in use, ...
         service.shutdown(wait=False)
         print(f"error: {exc}", file=out)
         return 1
+    # `kill <pid>` (systemd stop, CI teardown) must be a *clean* stop —
+    # drain handlers, snapshot warm caches, compact the journal — not a
+    # silent process death that skips the finally below.  SIGKILL
+    # remains the crash path the recovery subsystem exists for.
+    import signal as _signal
+
+    def _sigterm(_signum, _frame):
+        raise KeyboardInterrupt
+
+    try:
+        _signal.signal(_signal.SIGTERM, _sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded/test use); skip the hook
+
+    if report is not None:
+        print(report.summary(), file=out, flush=True)
     host, port = server.server_address[:2]
+    state_note = (f", state-dir={service.state.state_dir}"
+                  if service.state is not None else "")
     print(f"serving {', '.join(service.database.table_names())} "
           f"on http://{host}:{port} (protocol v2, "
-          f"executor={args.executor} x{args.workers}; Ctrl-C to stop)",
+          f"executor={args.executor} x{args.workers}{state_note}; "
+          f"Ctrl-C to stop)",
           file=out, flush=True)
     try:
         server.serve_forever()

@@ -200,6 +200,42 @@ class JobCancelled(ServiceError):
         super().__init__(f"job {job_id!r} was cancelled")
 
 
+class JobInterruptedError(ServiceError):
+    """A job was in flight when the coordinator stopped and the recovery
+    policy chose not to re-run it (``--recover fail``)."""
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(
+            f"job {job_id!r} was interrupted by a coordinator restart "
+            "and not resumed")
+
+
+# ---------------------------------------------------------------------------
+# Persistence (journal, snapshots, recovery)
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(ReproError):
+    """Base class for durable-state errors (journal, snapshot store)."""
+
+
+class RestoredJobError(ServiceError):
+    """Stands in for a failed job's original exception after a restart.
+
+    The original exception object does not survive the journal (only its
+    protocol error code and message do); this carrier restores both, so
+    a restored job's error serializes exactly as it did before the
+    coordinator bounced.
+    """
+
+    def __init__(self, message: str, code: str = "error"):
+        #: The original protocol error code (``ApiError.from_exception``
+        #: prefers this attribute over re-deriving a code from the type).
+        self.error_code = code
+        super().__init__(message)
+
+
 # ---------------------------------------------------------------------------
 # Data generators / loaders
 # ---------------------------------------------------------------------------

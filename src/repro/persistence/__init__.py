@@ -1,0 +1,64 @@
+"""The durable state subsystem: job journal, snapshot store, recovery.
+
+Everything the service keeps on disk lives here (``docs/persistence.md``
+is the operator's guide)::
+
+    state.py       DurableState: one --state-dir, composed of
+    journal.py       the append-only CRC-framed job journal, and
+    snapshots.py     the atomic warm-cache snapshot store;
+    recovery.py    the boot-time orchestrator that replays the journal
+                   and re-arms interrupted jobs per --recover policy.
+
+Layering: ``persistence`` sits beside ``runtime`` — it knows the core's
+:class:`StatsCache` and the service's wire protocol (for faithful
+restore), and the service layer owns the single :class:`DurableState`
+instance and threads it into the job manager and table registration.
+Without a state directory the whole subsystem is absent and the service
+is exactly as in-memory as it ever was.
+"""
+
+from repro.persistence.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    FSYNC_POLICIES,
+    JobJournal,
+    JournaledJob,
+    ReplayStats,
+    event_record,
+    fold_records,
+    prune_record,
+    state_record,
+    submit_record,
+)
+from repro.persistence.recovery import (
+    COORDINATOR_RESTART_KIND,
+    RECOVERY_POLICIES,
+    RecoveryReport,
+    recover_jobs,
+)
+from repro.persistence.snapshots import SnapshotStore
+from repro.persistence.state import (
+    DEFAULT_COMPACT_BYTES,
+    DEFAULT_SNAPSHOT_INTERVAL,
+    DurableState,
+)
+
+__all__ = [
+    "COORDINATOR_RESTART_KIND",
+    "DEFAULT_COMPACT_BYTES",
+    "DEFAULT_SEGMENT_BYTES",
+    "DEFAULT_SNAPSHOT_INTERVAL",
+    "DurableState",
+    "FSYNC_POLICIES",
+    "JobJournal",
+    "JournaledJob",
+    "RECOVERY_POLICIES",
+    "RecoveryReport",
+    "ReplayStats",
+    "SnapshotStore",
+    "event_record",
+    "fold_records",
+    "prune_record",
+    "recover_jobs",
+    "state_record",
+    "submit_record",
+]

@@ -1,0 +1,476 @@
+"""The append-only job journal — every job's life, on disk.
+
+The journal is the write-ahead record of the service's job state: each
+submission, state change, stage event and terminal outcome is appended
+as one framed record, so a coordinator that dies mid-flight can replay
+the log and pick up exactly where it stopped (see
+:mod:`repro.persistence.recovery` for the replay semantics and
+``docs/persistence.md`` for the full format specification).
+
+Format, deliberately boring::
+
+    journal-00000001.log            one segment file
+    ├── b"ZIGJRNL1\\n"              9-byte magic header
+    └── record*                     until EOF
+          ├── uint32 BE             payload length
+          ├── uint32 BE             CRC-32 of the payload bytes
+          └── payload               compact UTF-8 JSON, one dict
+
+Records are JSON (not pickle) so the journal stays inspectable with ten
+lines of Python and never executes code on replay.  The CRC plus the
+length prefix make torn tails detectable: a reader stops at the first
+record that is short, corrupt, or mis-framed — everything before it is
+trusted, everything after is counted and discarded.  That is the
+correct crash semantics for an append-only log where the only writer
+dies mid-``write``.
+
+Segments **rotate** once the live one exceeds ``max_segment_bytes``
+(bounding the unit of loss and the unit of fsync), and **compaction**
+rewrites the journal from the live job table — dropping records of
+pruned jobs and superseded states — into a fresh segment, deleting the
+history it replaced.
+
+Durability is a dial, not a promise (the matrix lives in
+``docs/persistence.md``): every append is flushed to the OS (a SIGKILL
+of the process loses nothing), and the ``fsync`` policy decides what a
+*machine* crash can take: ``"never"`` (fastest), ``"rotate"`` (fsync at
+segment boundaries and close — the default), or ``"always"`` (fsync
+every record — group-commit territory, measurable overhead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import PersistenceError
+
+#: Segment file header; bumping the format bumps the digit.
+MAGIC = b"ZIGJRNL1\n"
+
+#: ``(payload_length, payload_crc32)`` — the per-record frame.
+_FRAME = struct.Struct(">II")
+
+#: Segment file name pattern (zero-padded so lexical order == replay order).
+_SEGMENT_RE = re.compile(r"^journal-(\d{8})\.log$")
+
+#: Accepted ``fsync`` policies, in increasing durability/cost order.
+FSYNC_POLICIES = ("never", "rotate", "always")
+
+#: Default rotation threshold for one segment.
+DEFAULT_SEGMENT_BYTES = 4 << 20  # 4 MiB
+
+
+# ---------------------------------------------------------------------------
+# Record constructors — the shared vocabulary of writer and replayer
+# ---------------------------------------------------------------------------
+
+
+def submit_record(job_id: str, payload: dict | None) -> dict:
+    """A job entered the manager; ``payload`` is the wire request that
+    created it (what a resume re-executes)."""
+    return {"t": "submit", "job": job_id, "payload": payload or {}}
+
+
+def state_record(job_id: str, status: str, *, result: Any = None,
+                 error: dict | None = None,
+                 timings: dict | None = None) -> dict:
+    """A job changed state; terminal records carry the outcome."""
+    record: dict = {"t": "state", "job": job_id, "status": status}
+    if result is not None:
+        record["result"] = result
+    if error is not None:
+        record["error"] = error
+    if timings is not None:
+        record["timings"] = timings
+    return record
+
+
+def event_record(job_id: str, seq: int, kind: str, data: Any) -> dict:
+    """One numbered event of a job's event log."""
+    return {"t": "event", "job": job_id, "seq": int(seq),
+            "kind": kind, "data": data}
+
+
+def prune_record(job_ids: Iterable[str]) -> dict:
+    """The manager forgot these jobs; replay must too."""
+    return {"t": "prune", "jobs": list(job_ids)}
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayStats:
+    """What a journal replay saw (surfaced by ``/v2/state``)."""
+
+    segments: int = 0
+    records: int = 0
+    bytes: int = 0
+    #: Torn/corrupt tail records skipped (CRC mismatch, short frame,
+    #: undecodable payload).  Non-zero is expected after a hard crash.
+    corrupt: int = 0
+
+    def to_dict(self) -> dict:
+        return {"segments": self.segments, "records": self.records,
+                "bytes": self.bytes, "corrupt": self.corrupt}
+
+
+def _read_segment(path: str, stats: ReplayStats) -> Iterator[dict]:
+    """Yield the trustworthy records of one segment, stopping at the
+    first sign of a torn tail."""
+    with open(path, "rb") as fh:
+        header = fh.read(len(MAGIC))
+        if header != MAGIC:
+            stats.corrupt += 1
+            return
+        while True:
+            frame = fh.read(_FRAME.size)
+            if not frame:
+                return  # clean EOF
+            if len(frame) < _FRAME.size:
+                stats.corrupt += 1  # torn frame
+                return
+            length, crc = _FRAME.unpack(frame)
+            payload = fh.read(length)
+            if len(payload) < length:
+                stats.corrupt += 1  # torn payload
+                return
+            if zlib.crc32(payload) != crc:
+                stats.corrupt += 1  # bit rot / overwrite mid-record
+                return
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                stats.corrupt += 1
+                return
+            if isinstance(record, dict):
+                stats.records += 1
+                stats.bytes += _FRAME.size + length
+                yield record
+
+
+# ---------------------------------------------------------------------------
+# The journal
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournalCounters:
+    """Lifetime write-side counters (for ``/v2/state`` and the bench)."""
+
+    appends: int = 0
+    rotations: int = 0
+    compactions: int = 0
+    fsyncs: int = 0
+
+
+class JobJournal:
+    """Append-only, segmented, CRC-framed record log.
+
+    One journal belongs to one coordinator process at a time; appends
+    always go to a segment this process created (never a predecessor's),
+    so replay order is segment order and a predecessor's torn tail can
+    never interleave with fresh records.
+
+    Args:
+        root: directory for the segment files (created if missing).
+        max_segment_bytes: rotation threshold for the live segment.
+        fsync: one of :data:`FSYNC_POLICIES`.
+    """
+
+    def __init__(self, root: str,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync: str = "rotate"):
+        if fsync not in FSYNC_POLICIES:
+            raise PersistenceError(
+                f"unknown fsync policy {fsync!r} "
+                f"(available: {', '.join(FSYNC_POLICIES)})")
+        self.root = root
+        self.max_segment_bytes = max(4096, int(max_segment_bytes))
+        self.fsync = fsync
+        self.counters = JournalCounters()
+        self._lock = threading.Lock()
+        self._closed = False
+        os.makedirs(root, exist_ok=True)
+        existing = self._segment_numbers()
+        #: Running on-disk size of every segment, maintained at each
+        #: mutation so hot callers (``/healthz``, the compaction
+        #: trigger) never walk the directory.
+        self._disk_bytes = 0
+        for number in existing:
+            try:
+                self._disk_bytes += os.path.getsize(
+                    self._segment_path(number))
+            except OSError:
+                pass
+        self._current_no = (existing[-1] + 1) if existing else 1
+        self._segments = len(existing) + 1
+        self._fh = self._open_segment(self._current_no)
+        self._current_bytes = len(MAGIC)
+        self._disk_bytes += len(MAGIC)
+
+    # -- segment plumbing --------------------------------------------------------
+
+    def _segment_numbers(self) -> list[int]:
+        numbers = []
+        for name in os.listdir(self.root):
+            match = _SEGMENT_RE.match(name)
+            if match:
+                numbers.append(int(match.group(1)))
+        return sorted(numbers)
+
+    def _segment_path(self, number: int) -> str:
+        return os.path.join(self.root, f"journal-{number:08d}.log")
+
+    def _open_segment(self, number: int):
+        fh = open(self._segment_path(number), "ab")
+        if fh.tell() == 0:
+            fh.write(MAGIC)
+            fh.flush()
+        return fh
+
+    def _sync_locked(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.counters.fsyncs += 1
+
+    def _rotate_locked(self) -> None:
+        if self.fsync in ("rotate", "always"):
+            self._sync_locked()
+        self._fh.close()
+        self._current_no += 1
+        self._fh = self._open_segment(self._current_no)
+        self._current_bytes = len(MAGIC)
+        self._disk_bytes += len(MAGIC)
+        self._segments += 1
+        self.counters.rotations += 1
+
+    # -- writing -----------------------------------------------------------------
+
+    @staticmethod
+    def _frame(record: dict) -> bytes:
+        payload = json.dumps(record, separators=(",", ":"),
+                             ensure_ascii=False).encode("utf-8")
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+    def append(self, record: dict) -> None:
+        """Write one record; flushed to the OS before returning (a
+        process kill after ``append`` never loses the record)."""
+        frame = self._frame(record)
+        with self._lock:
+            if self._closed:
+                return  # late events during shutdown are best-effort
+            if self._current_bytes + len(frame) > self.max_segment_bytes \
+                    and self._current_bytes > len(MAGIC):
+                self._rotate_locked()
+            self._fh.write(frame)
+            self._fh.flush()
+            self._current_bytes += len(frame)
+            self._disk_bytes += len(frame)
+            self.counters.appends += 1
+            if self.fsync == "always":
+                self._sync_locked()
+
+    def flush(self, sync: bool = False) -> None:
+        """Push buffered bytes to the OS (and to the device with
+        ``sync=True``) — what a clean drain calls before the executor
+        backend closes."""
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.flush()
+            if sync:
+                self._sync_locked()
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self) -> tuple[list[dict], ReplayStats]:
+        """Every trustworthy record, oldest first, plus what was skipped.
+
+        Safe to call on a live journal (reads the already-flushed
+        prefix); recovery calls it before any append of the new run.
+        """
+        stats = ReplayStats()
+        records: list[dict] = []
+        with self._lock:
+            if not self._closed:
+                self._fh.flush()
+            numbers = self._segment_numbers()
+        for number in numbers:
+            stats.segments += 1
+            records.extend(_read_segment(self._segment_path(number), stats))
+        return records, stats
+
+    # -- compaction --------------------------------------------------------------
+
+    def compact(self, live_records: Iterable[dict]) -> int:
+        """Rewrite the journal as exactly ``live_records``.
+
+        The records are written to a brand-new segment (via a temp file
+        renamed into place, so a crash mid-compaction leaves the old
+        segments untouched), then every older segment is deleted.
+        Returns the number of records written.
+        """
+        frames = [self._frame(record) for record in live_records]
+        with self._lock:
+            if self._closed:
+                return 0
+            self._sync_locked()
+            self._fh.close()
+            old_numbers = self._segment_numbers()
+            new_no = (old_numbers[-1] + 1) if old_numbers else 1
+            tmp_path = self._segment_path(new_no) + ".tmp"
+            with open(tmp_path, "wb") as fh:
+                fh.write(MAGIC)
+                for frame in frames:
+                    fh.write(frame)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self._segment_path(new_no))
+            for number in old_numbers:
+                try:
+                    os.remove(self._segment_path(number))
+                except OSError:
+                    pass  # a reader may hold it open; replay tolerates
+            # Appends resume on a fresh segment *after* the compacted one.
+            self._current_no = new_no + 1
+            self._fh = self._open_segment(self._current_no)
+            self._current_bytes = len(MAGIC)
+            self._disk_bytes = (len(MAGIC) * 2
+                                + sum(len(frame) for frame in frames))
+            self._segments = 2  # the compacted segment + the fresh current
+            self.counters.compactions += 1
+        return len(frames)
+
+    # -- introspection / lifecycle ----------------------------------------------
+
+    def total_bytes(self) -> int:
+        """On-disk size of every segment (compaction trigger input).
+
+        A running counter maintained at every append/rotation/
+        compaction — health probes hit this, so it must not walk the
+        directory.
+        """
+        with self._lock:
+            return self._disk_bytes
+
+    def stats(self) -> dict:
+        """JSON-able write-side state for ``/v2/state`` / ``/healthz``.
+
+        Counter-based (no filesystem walks — health probes hit this):
+        segment count and sizes are running counters maintained at
+        every append, rotation and compaction.
+        """
+        with self._lock:
+            return {
+                "segments": self._segments,
+                "current_segment": self._current_no,
+                "bytes": self._disk_bytes,
+                "appends": self.counters.appends,
+                "rotations": self.counters.rotations,
+                "compactions": self.counters.compactions,
+                "fsyncs": self.counters.fsyncs,
+                "fsync_policy": self.fsync,
+                "max_segment_bytes": self.max_segment_bytes,
+            }
+
+    def close(self) -> None:
+        """Flush, fsync (unless policy ``never``), and close (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.flush()
+            if self.fsync in ("rotate", "always"):
+                try:
+                    self._sync_locked()
+                except OSError:
+                    pass
+            self._fh.close()
+            self._closed = True
+
+
+# ---------------------------------------------------------------------------
+# Replay folding — records -> per-job state
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class JournaledJob:
+    """The folded journal state of one job (what recovery consumes)."""
+
+    job_id: str
+    payload: dict = field(default_factory=dict)
+    status: str = "pending"
+    events: list = field(default_factory=list)  # (seq, kind, data)
+    result: Any = None
+    error: dict | None = None
+    timings: dict | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cancelled", "interrupted")
+
+    @property
+    def number(self) -> int:
+        """The numeric suffix of ``job-NNNNNN`` ids (0 when foreign)."""
+        _, _, digits = self.job_id.rpartition("-")
+        return int(digits) if digits.isdigit() else 0
+
+
+def fold_records(records: Iterable[dict]) -> "dict[str, JournaledJob]":
+    """Collapse a replayed record stream into per-job final state.
+
+    Later records win; ``prune`` records delete.  Unknown record types
+    and records for never-submitted jobs are tolerated (an ``event``
+    before its ``submit`` creates the entry), so a journal written by a
+    slightly newer revision still replays.  Events are deduplicated by
+    sequence number (later wins) — a compaction can legitimately write
+    an event that an in-flight append then re-records in the fresh
+    segment, and a restored log must stay contiguous regardless.
+    """
+    jobs: dict[str, JournaledJob] = {}
+    events: dict[str, dict[int, tuple]] = {}
+
+    def entry(job_id: str) -> JournaledJob:
+        job = jobs.get(job_id)
+        if job is None:
+            job = jobs[job_id] = JournaledJob(job_id=job_id)
+            events[job_id] = {}
+        return job
+
+    for record in records:
+        kind = record.get("t")
+        if kind == "submit":
+            job = entry(str(record.get("job", "")))
+            job.payload = dict(record.get("payload") or {})
+        elif kind == "state":
+            job = entry(str(record.get("job", "")))
+            job.status = str(record.get("status", job.status))
+            if record.get("result") is not None:
+                job.result = record["result"]
+            if record.get("error") is not None:
+                job.error = dict(record["error"])
+            if record.get("timings") is not None:
+                job.timings = dict(record["timings"])
+        elif kind == "event":
+            job = entry(str(record.get("job", "")))
+            seq = int(record.get("seq", 0) or 0)
+            events[job.job_id][seq] = (seq, str(record.get("kind", "")),
+                                       record.get("data"))
+        elif kind == "prune":
+            for job_id in record.get("jobs") or ():
+                jobs.pop(str(job_id), None)
+                events.pop(str(job_id), None)
+    jobs.pop("", None)
+    for job_id, job in jobs.items():
+        job.events = [events[job_id][seq] for seq in sorted(events[job_id])]
+    return jobs

@@ -1,0 +1,203 @@
+"""Crash-restart recovery — replay the journal, re-arm the jobs.
+
+Run once at boot, after the catalog is registered and before the server
+accepts traffic.  The orchestrator folds the replayed journal into
+per-job final state (:func:`repro.persistence.journal.fold_records`) and
+then, job by job in id order:
+
+* **terminal** jobs (``done`` / ``failed`` / ``cancelled`` /
+  ``interrupted``) are adopted back into the
+  :class:`~repro.service.jobs.JobManager` verbatim — result, error,
+  event log and timings — so ``GET /v2/jobs/<id>`` answers exactly as it
+  did before the restart;
+* **in-flight** jobs (``pending`` / ``running`` at the crash) follow the
+  recovery *policy*:
+
+  - ``resume`` (the default): the journaled request is re-submitted
+    through the service's configured executor backend under its original
+    job id.  A ``coordinator-restart`` event is appended first (the
+    restart analogue of the executor's ``worker-restart``), so a client
+    reconnecting its event stream sees the seam, then the re-run's
+    events — event ids stay monotonic across the restart because the
+    restored log keeps its journaled sequence numbers;
+  - ``fail``: the job is adopted in the terminal ``interrupted`` state
+    (a typed :class:`~repro.errors.JobInterruptedError`), queryable but
+    never re-run;
+  - ``discard``: the job is forgotten (and journal-pruned, so the next
+    restart does not see it again).
+
+Jobs whose journaled request cannot be reconstructed (foreign payloads,
+an unknown table after a catalog change) degrade from ``resume`` to
+``interrupted`` rather than failing the boot: recovery must never make a
+healthy server unstartable.
+
+Snapshots need no orchestration here — they are verified and merged at
+table-registration time (content fingerprints make staleness
+unrepresentable); recovery only *reports* how many were restored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JobInterruptedError, ReproError, RestoredJobError
+from repro.persistence.journal import fold_records
+from repro.persistence.state import DurableState
+from repro.service.protocol import (
+    CharacterizeRequest,
+    CharacterizeResponse,
+    ErrorCode,
+    JobEvent,
+    job_event_from_stage,
+)
+
+#: Accepted ``--recover`` policies.
+RECOVERY_POLICIES = ("resume", "fail", "discard")
+
+#: The event kind recovery stamps on a resumed job's log.
+COORDINATOR_RESTART_KIND = "coordinator-restart"
+
+
+@dataclass
+class RecoveryReport:
+    """What one boot-time recovery did (surfaced by ``/v2/state``)."""
+
+    policy: str
+    jobs_seen: int = 0
+    restored_terminal: int = 0
+    resumed: int = 0
+    interrupted: int = 0
+    discarded: int = 0
+    events_restored: int = 0
+    snapshots_loaded: int = 0
+    replay: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy, "jobs_seen": self.jobs_seen,
+            "restored_terminal": self.restored_terminal,
+            "resumed": self.resumed, "interrupted": self.interrupted,
+            "discarded": self.discarded,
+            "events_restored": self.events_restored,
+            "snapshots_loaded": self.snapshots_loaded,
+            "replay": dict(self.replay),
+        }
+
+    def summary(self) -> str:
+        """One log line for ``repro serve`` startup output."""
+        return (f"recovery ({self.policy}): {self.jobs_seen} journaled "
+                f"job(s) — {self.restored_terminal} terminal restored, "
+                f"{self.resumed} resumed, {self.interrupted} interrupted, "
+                f"{self.discarded} discarded; "
+                f"{self.events_restored} event(s) replayed, "
+                f"{self.snapshots_loaded} snapshot(s) warm")
+
+
+def _restore_result(raw) -> object:
+    """A journaled result back into its live shape (best effort)."""
+    if isinstance(raw, dict) and raw.get("type") == CharacterizeResponse.TYPE:
+        try:
+            return CharacterizeResponse.from_dict(raw)
+        except ReproError:
+            return raw
+    return raw
+
+
+def _restore_error(raw: dict | None) -> BaseException | None:
+    if not raw:
+        return None
+    return RestoredJobError(str(raw.get("message", "job failed")),
+                            code=str(raw.get("code", ErrorCode.ERROR)))
+
+
+def _restore_events(journaled: list) -> list:
+    """Journaled ``(seq, kind, data)`` triples into the manager's event
+    log shape, with the payloads as typed wire events (the only consumer
+    of a restored log is the service, which streams :class:`JobEvent`)."""
+    events = []
+    for seq, kind, data in journaled:
+        data = data if isinstance(data, dict) else {"info": data}
+        events.append((int(seq), kind, JobEvent(seq=int(seq), kind=kind,
+                                                data=data)))
+    return events
+
+
+def recover_jobs(service, state: DurableState,
+                 policy: str = "resume") -> RecoveryReport:
+    """Replay ``state``'s journal into ``service``; returns the report.
+
+    ``service`` is a :class:`~repro.service.service.ZiggyService` whose
+    catalog is already registered (resume re-executes against it).
+    Idempotent in effect: adopted jobs are journaled again only through
+    compaction, and a second call on a freshly recovered journal finds
+    the same state it just wrote.
+    """
+    if policy not in RECOVERY_POLICIES:
+        raise ReproError(f"unknown recovery policy {policy!r} "
+                         f"(available: {', '.join(RECOVERY_POLICIES)})")
+    records, replay_stats = state.journal.replay()
+    jobs = fold_records(records)
+    report = RecoveryReport(policy=policy, jobs_seen=len(jobs),
+                            replay=replay_stats.to_dict(),
+                            snapshots_loaded=state.snapshots.counters.loaded)
+    manager = service.jobs
+    discarded: list[str] = []
+    for journaled in sorted(jobs.values(), key=lambda job: job.number):
+        events = _restore_events(journaled.events)
+        report.events_restored += len(events)
+        if journaled.finished:
+            manager.adopt(
+                journaled.job_id, status=journaled.status,
+                events=events,
+                result=_restore_result(journaled.result),
+                error=_restore_error(journaled.error),
+                timings=journaled.timings,
+                journal_payload=journaled.payload)
+            report.restored_terminal += 1
+            continue
+        # In flight at the crash: the policy decides.
+        if policy == "discard":
+            discarded.append(journaled.job_id)
+            report.discarded += 1
+            continue
+        if policy == "resume":
+            try:
+                request = CharacterizeRequest.from_dict(journaled.payload)
+            except ReproError:
+                request = None
+            if request is not None:
+                manager.adopt(journaled.job_id, status="pending",
+                              events=events,
+                              journal_payload=journaled.payload)
+                manager.record_external_event(
+                    journaled.job_id, COORDINATOR_RESTART_KIND,
+                    {"policy": policy, "restored_events": len(events)},
+                    event_mapper=job_event_from_stage)
+                try:
+                    service.resume_job(journaled.job_id, request)
+                    report.resumed += 1
+                    continue
+                except ReproError as exc:
+                    # An unresumable request (table gone, backend shut):
+                    # degrade to interrupted, with the reason on record.
+                    manager.record_external_event(
+                        journaled.job_id, "recovery-error",
+                        {"reason": str(exc)},
+                        event_mapper=job_event_from_stage)
+                    manager.fail_adopted(
+                        journaled.job_id,
+                        JobInterruptedError(journaled.job_id))
+                    report.interrupted += 1
+                    continue
+        # policy == "fail", or resume could not reconstruct the request
+        manager.adopt(journaled.job_id, status="interrupted",
+                      events=events,
+                      error=JobInterruptedError(journaled.job_id),
+                      timings=journaled.timings,
+                      journal_payload=journaled.payload,
+                      journal=True)
+        report.interrupted += 1
+    if discarded:
+        state.journal.append({"t": "prune", "jobs": discarded})
+    state.recovery_report = report
+    return report

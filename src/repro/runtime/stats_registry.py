@@ -137,6 +137,19 @@ class SharedStatsRegistry:
         with shard.lock:
             return shard.caches.get(fingerprint)
 
+    def items(self) -> "list[tuple[str, StatsCache]]":
+        """Every ``(fingerprint, cache)`` pair currently registered.
+
+        A point-in-time copy (stripe by stripe), not a live view — this
+        is what the persistence layer's snapshot daemon walks, and what
+        lets it do so without holding any registry lock while pickling.
+        """
+        pairs: list[tuple[str, StatsCache]] = []
+        for shard in self._shards:
+            with shard.lock:
+                pairs.extend(shard.caches.items())
+        return pairs
+
     # -- eviction -----------------------------------------------------------------
 
     def evict(self, fingerprint: str) -> bool:

@@ -28,6 +28,8 @@ from repro.service.protocol import (
     JobEvent,
     JobSnapshot,
     JobSubmitRequest,
+    StateReport,
+    StateRequest,
     TableInfo,
     TableList,
     TablesRequest,
@@ -50,6 +52,8 @@ __all__ = [
     "ViewPageRequest",
     "JobSubmitRequest",
     "JobControlRequest",
+    "StateRequest",
+    "StateReport",
     "TablesRequest",
     "ConfigureRequest",
     "CharacterizeResponse",

@@ -34,6 +34,7 @@ from repro.service.protocol import (
     JobEvent,
     JobSnapshot,
     JobSubmitRequest,
+    StateReport,
     TableList,
     ViewPage,
     ViewPageRequest,
@@ -122,6 +123,11 @@ class ZiggyClient:
         """GET /healthz — liveness, protocol version, table names."""
         return self._get("/healthz")
 
+    def state(self) -> "StateReport":
+        """GET /v2/state — the durable-state report (journal, snapshot
+        and recovery stats; ``enabled=False`` for in-memory servers)."""
+        return parse_response(self._get("/v2/state"))
+
     def tables(self) -> TableList:
         """The server's catalog."""
         return parse_response(self._get("/v2/tables"))
@@ -167,12 +173,15 @@ class ZiggyClient:
     # -- jobs --------------------------------------------------------------------
 
     def submit(self, where: str, table: str | None = None,
-               page_size: int | None = None) -> JobSnapshot:
+               page_size: int | None = None,
+               weights: Mapping | None = None,
+               options: Mapping | None = None) -> JobSnapshot:
         """Queue an asynchronous characterization; returns the pending
         snapshot (carrying the job ID)."""
         request = JobSubmitRequest(request=CharacterizeRequest(
             where=where, table=table, client_id=self.client_id,
-            page_size=page_size))
+            page_size=page_size,
+            weights=dict(weights or {}), options=dict(options or {})))
         return parse_response(self._post("/v2/jobs", request.to_dict()))
 
     def job(self, job_id: str) -> JobSnapshot:

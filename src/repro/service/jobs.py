@@ -38,17 +38,33 @@ job behaves exactly like an unknown one — :class:`JobNotFoundError`,
 including for :meth:`events_since` waiters that were already blocked on
 it when the prune happened (they are woken and raised, never left
 waiting forever).
+
+With a **journal** attached (see :mod:`repro.persistence`), every
+lifecycle step is additionally appended to disk — submission (with the
+wire payload a resume re-executes), the ``running`` transition, every
+event-log entry, the terminal outcome, and prunes — so a coordinator
+restart can :meth:`adopt` jobs back exactly as they were.  Restored
+event logs keep their journaled sequence numbers, and fresh events
+append after them, so ``events_since`` cursors stay monotonic *across*
+restarts.  The ``interrupted`` state is terminal and restart-specific:
+a job that was in flight when the coordinator stopped and was not
+resumed.
 """
 
 from __future__ import annotations
 
-import itertools
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import JobCancelled, JobNotFoundError
+from repro.persistence.journal import (
+    event_record,
+    prune_record,
+    state_record,
+    submit_record,
+)
 from repro.runtime.executors import (
     CharacterizationTask,
     ExecutionHandle,
@@ -58,10 +74,11 @@ from repro.runtime.executors import (
 )
 
 #: Valid job states.
-JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled",
+              "interrupted")
 
 #: States from which a job can never move again.
-TERMINAL_STATES = ("done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled", "interrupted")
 
 ProgressFn = Callable[[str, Any], None]
 WorkFn = Callable[[ProgressFn], Any]
@@ -73,6 +90,52 @@ DEFAULT_MAX_FINISHED = 256
 #: that its job still exists (pruning wakes waiters explicitly; this is
 #: the belt to that suspender).
 _WAIT_SLICE_SECONDS = 1.0
+
+
+def _wire_event(stage: str, item: Any) -> "tuple[str, Any]":
+    """A stored event-log item as ``(kind, JSON-able data)``.
+
+    Service jobs store typed wire events (``kind``/``data`` attributes)
+    whose data is JSON-able by construction — those pass through
+    untouched (re-walking every view payload would double the journal's
+    serialization bill).  Raw submissions store arbitrary payloads,
+    which journal as their JSON-safe projection; anything that still
+    slips through lands on the append's stripped-down fallback record.
+    """
+    kind = getattr(item, "kind", None)
+    data = getattr(item, "data", None)
+    if kind is not None and data is not None:
+        return kind, data
+    from repro.service.protocol import json_safe
+
+    return kind or stage, json_safe(data if data is not None else item)
+
+
+def _wire_result(result: Any) -> Any:
+    """A job result as its JSON-able journal form (None when it has no
+    wire shape — the status still journals, the blob is dropped)."""
+    to_dict = getattr(result, "to_dict", None)
+    if callable(to_dict):
+        try:
+            return to_dict()
+        except Exception:  # noqa: BLE001 - durability is best-effort here
+            return None
+    from repro.service.protocol import json_safe
+
+    if result is None:
+        return None
+    safe = json_safe(result)
+    return safe if isinstance(safe, (dict, list, str, int, float)) else None
+
+
+def _wire_error(error: BaseException | None) -> dict | None:
+    """An exception as its journal form (protocol code + message)."""
+    if error is None:
+        return None
+    from repro.service.protocol import error_code_for
+
+    code = getattr(error, "error_code", None) or error_code_for(error)
+    return {"code": code, "message": str(error)}
 
 
 @dataclass
@@ -98,6 +161,12 @@ class Job:
     #: Set (under the lock) when the manager forgets the job; blocked
     #: event streamers check it to fail fast instead of waiting forever.
     pruned: bool = False
+    #: The wire payload that created the job (what a journal records and
+    #: a resume re-executes); None for submissions without one.
+    journal_payload: dict | None = None
+    #: Timings carried over from a journal restore; when set they win
+    #: over the perf-counter fields (which describe *this* process).
+    restored_timings: dict | None = None
 
     def __post_init__(self):
         # Shares the job lock, so event appends and state transitions
@@ -111,7 +180,7 @@ class Job:
 
     def record_event(self, stage: str, payload: Any,
                      mapper: "Callable[[int, str, Any], Any] | None" = None
-                     ) -> None:
+                     ) -> "tuple[int, Any]":
         """Append one numbered event and wake streaming consumers.
 
         ``mapper(seq, stage, payload)`` transforms the payload before it
@@ -119,16 +188,20 @@ class Job:
         event log holds small JSON-able summaries instead of raw pipeline
         artifacts (which would pin per-query slices and tables for the
         job's whole lifetime).  Must be called *without* the job lock
-        held.
+        held.  Returns ``(seq, stored_item)`` so the manager can journal
+        exactly what the log holds.
         """
         with self.event_cond:
             seq = len(self.events) + 1
             item = payload if mapper is None else mapper(seq, stage, payload)
             self.events.append((seq, stage, item))
             self.event_cond.notify_all()
+        return seq, item
 
     def timings_ms(self) -> dict[str, float]:
         """Queue and run durations so far, in milliseconds."""
+        if self.restored_timings is not None:
+            return dict(self.restored_timings)
         now = time.perf_counter()
         timings: dict[str, float] = {}
         started = self.started_at
@@ -156,20 +229,36 @@ class JobManager:
             pruned oldest-first on submission); None = unbounded.
         finished_ttl: seconds a terminal job stays queryable; None = no
             time limit.
+        journal: optional :class:`~repro.persistence.JobJournal`; when
+            given, every lifecycle step is appended (journal faults are
+            absorbed into :attr:`journal_errors`, never into the job).
+            The manager *borrows* the journal — closing it is the
+            durable-state owner's job.
     """
 
     def __init__(self, max_workers: int = 2, name: str = "ziggy-job",
                  backend: Executor | None = None,
                  max_finished: int | None = DEFAULT_MAX_FINISHED,
-                 finished_ttl: float | None = None):
+                 finished_ttl: float | None = None,
+                 journal=None):
         self.backend = (backend if backend is not None
                         else ThreadExecutor(max_workers=max_workers,
                                             name=name))
         self.max_finished = max_finished
         self.finished_ttl = finished_ttl
+        self._journal = journal
+        #: Serializes this manager's appends against its compactions: a
+        #: compaction snapshots the live job table and then swaps the
+        #: segments, and a record appended between those two steps would
+        #: be dropped by the swap.  Held only around whole journal
+        #: calls, never while taking the manager or a job lock.
+        self._journal_lock = threading.Lock()
+        #: Appends the journal swallowed (disk full, encoding faults):
+        #: durability degraded, but the live jobs stayed healthy.
+        self.journal_errors = 0
         self._jobs: dict[str, Job] = {}
         self._handles: dict[str, ExecutionHandle] = {}
-        self._counter = itertools.count(1)
+        self._next_id = 1
         self._lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -178,8 +267,9 @@ class JobManager:
                on_progress: ProgressFn | None = None,
                event_mapper: Callable[[int, str, Any], Any] | None = None,
                *, task: CharacterizationTask | None = None,
-               result_mapper: Callable[[Any], Any] | None = None
-               ) -> str:
+               result_mapper: Callable[[Any], Any] | None = None,
+               journal_payload: dict | None = None,
+               job_id: str | None = None) -> str:
         """Queue work on the backend and return its job ID.
 
         ``work`` is an in-process callable invoked with a progress
@@ -195,6 +285,13 @@ class JobManager:
         successful result *before* it is stored on the job (the service
         uses it to turn a worker shard's raw pipeline result into a wire
         response and to record session history).
+
+        ``journal_payload`` is the JSON-able request recorded with the
+        submission when a journal is attached — the payload recovery
+        re-executes on ``--recover resume``.  ``job_id`` re-attaches the
+        work to an :meth:`adopt`-restored record (resume) instead of
+        allocating a fresh id; the restored event log is kept, so the
+        re-run's events append after the journaled ones.
         """
         if self.backend.supports_callables:
             unit: Any = work if work is not None else task
@@ -206,10 +303,24 @@ class JobManager:
                 "task for this submission, and none was provided")
         with self._lock:
             doomed = self._prune_locked()
-            job_id = f"job-{next(self._counter):06d}"
-            job = Job(job_id=job_id)
-            self._jobs[job_id] = job
+            fresh = job_id is None or job_id not in self._jobs
+            if fresh:
+                if job_id is None:
+                    job_id = f"job-{self._next_id:06d}"
+                    self._next_id += 1
+                else:
+                    self._observe_id_locked(job_id)
+                job = Job(job_id=job_id)
+                if journal_payload is not None:
+                    job.journal_payload = dict(journal_payload)
+                self._jobs[job_id] = job
+            else:
+                job = self._jobs[job_id]
         self._wake_pruned(doomed)
+        self._journal_pruned(doomed)
+        if fresh:
+            self._append_journal(
+                submit_record(job_id, job.journal_payload))
 
         def begin() -> None:
             with job.event_cond:
@@ -217,6 +328,9 @@ class JobManager:
                     raise JobCancelled(job.job_id)
                 job.status = "running"
                 job.started_at = time.perf_counter()
+                # A resumed run measures its own queue/run clock.
+                job.restored_timings = None
+            self._append_journal(state_record(job.job_id, "running"))
 
         def finish(status: str, result: Any,
                    error: BaseException | None) -> None:
@@ -241,6 +355,7 @@ class JobManager:
                 job.error = error
                 job.finished_at = time.perf_counter()
                 job.event_cond.notify_all()
+            self._journal_terminal(job)
 
         try:
             handle = self.backend.submit(
@@ -248,16 +363,27 @@ class JobManager:
                 progress=self._progress_fn(job, on_progress, event_mapper),
                 finish=finish)
         except BaseException:
-            # The backend rejected the work (e.g. already closed): the
+            # The backend rejected the work (e.g. already closed): a
             # just-created record must not linger as a forever-pending
-            # ghost that retention never prunes.
-            with self._lock:
-                self._jobs.pop(job_id, None)
+            # ghost that retention never prunes — and its journaled
+            # submit record must not resurrect on the next restart a
+            # job whose submission the caller saw fail.  An adopted
+            # record (resume) stays — the caller decides its fate.
+            if fresh:
+                with self._lock:
+                    self._jobs.pop(job_id, None)
+                self._append_journal(prune_record([job_id]))
             raise
         with self._lock:
             if job_id in self._jobs:  # not pruned while submitting
                 self._handles[job_id] = handle
         return job_id
+
+    def _observe_id_locked(self, job_id: str) -> None:
+        """Keep the id allocator ahead of externally supplied ids."""
+        _, _, digits = job_id.rpartition("-")
+        if digits.isdigit():
+            self._next_id = max(self._next_id, int(digits) + 1)
 
     def _progress_fn(self, job: Job, on_progress: ProgressFn | None,
                      event_mapper: Callable[[int, str, Any], Any] | None
@@ -274,7 +400,8 @@ class JobManager:
                     rank = len(job.partial)
                 # Record the keep-order rank with the view, so event
                 # consumers never rescan the log to reconstruct it.
-                job.record_event(stage, (rank, payload), event_mapper)
+                seq, item = job.record_event(stage, (rank, payload),
+                                             event_mapper)
             elif stage == "worker-restart":
                 # The job's worker died and the task re-executes from
                 # scratch on a respawned shard: drop the aborted
@@ -283,9 +410,10 @@ class JobManager:
                 # history, restart marker included).
                 with job.lock:
                     job.partial.clear()
-                job.record_event(stage, payload, event_mapper)
+                seq, item = job.record_event(stage, payload, event_mapper)
             else:
-                job.record_event(stage, payload, event_mapper)
+                seq, item = job.record_event(stage, payload, event_mapper)
+            self._journal_event(job, seq, stage, item)
             if on_progress is not None:
                 on_progress(stage, payload)
             # Re-check after the caller's hook: a cancel that arrived while
@@ -294,6 +422,168 @@ class JobManager:
                 raise JobCancelled(job.job_id)
 
         return progress
+
+    # -- durability --------------------------------------------------------------
+
+    def _append_journal(self, record: dict,
+                        fallback: dict | None = None) -> None:
+        """Append one record, absorbing faults into ``journal_errors``.
+
+        ``fallback`` is a stripped-down replacement for records whose
+        payload turned out not to be JSON-able — losing a result blob is
+        survivable, losing the *status* record would resurrect the job
+        as in-flight on the next restart.
+        """
+        if self._journal is None:
+            return
+        try:
+            with self._journal_lock:
+                self._journal.append(record)
+        except (TypeError, ValueError):
+            if fallback is not None:
+                try:
+                    with self._journal_lock:
+                        self._journal.append(fallback)
+                    return
+                except Exception:  # noqa: BLE001 - counted below
+                    pass
+            self._count_journal_error()
+        except Exception:  # noqa: BLE001 - disk faults must not kill jobs
+            self._count_journal_error()
+
+    def _count_journal_error(self) -> None:
+        # Under the lock: concurrent faulting appends must not lose
+        # counts — /v2/state exists to surface degraded durability.
+        with self._journal_lock:
+            self.journal_errors += 1
+
+    def compact_journal(self) -> int:
+        """Rewrite the journal as exactly the live job table.
+
+        Runs with the append lock held, so a record landing during the
+        snapshot-and-swap cannot fall between the snapshotted state and
+        the deleted history.  Returns the number of records written.
+        """
+        if self._journal is None:
+            return 0
+        with self._journal_lock:
+            return self._journal.compact(self.journal_records())
+
+    def _journal_event(self, job: Job, seq: int, stage: str,
+                       item: Any) -> None:
+        if self._journal is None:
+            return
+        kind, data = _wire_event(stage, item)
+        self._append_journal(
+            event_record(job.job_id, seq, kind, data),
+            fallback=event_record(job.job_id, seq, kind,
+                                  {"info": repr(data)}))
+
+    def _journal_terminal(self, job: Job) -> None:
+        """Append a job's terminal record (status + outcome + timings)."""
+        if self._journal is None:
+            return
+        with job.lock:
+            status = job.status
+            result = job.result
+            error = job.error
+            timings = job.timings_ms()
+        self._append_journal(
+            state_record(job.job_id, status, result=_wire_result(result),
+                         error=_wire_error(error), timings=timings),
+            fallback=state_record(job.job_id, status,
+                                  error=_wire_error(error),
+                                  timings=timings))
+
+    def _journal_pruned(self, doomed: "list[Job]") -> None:
+        if doomed:
+            self._append_journal(
+                prune_record(job.job_id for job in doomed))
+
+    def adopt(self, job_id: str, *, status: str, events: "list | tuple" = (),
+              result: Any = None, error: BaseException | None = None,
+              timings: dict | None = None,
+              journal_payload: dict | None = None,
+              journal: bool = False) -> Job:
+        """Install a restored job record (the recovery orchestrator's
+        write path into the manager).
+
+        ``events`` is the restored event log — ``(seq, kind, item)``
+        triples whose sequence numbers are preserved verbatim, so fresh
+        events (and reconnecting ``events_since`` cursors) continue the
+        journaled numbering.  ``journal=True`` additionally appends the
+        adopted state (used when adoption itself *changes* state, e.g.
+        in-flight → ``interrupted``; plain restores skip it — their
+        records are already in the journal).
+        """
+        job = Job(job_id=job_id)
+        job.status = status
+        job.events = list(events)
+        job.result = result
+        job.error = error
+        job.journal_payload = (dict(journal_payload)
+                               if journal_payload is not None else None)
+        job.restored_timings = dict(timings) if timings is not None else {}
+        if status in TERMINAL_STATES:
+            job.finished_at = time.perf_counter()  # honest TTL clock
+        with self._lock:
+            self._observe_id_locked(job_id)
+            self._jobs[job_id] = job
+        if journal:
+            self._journal_terminal(job)
+        return job
+
+    def fail_adopted(self, job_id: str, error: BaseException) -> Job:
+        """Move an adopted (still pending) job to ``interrupted`` — the
+        recovery fallback when a resume could not be re-submitted."""
+        job = self.get(job_id)
+        with job.event_cond:
+            if not job.finished:
+                job.status = "interrupted"
+                job.error = error
+                job.finished_at = time.perf_counter()
+            job.event_cond.notify_all()
+        self._journal_terminal(job)
+        return job
+
+    def record_external_event(self, job_id: str, stage: str, payload: Any,
+                              event_mapper: Callable[[int, str, Any], Any]
+                              | None = None) -> int:
+        """Append one out-of-band event to a job's log (journaled).
+
+        Recovery uses this to stamp ``coordinator-restart`` markers on
+        resumed jobs; returns the event's sequence number.
+        """
+        job = self.get(job_id)
+        seq, item = job.record_event(stage, payload, event_mapper)
+        self._journal_event(job, seq, stage, item)
+        return seq
+
+    def journal_records(self) -> "list[dict]":
+        """The live job table as journal records — what a compaction
+        rewrites the journal to."""
+        with self._lock:
+            jobs = list(self._jobs.values())
+        records: list[dict] = []
+        for job in jobs:
+            with job.lock:
+                status = job.status
+                events = list(job.events)
+                payload = job.journal_payload
+                result = job.result
+                error = job.error
+                timings = job.timings_ms()
+            records.append(submit_record(job.job_id, payload))
+            for seq, stage, item in events:
+                kind, data = _wire_event(stage, item)
+                records.append(event_record(job.job_id, seq, kind, data))
+            if status in TERMINAL_STATES:
+                records.append(state_record(
+                    job.job_id, status, result=_wire_result(result),
+                    error=_wire_error(error), timings=timings))
+            elif status == "running":
+                records.append(state_record(job.job_id, "running"))
+        return records
 
     # -- retention ---------------------------------------------------------------
 
@@ -333,6 +623,7 @@ class JobManager:
         with self._lock:
             doomed = self._prune_locked()
         self._wake_pruned(doomed)
+        self._journal_pruned(doomed)
         return len(doomed)
 
     # -- observation -------------------------------------------------------------
@@ -363,11 +654,17 @@ class JobManager:
         with self._lock:
             handle = self._handles.get(job_id)
         if handle is not None and handle.cancel():
+            cancelled_here = False
             with job.event_cond:
                 if not job.finished:
                     job.status = "cancelled"
                     job.finished_at = time.perf_counter()
+                    cancelled_here = True
                 job.event_cond.notify_all()
+            if cancelled_here:
+                # The backend never ran the work, so no finish() will
+                # journal this transition — do it here.
+                self._journal_terminal(job)
         return job
 
     def events_since(self, job_id: str, after_seq: int = 0,
@@ -425,5 +722,24 @@ class JobManager:
         return job
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting work and close the backend (idempotent)."""
+        """Stop accepting work and close the backend (idempotent).
+
+        With a journal attached the pending event-log writes are pushed
+        to the device *before* the backend starts draining (so a drain
+        that wedges can never cost already-acknowledged events), and
+        flushed once more afterwards for the records the drain itself
+        appended (in-flight jobs reaching their terminal state).  The
+        journal stays open — its owner (the service's durable state)
+        compacts and closes it after this returns.
+        """
+        if self._journal is not None:
+            try:
+                self._journal.flush(sync=True)
+            except Exception:  # noqa: BLE001 - shutdown must proceed
+                self._count_journal_error()
         self.backend.close(wait=wait)
+        if self._journal is not None:
+            try:
+                self._journal.flush(sync=False)
+            except Exception:  # noqa: BLE001
+                self._count_journal_error()

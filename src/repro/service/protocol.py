@@ -31,6 +31,7 @@ from repro.errors import (
     ConfigError,
     EmptySelectionError,
     JobCancelled,
+    JobInterruptedError,
     JobNotFoundError,
     NoActiveQueryError,
     ProtocolError,
@@ -62,6 +63,7 @@ class ErrorCode:
     NO_ACTIVE_QUERY = "no_active_query"
     JOB_NOT_FOUND = "job_not_found"
     CANCELLED = "cancelled"
+    INTERRUPTED = "interrupted"
     ERROR = "error"
     INTERNAL = "internal"
 
@@ -77,13 +79,22 @@ _EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
     (NoActiveQueryError, ErrorCode.NO_ACTIVE_QUERY),
     (JobNotFoundError, ErrorCode.JOB_NOT_FOUND),
     (JobCancelled, ErrorCode.CANCELLED),
+    (JobInterruptedError, ErrorCode.INTERRUPTED),
     (ProtocolError, ErrorCode.BAD_REQUEST),
     (ReproError, ErrorCode.ERROR),
 )
 
 
 def error_code_for(exc: BaseException) -> str:
-    """The protocol error code for an exception (``internal`` fallback)."""
+    """The protocol error code for an exception (``internal`` fallback).
+
+    An exception carrying an ``error_code`` attribute (e.g. a
+    journal-restored job error whose original type did not survive the
+    restart) keeps its recorded code instead of a type-derived one.
+    """
+    recorded = getattr(exc, "error_code", None)
+    if recorded:
+        return str(recorded)
     for exc_type, code in _EXCEPTION_CODES:
         if isinstance(exc, exc_type):
             return code
@@ -440,6 +451,22 @@ class ConfigureRequest:
                    options=dict(payload.get("options") or {}))
 
 
+@dataclass(frozen=True)
+class StateRequest:
+    """Report the service's durable-state health (journal, snapshots,
+    recovery) — the typed form of ``GET /v2/state``."""
+
+    TYPE = "state"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"type": self.TYPE, "protocol": PROTOCOL_VERSION}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StateRequest":
+        _check_protocol(payload)
+        return cls()
+
+
 # ---------------------------------------------------------------------------
 # Responses
 # ---------------------------------------------------------------------------
@@ -626,8 +653,9 @@ class JobSnapshot:
 
     @property
     def finished(self) -> bool:
-        """Whether the job reached a terminal state."""
-        return self.status in ("done", "failed", "cancelled")
+        """Whether the job reached a terminal state (``interrupted`` is
+        one: the coordinator restarted and did not resume the job)."""
+        return self.status in ("done", "failed", "cancelled", "interrupted")
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -725,6 +753,58 @@ class ConfigureResponse:
         _check_protocol(payload)
         return cls(weights=dict(payload.get("weights") or {}),
                    applied=tuple(payload.get("applied") or ()))
+
+
+@dataclass(frozen=True)
+class StateReport:
+    """The durable-state health report (the ``GET /v2/state`` body).
+
+    ``enabled`` is False for a fully in-memory service — the other
+    sections are then empty.  ``journal`` / ``snapshots`` carry the
+    write-side counters of :mod:`repro.persistence`; ``recovery`` is the
+    last boot's :class:`~repro.persistence.RecoveryReport` (or None when
+    the journal was empty / no recovery ran); ``runtime`` is the shared
+    runtime's table-store + registry snapshot; ``jobs`` counts the
+    manager's live records by status.
+    """
+
+    enabled: bool
+    state_dir: str | None = None
+    uptime_seconds: float = 0.0
+    journal: dict = field(default_factory=dict)
+    snapshots: dict = field(default_factory=dict)
+    recovery: dict | None = None
+    runtime: dict = field(default_factory=dict)
+    jobs: dict = field(default_factory=dict)
+
+    TYPE = "state_report"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "type": self.TYPE, "protocol": PROTOCOL_VERSION, "ok": True,
+            "enabled": self.enabled, "state_dir": self.state_dir,
+            "uptime_seconds": json_safe(self.uptime_seconds),
+            "journal": json_safe(self.journal),
+            "snapshots": json_safe(self.snapshots),
+            "recovery": json_safe(self.recovery),
+            "runtime": json_safe(self.runtime),
+            "jobs": json_safe(self.jobs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "StateReport":
+        _check_protocol(payload)
+        recovery = payload.get("recovery")
+        return cls(
+            enabled=bool(payload.get("enabled", False)),
+            state_dir=payload.get("state_dir"),
+            uptime_seconds=float(payload.get("uptime_seconds", 0.0) or 0.0),
+            journal=dict(payload.get("journal") or {}),
+            snapshots=dict(payload.get("snapshots") or {}),
+            recovery=dict(recovery) if recovery else None,
+            runtime=dict(payload.get("runtime") or {}),
+            jobs=dict(payload.get("jobs") or {}),
+        )
 
 
 @dataclass(frozen=True)
@@ -896,6 +976,7 @@ REQUEST_TYPES: dict[str, Any] = {
     JobControlRequest.TYPE: JobControlRequest,
     TablesRequest.TYPE: TablesRequest,
     ConfigureRequest.TYPE: ConfigureRequest,
+    StateRequest.TYPE: StateRequest,
 }
 
 #: Response tag -> class, for :func:`parse_response`.
@@ -907,6 +988,7 @@ RESPONSE_TYPES: dict[str, Any] = {
     JobEvent.TYPE: JobEvent,
     TableList.TYPE: TableList,
     ConfigureResponse.TYPE: ConfigureResponse,
+    StateReport.TYPE: StateReport,
     ApiError.TYPE: ApiError,
 }
 

@@ -9,7 +9,10 @@ Routes:
 ==========  =========================  =====================================
 method      path                       meaning
 ==========  =========================  =====================================
-GET         /healthz                   liveness + protocol version
+GET         /healthz                   liveness, uptime, shard restarts,
+                                       journal/snapshot stats
+GET         /v2/state                  durable-state report (journal,
+                                       snapshots, recovery, runtime)
 GET         /v2/tables                 catalog
 POST        /v2                        any protocol request (tag-dispatched)
 POST        /v2/characterize           characterize (type implied)
@@ -67,6 +70,7 @@ _STATUS_FOR_CODE = {
     ErrorCode.NO_ACTIVE_QUERY: 409,
     ErrorCode.JOB_NOT_FOUND: 404,
     ErrorCode.CANCELLED: 200,
+    ErrorCode.INTERRUPTED: 200,
     ErrorCode.ERROR: 400,
     ErrorCode.INTERNAL: 500,
 }
@@ -141,11 +145,38 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
         path = self.path.rstrip("/")
         if path in ("", "/healthz"):
             from repro import __version__
+            executor = self.service.executor.describe()
+            state = self.service.state
+            persistence: dict[str, Any] = {"enabled": state is not None}
+            if state is not None:
+                persistence["state_dir"] = state.state_dir
+                journal = state.journal.stats()
+                persistence["journal"] = {
+                    "segments": journal["segments"],
+                    "bytes": journal["bytes"],
+                    "appends": journal["appends"],
+                }
+                snapshots = state.snapshots.stats()
+                persistence["snapshots"] = {
+                    "count": snapshots["count"],
+                    "bytes": snapshots["bytes"],
+                    "loaded": snapshots["loaded"],
+                }
             self._send_json({"ok": True, "protocol": PROTOCOL_VERSION,
                              "version": __version__,
-                             "executor": self.service.executor.describe(),
+                             "uptime_seconds": round(
+                                 self.service.uptime_seconds, 3),
+                             "executor": executor,
+                             # Per-shard respawn counts, surfaced even
+                             # when zero so probes need no key checks
+                             # (local backends report an empty map).
+                             "restarts": executor.get("restarts", {}),
+                             "persistence": persistence,
                              "tables": list(self.service.database
                                             .table_names())})
+            return
+        if path == "/v2/state":
+            self._send_json(self.service.dispatch({"type": "state"}))
             return
         if path == "/v2/tables":
             self._send_json(self.service.dispatch({"type": "tables"}))

@@ -38,6 +38,7 @@ from repro.errors import (
     ProtocolError,
     ReproError,
 )
+from repro.persistence.state import DurableState
 from repro.runtime import (
     BatchGroup,
     CharacterizationTask,
@@ -60,6 +61,8 @@ from repro.service.protocol import (
     JobEvent,
     JobSnapshot,
     JobSubmitRequest,
+    StateReport,
+    StateRequest,
     TableInfo,
     TableList,
     TablesRequest,
@@ -97,6 +100,19 @@ class ZiggyService:
             backend only; see ``docs/executors.md`` failure semantics).
         max_retries: re-execution budget per in-flight task after a
             worker death (``process`` backend only).
+        state_dir: directory for durable state (job journal + warm-cache
+            snapshots; see ``docs/persistence.md``).  None (the default)
+            keeps the service fully in-memory.  Call :meth:`recover`
+            after registering the catalog to replay a previous run's
+            journal.
+        persistence: a pre-built :class:`~repro.persistence.DurableState`
+            (mutually exclusive with ``state_dir``); the service adopts
+            it and closes it on :meth:`shutdown`.
+        snapshot_interval: seconds between background warm-cache
+            snapshot passes (0 disables the cadence; drain-time
+            snapshots still happen).  Only meaningful with a state dir.
+        fsync: journal fsync policy (``never`` / ``rotate`` / ``always``
+            — the durability matrix lives in ``docs/persistence.md``).
     """
 
     #: Distinguishes service instances in the registry's borrower ledger
@@ -110,35 +126,77 @@ class ZiggyService:
                  runtime: ZiggyRuntime | None = None,
                  executor: "str | Executor" = "thread",
                  max_restarts: int | None = None,
-                 max_retries: int | None = None):
+                 max_retries: int | None = None,
+                 state_dir: str | None = None,
+                 persistence: DurableState | None = None,
+                 snapshot_interval: float | None = None,
+                 fsync: str | None = None):
         self.database = database if database is not None else Database()
         self.config = config
         self.runtime = runtime if runtime is not None else get_runtime()
         self._instance = f"svc-{next(self._instances)}"
+        self.started_at = time.time()
+        if persistence is not None and state_dir is not None:
+            raise ProtocolError(
+                "pass either state_dir or a pre-built persistence object, "
+                "not both")
+        if persistence is None and state_dir is not None:
+            kwargs: dict[str, Any] = {}
+            if snapshot_interval is not None:
+                kwargs["snapshot_interval"] = snapshot_interval
+            if fsync is not None:
+                kwargs["fsync"] = fsync
+            persistence = DurableState(state_dir, **kwargs)
+        self.state = persistence
         if isinstance(executor, str):
             executor = create_executor(executor, workers=max_workers,
                                        runtime=self.runtime,
                                        max_restarts=max_restarts,
                                        max_retries=max_retries)
         self.executor = executor
-        self.jobs = JobManager(backend=executor)
+        self.jobs = JobManager(backend=executor,
+                               journal=(persistence.journal
+                                        if persistence is not None else None))
+        if persistence is not None:
+            persistence.attach(self.runtime, self.jobs)
         self._sessions: dict[str, ZiggySession] = {}
         self._locks: dict[str, threading.Lock] = {}
         self._registry_lock = threading.Lock()
         # A pre-populated catalog must reach the backend too (process
         # shards only execute tables they have been shipped).
         for table_name in self.database.table_names():
-            self.executor.register_table(self.database.table(table_name),
-                                         name=table_name)
+            self._share_table(self.database.table(table_name),
+                              name=table_name)
 
     # -- catalog / sessions -------------------------------------------------------
 
     def register_table(self, table: Table, name: str | None = None) -> None:
         """Add a dataset to the shared catalog, the runtime store, and
-        the executor backend (process shards receive it by value)."""
+        the executor backend (process shards receive it by value).
+
+        With durable state attached, a warm-cache snapshot matching the
+        table's content fingerprint is restored first: merged into the
+        shared registry (so coordinator-side queries skip preparation)
+        and shipped with the executor registration (so worker shards —
+        and their future respawns — start warm too).
+        """
         self.database.register(table, name=name)
+        self._share_table(table, name=name)
+
+    def _share_table(self, table: Table, name: str | None = None) -> None:
+        """Runtime + executor registration, with snapshot warm restore."""
         self.runtime.register_table(table, name=name)
-        self.executor.register_table(table, name=name)
+        snapshot = None
+        if self.state is not None:
+            fingerprint = table.fingerprint()
+            self.state.note_table(name or table.name, fingerprint)
+            snapshot = self.state.snapshots.load(fingerprint)
+            if snapshot is not None:
+                self.runtime.stats.cache_for_fingerprint(
+                    fingerprint,
+                    borrower=f"snapshot-restore@{self._instance}"
+                ).merge_from(snapshot)
+        self.executor.register_table(table, name=name, cache=snapshot)
 
     def session(self, client_id: str = "default") -> ZiggySession:
         """The session for one client, created on first use."""
@@ -416,27 +474,63 @@ class ZiggyService:
         """
         inner = (request.request if isinstance(request, JobSubmitRequest)
                  else request)
+        job_id = self._submit_request(inner, on_progress=on_progress)
+        return self._snapshot(self.jobs.get(job_id))
+
+    def _submit_request(self, inner: CharacterizeRequest,
+                        on_progress: Callable[[str, Any], None] | None = None,
+                        job_id: str | None = None) -> str:
+        """Queue one characterize request as a job (fresh or resumed).
+
+        The request's wire form rides along as the journal payload, so a
+        coordinator restart can re-execute it; ``job_id`` re-attaches
+        the work to a journal-restored record (see :meth:`resume_job`).
+        """
         if self.jobs.backend.supports_callables:
             # The closure runs the *local* session path directly: the
             # job already occupies a backend worker, so routing it back
             # through ``characterize`` would double-submit (and starve
             # a one-worker pool).
-            job_id = self.jobs.submit(
+            return self.jobs.submit(
                 lambda progress: self._characterize_local(
                     inner, progress=progress),
                 on_progress=on_progress,
                 # Events enter the log already in wire form: the log then
                 # holds small JSON-able dicts, not pipeline artifacts that
                 # would pin slices and tables for the job's lifetime.
-                event_mapper=job_event_from_stage)
-        else:
-            task, result_mapper = self._task_for(inner)
-            job_id = self.jobs.submit(
-                task=task,
-                on_progress=on_progress,
                 event_mapper=job_event_from_stage,
-                result_mapper=result_mapper)
-        return self._snapshot(self.jobs.get(job_id))
+                journal_payload=inner.to_dict(),
+                job_id=job_id)
+        task, result_mapper = self._task_for(inner)
+        return self.jobs.submit(
+            task=task,
+            on_progress=on_progress,
+            event_mapper=job_event_from_stage,
+            result_mapper=result_mapper,
+            journal_payload=inner.to_dict(),
+            job_id=job_id)
+
+    def resume_job(self, job_id: str, request: CharacterizeRequest) -> str:
+        """Re-submit a journal-restored job under its original id.
+
+        Called by the recovery orchestrator (``--recover resume``) after
+        :meth:`JobManager.adopt` restored the record; the re-run's
+        events append after the journaled ones, so streaming cursors
+        stay monotonic across the restart.
+        """
+        return self._submit_request(request, job_id=job_id)
+
+    def recover(self, policy: str = "resume"):
+        """Replay the journal of this service's state directory.
+
+        Returns the :class:`~repro.persistence.RecoveryReport` (or None
+        when the service has no durable state).  Call once at boot,
+        after the catalog is registered — ``repro serve`` does.
+        """
+        if self.state is None:
+            return None
+        from repro.persistence.recovery import recover_jobs
+        return recover_jobs(self, self.state, policy=policy)
 
     def _task_for(self, inner: CharacterizeRequest
                   ) -> "tuple[CharacterizationTask, Callable[[Any], Any]]":
@@ -475,6 +569,44 @@ class ZiggyService:
             config=effective_config,
             client_id=f"{inner.client_id}@{self._instance}")
         return task, result_mapper
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this service object was constructed."""
+        return time.time() - self.started_at
+
+    def state_report(self, request: StateRequest | None = None) -> StateReport:
+        """Durable-state health: journal, snapshots, recovery, runtime.
+
+        Answers for in-memory services too (``enabled=False`` with the
+        runtime/jobs sections still filled), so ``GET /v2/state`` is
+        always a valid probe.
+        """
+        by_status: dict[str, int] = {}
+        for job_id in self.jobs.job_ids():
+            try:
+                status = self.jobs.get(job_id).status
+            except ReproError:
+                continue
+            by_status[status] = by_status.get(status, 0) + 1
+        jobs = {"live": sum(by_status.values()), "by_status": by_status,
+                "journal_errors": self.jobs.journal_errors}
+        if self.state is None:
+            return StateReport(enabled=False,
+                               uptime_seconds=self.uptime_seconds,
+                               runtime=self.runtime.stats_snapshot(),
+                               jobs=jobs)
+        stats = self.state.stats()
+        return StateReport(
+            enabled=True,
+            state_dir=stats["state_dir"],
+            uptime_seconds=self.uptime_seconds,
+            journal=stats["journal"],
+            snapshots=stats["snapshots"],
+            recovery=stats["recovery"],
+            runtime=self.runtime.stats_snapshot(),
+            jobs=jobs,
+        )
 
     def job_status(self, job_id: str) -> JobSnapshot:
         """A point-in-time snapshot of one job (with partial views)."""
@@ -566,6 +698,8 @@ class ZiggyService:
                 return self.list_tables(request).to_dict()
             if isinstance(request, ConfigureRequest):
                 return self.configure(request).to_dict()
+            if isinstance(request, StateRequest):
+                return self.state_report(request).to_dict()
             raise ProtocolError(
                 f"unhandled request type {type(request).__name__}")
         except ReproError as exc:
@@ -607,5 +741,16 @@ class ZiggyService:
         )
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop the job pool (the catalog and sessions stay usable)."""
+        """Stop the job pool (the catalog and sessions stay usable).
+
+        With durable state attached the order is deliberate: the job
+        manager flushes the journal *before* the backend drains (tail
+        events already acknowledged to SSE clients are on disk even if
+        the drain wedges), and after the drain the durable state does
+        its final snapshot pass, compacts the journal down to the live
+        job table, and closes it — a clean stop leaves a warm, compact
+        state directory.
+        """
         self.jobs.shutdown(wait=wait)
+        if self.state is not None:
+            self.state.close()

@@ -1,0 +1,221 @@
+"""Tests for the append-only job journal: framing, corruption handling,
+rotation, compaction, and record folding."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence.journal import (
+    MAGIC,
+    JobJournal,
+    event_record,
+    fold_records,
+    prune_record,
+    state_record,
+    submit_record,
+)
+
+
+def make_journal(tmp_path, **kwargs) -> JobJournal:
+    return JobJournal(str(tmp_path / "journal"), **kwargs)
+
+
+def segment_paths(journal: JobJournal) -> list:
+    return sorted(os.path.join(journal.root, name)
+                  for name in os.listdir(journal.root)
+                  if name.endswith(".log"))
+
+
+class TestFraming:
+    def test_round_trip(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {"where": "x > 1"}))
+        journal.append(event_record("job-000001", 1, "prepared", {"n": 3}))
+        journal.append(state_record("job-000001", "done",
+                                    result={"ok": True},
+                                    timings={"run": 4.5}))
+        records, stats = journal.replay()
+        journal.close()
+        assert [r["t"] for r in records] == ["submit", "event", "state"]
+        assert records[0]["payload"] == {"where": "x > 1"}
+        assert records[2]["result"] == {"ok": True}
+        assert stats.corrupt == 0
+        assert stats.records == 3
+
+    def test_unicode_payloads_survive(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {"where": "naïve ≠ 1"}))
+        records, _ = journal.replay()
+        journal.close()
+        assert records[0]["payload"]["where"] == "naïve ≠ 1"
+
+    def test_bad_fsync_policy_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError, match="fsync"):
+            make_journal(tmp_path, fsync="sometimes")
+
+    def test_append_after_close_is_noop(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.close()
+        journal.append(submit_record("job-000001", {}))  # must not raise
+        journal.flush(sync=True)
+
+
+class TestCorruption:
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {"where": "x > 1"}))
+        journal.append(state_record("job-000001", "running"))
+        journal.close()
+        path = segment_paths(journal)[0]
+        # Simulate a crash mid-write: append half a record.
+        with open(path, "ab") as fh:
+            payload = json.dumps({"t": "state"}).encode()
+            fh.write(struct.pack(">II", len(payload), 0) + payload[:3])
+        reopened = JobJournal(journal.root)
+        records, stats = reopened.replay()
+        reopened.close()
+        assert [r["t"] for r in records] == ["submit", "state"]
+        assert stats.corrupt == 1
+
+    def test_crc_mismatch_stops_the_segment(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {"where": "x > 1"}))
+        journal.append(state_record("job-000001", "done"))
+        journal.close()
+        path = segment_paths(journal)[0]
+        # Flip one byte inside the *first* record's payload.
+        with open(path, "r+b") as fh:
+            fh.seek(len(MAGIC) + struct.calcsize(">II") + 4)
+            byte = fh.read(1)
+            fh.seek(-1, os.SEEK_CUR)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        records, stats = JobJournal(journal.root).replay()
+        # Everything from the corrupt record on is dropped.
+        assert records == []
+        assert stats.corrupt == 1
+
+    def test_foreign_file_header_rejected(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.close()
+        with open(os.path.join(journal.root, "journal-00000099.log"),
+                  "wb") as fh:
+            fh.write(b"definitely not a journal")
+        records, stats = JobJournal(journal.root).replay()
+        assert records == []
+        assert stats.corrupt == 1
+
+    def test_later_segments_still_replay_after_corrupt_one(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {}))
+        journal.close()
+        # Corrupt segment 1 entirely, then write a healthy segment 2
+        # through a fresh journal (new process -> new segment).
+        with open(segment_paths(journal)[0], "r+b") as fh:
+            fh.write(b"garbage!!")
+        second = JobJournal(journal.root)
+        second.append(submit_record("job-000002", {}))
+        records, stats = second.replay()
+        second.close()
+        assert [r["job"] for r in records] == ["job-000002"]
+        assert stats.corrupt == 1
+
+
+class TestRotationAndCompaction:
+    def test_segments_rotate_at_threshold(self, tmp_path):
+        journal = make_journal(tmp_path, max_segment_bytes=4096)
+        big = {"blob": "x" * 512}
+        for i in range(40):
+            journal.append(event_record("job-000001", i + 1, "view", big))
+        assert journal.counters.rotations > 0
+        records, stats = journal.replay()
+        journal.close()
+        assert len(records) == 40
+        assert stats.segments == journal.counters.rotations + 1
+
+    def test_fresh_journal_never_appends_to_predecessor_segment(
+            self, tmp_path):
+        first = make_journal(tmp_path)
+        first.append(submit_record("job-000001", {}))
+        first.close()
+        second = JobJournal(first.root)
+        second.append(submit_record("job-000002", {}))
+        second.close()
+        assert len(segment_paths(second)) == 2
+
+    def test_compaction_rewrites_and_deletes_history(self, tmp_path):
+        journal = make_journal(tmp_path, max_segment_bytes=4096)
+        for i in range(1, 31):
+            job = f"job-{i:06d}"
+            journal.append(submit_record(job, {"where": f"x > {i}"}))
+            journal.append(state_record(job, "done", timings={}))
+        before = journal.total_bytes()
+        # Keep only two jobs, as a compaction from the live table would.
+        live = [submit_record("job-000029", {"where": "x > 29"}),
+                state_record("job-000029", "done", timings={}),
+                submit_record("job-000030", {"where": "x > 30"})]
+        written = journal.compact(live)
+        assert written == 3
+        assert journal.total_bytes() < before
+        records, stats = journal.replay()
+        assert stats.corrupt == 0
+        folded = fold_records(records)
+        assert set(folded) == {"job-000029", "job-000030"}
+        assert folded["job-000029"].finished
+        assert not folded["job-000030"].finished
+        # Appends continue normally after a compaction.
+        journal.append(state_record("job-000030", "done", timings={}))
+        records, _ = journal.replay()
+        journal.close()
+        assert fold_records(records)["job-000030"].finished
+
+
+class TestFolding:
+    def test_later_state_wins_and_prune_deletes(self):
+        records = [
+            submit_record("job-000001", {"where": "a"}),
+            submit_record("job-000002", {"where": "b"}),
+            state_record("job-000001", "running"),
+            event_record("job-000001", 1, "prepared", {"n": 2}),
+            state_record("job-000001", "done", result={"r": 1},
+                         timings={"run": 2.0}),
+            prune_record(["job-000002"]),
+        ]
+        folded = fold_records(records)
+        assert set(folded) == {"job-000001"}
+        job = folded["job-000001"]
+        assert job.status == "done"
+        assert job.result == {"r": 1}
+        assert job.events == [(1, "prepared", {"n": 2})]
+        assert job.number == 1
+
+    def test_event_before_submit_is_tolerated(self):
+        folded = fold_records([
+            event_record("job-000005", 2, "view", {"rank": 2}),
+            event_record("job-000005", 1, "view", {"rank": 1}),
+        ])
+        job = folded["job-000005"]
+        assert job.status == "pending"
+        # Events come back sorted by sequence regardless of record order.
+        assert [seq for seq, _, _ in job.events] == [1, 2]
+
+    def test_duplicate_event_seqs_fold_to_one(self):
+        """A compaction can legitimately rewrite an event that an
+        in-flight append then re-records; the fold must dedupe by
+        sequence number (later wins) so restored logs stay contiguous."""
+        folded = fold_records([
+            submit_record("job-000001", {}),
+            event_record("job-000001", 1, "prepared", {"n": 2}),
+            event_record("job-000001", 2, "view", {"rank": 1}),
+            event_record("job-000001", 2, "view", {"rank": 1, "dup": True}),
+        ])
+        job = folded["job-000001"]
+        assert [seq for seq, _, _ in job.events] == [1, 2]
+        assert job.events[1][2] == {"rank": 1, "dup": True}
+
+    def test_unknown_record_types_are_ignored(self):
+        folded = fold_records([{"t": "future-extension", "x": 1},
+                               submit_record("job-000001", {})])
+        assert set(folded) == {"job-000001"}

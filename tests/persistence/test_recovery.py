@@ -1,0 +1,353 @@
+"""In-process crash-restart recovery tests.
+
+A "crash" here is simply a service that is never shut down cleanly: the
+journal flushes every append to the OS, so a successor opening the same
+state directory sees everything up to the last completed write —
+exactly the live-server SIGKILL situation (exercised for real, over
+HTTP, in ``test_crash_restart.py``) without the subprocess overhead.
+
+Every service gets its own :class:`ZiggyRuntime`, so warm behaviour can
+only come from the snapshot store, never from process-global sharing.
+"""
+
+import time
+
+import pytest
+
+from repro.data.boxoffice import make_boxoffice
+from repro.errors import JobNotFoundError
+from repro.persistence import DurableState, state_record, submit_record
+from repro.persistence.recovery import COORDINATOR_RESTART_KIND
+from repro.runtime import ZiggyRuntime
+from repro.service import BatchRequest, CharacterizeRequest, ZiggyService
+
+PREDICATE = "gross > 200000000"
+OTHER_PREDICATE = "gross > 150000000"
+
+
+@pytest.fixture
+def state_dir(tmp_path) -> str:
+    return str(tmp_path / "state")
+
+
+@pytest.fixture(scope="module")
+def table():
+    return make_boxoffice(n_rows=150, seed=7)
+
+
+def make_service(state_dir, table, executor="inline", **kwargs) -> ZiggyService:
+    service = ZiggyService(executor=executor, state_dir=state_dir,
+                           snapshot_interval=0, runtime=ZiggyRuntime(),
+                           **kwargs)
+    service.register_table(table)
+    return service
+
+
+def forge_in_flight_journal(state_dir, job_id="job-000007",
+                            where=OTHER_PREDICATE) -> CharacterizeRequest:
+    """A journal as a coordinator killed mid-job would leave it."""
+    request = CharacterizeRequest(where=where, table="boxoffice")
+    state = DurableState(state_dir, snapshot_interval=0)
+    state.journal.append(submit_record(job_id, request.to_dict()))
+    state.journal.append(state_record(job_id, "running"))
+    state.journal.close()
+    return request
+
+
+class TestTerminalRestore:
+    def test_done_job_answers_identically_after_restart(self, state_dir,
+                                                        table):
+        first = make_service(state_dir, table)
+        snap = first.submit(CharacterizeRequest(where=PREDICATE,
+                                                table="boxoffice"))
+        done = first.wait(snap.job_id, timeout=120)
+        assert done.status == "done"
+        # No shutdown: the successor replays the crash-consistent journal.
+        second = make_service(state_dir, table)
+        report = second.recover()
+        assert report.restored_terminal == 1
+        restored = second.job_status(snap.job_id)
+        assert restored.status == "done"
+        assert restored.result is not None
+        assert restored.result.to_dict() == done.result.to_dict()
+        assert restored.timings_ms == done.timings_ms
+        second.shutdown()
+
+    def test_failed_job_keeps_original_error_code(self, state_dir, table):
+        first = make_service(state_dir, table)
+        snap = first.submit(CharacterizeRequest(where="gross >>> nonsense",
+                                                table="boxoffice"))
+        failed = first.wait(snap.job_id, timeout=120)
+        assert failed.status == "failed"
+        second = make_service(state_dir, table)
+        second.recover()
+        restored = second.job_status(snap.job_id)
+        assert restored.status == "failed"
+        assert restored.error is not None
+        assert restored.error.code == failed.error.code
+        assert restored.error.message == failed.error.message
+        second.shutdown()
+
+    def test_event_log_and_cursors_survive(self, state_dir, table):
+        first = make_service(state_dir, table)
+        snap = first.submit(CharacterizeRequest(where=PREDICATE,
+                                                table="boxoffice"))
+        first.wait(snap.job_id, timeout=120)
+        before, finished = first.job_events(snap.job_id, after_seq=0,
+                                            timeout=5)
+        assert finished
+        second = make_service(state_dir, table)
+        second.recover()
+        after, finished = second.job_events(snap.job_id, after_seq=0,
+                                            timeout=5)
+        assert finished
+        assert [e.kind for e in after] == [e.kind for e in before]
+        assert [e.seq for e in after] == [e.seq for e in before]
+        # A client resuming mid-stream gets exactly the unseen tail.
+        cursor = len(before) - 2
+        tail, _ = second.job_events(snap.job_id, after_seq=cursor, timeout=5)
+        assert [e.seq for e in tail] == [cursor + 1, cursor + 2]
+        second.shutdown()
+
+    def test_id_allocation_continues_past_restored_ids(self, state_dir,
+                                                       table):
+        first = make_service(state_dir, table)
+        snap = first.submit(CharacterizeRequest(where=PREDICATE,
+                                                table="boxoffice"))
+        first.wait(snap.job_id, timeout=120)
+        second = make_service(state_dir, table)
+        second.recover()
+        fresh = second.submit(CharacterizeRequest(where=PREDICATE,
+                                                  table="boxoffice"))
+        assert fresh.job_id != snap.job_id
+        assert int(fresh.job_id.split("-")[1]) \
+            > int(snap.job_id.split("-")[1])
+        second.wait(fresh.job_id, timeout=120)
+        second.shutdown()
+
+
+class TestResumePolicy:
+    def test_in_flight_job_resumes_and_matches_uninterrupted_run(
+            self, state_dir, table):
+        request = forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table, executor="thread")
+        report = service.recover(policy="resume")
+        assert report.resumed == 1
+        resumed = service.wait("job-000007", timeout=120)
+        assert resumed.status == "done"
+        # The resumed result equals a never-interrupted run of the same
+        # request (deterministic pipeline, fresh in-memory service).
+        control = ZiggyService(executor="inline", runtime=ZiggyRuntime())
+        control.register_table(table)
+        expected = control.characterize(request)
+        assert resumed.result.views.items == expected.views.items
+        assert resumed.result.n_views == expected.n_views
+        control.shutdown()
+        service.shutdown()
+
+    def test_resume_stamps_coordinator_restart_and_stays_monotonic(
+            self, state_dir, table):
+        forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table, executor="thread")
+        service.recover(policy="resume")
+        service.wait("job-000007", timeout=120)
+        events, finished = service.job_events("job-000007", after_seq=0,
+                                              timeout=5)
+        assert finished
+        kinds = [e.kind for e in events]
+        assert COORDINATOR_RESTART_KIND in kinds
+        assert kinds.index(COORDINATOR_RESTART_KIND) \
+            < kinds.index("prepared")
+        assert [e.seq for e in events] == list(range(1, len(events) + 1))
+        service.shutdown()
+
+    def test_unresumable_request_degrades_to_interrupted(self, state_dir,
+                                                         table):
+        forge_in_flight_journal(state_dir, where="gross > 1",
+                                job_id="job-000003")
+        # Sabotage the payload: a submit record whose request cannot be
+        # parsed (missing 'where') must not fail the boot.
+        state = DurableState(state_dir, snapshot_interval=0)
+        state.journal.append(submit_record("job-000004", {"table": "x"}))
+        state.journal.close()
+        service = make_service(state_dir, table, executor="thread")
+        report = service.recover(policy="resume")
+        assert report.resumed == 1
+        assert report.interrupted == 1
+        assert service.job_status("job-000004").status == "interrupted"
+        service.wait("job-000003", timeout=120)
+        service.shutdown()
+
+
+class TestFailAndDiscardPolicies:
+    def test_fail_policy_marks_interrupted_terminally(self, state_dir,
+                                                      table):
+        forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table)
+        report = service.recover(policy="fail")
+        assert report.interrupted == 1
+        job = service.job_status("job-000007")
+        assert job.status == "interrupted"
+        assert job.finished
+        assert job.error.code == "interrupted"
+        service.shutdown()
+        # Interrupted is terminal *across* restarts too.
+        successor = make_service(state_dir, table)
+        successor_report = successor.recover(policy="resume")
+        assert successor_report.resumed == 0
+        assert successor.job_status("job-000007").status == "interrupted"
+        successor.shutdown()
+
+    def test_discard_policy_forgets_durably(self, state_dir, table):
+        forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table)
+        report = service.recover(policy="discard")
+        assert report.discarded == 1
+        with pytest.raises(JobNotFoundError):
+            service.job_status("job-000007")
+        service.shutdown()
+        successor = make_service(state_dir, table)
+        assert successor.recover(policy="resume").jobs_seen == 0
+        successor.shutdown()
+
+
+class TestSnapshotsAndJournalHygiene:
+    def test_snapshot_warmed_restart_answers_with_zero_misses(
+            self, state_dir, table):
+        first = make_service(state_dir, table)
+        cold = first.characterize_many(BatchRequest(
+            predicates=(PREDICATE,), table="boxoffice"))
+        assert cold.cache_misses > 0
+        first.shutdown()  # clean drain writes the snapshot blobs
+        second = make_service(state_dir, table)
+        second.recover()
+        warm = second.characterize_many(BatchRequest(
+            predicates=(PREDICATE,), table="boxoffice"))
+        # The acceptance bar: a known table's first characterization
+        # after a snapshot-warmed boot re-prepares nothing.
+        assert warm.cache_misses == 0
+        assert warm.cache_hits > 0
+        assert second.state.snapshots.counters.loaded == 1
+        second.shutdown()
+
+    def test_background_cadence_writes_snapshots_while_serving(
+            self, state_dir, table):
+        service = ZiggyService(executor="inline", state_dir=state_dir,
+                               snapshot_interval=0.1,
+                               runtime=ZiggyRuntime())
+        service.register_table(table)
+        service.characterize_many(BatchRequest(predicates=(PREDICATE,),
+                                               table="boxoffice"))
+        deadline = time.monotonic() + 30
+        while not service.state.snapshots.fingerprints():
+            assert time.monotonic() < deadline, \
+                "snapshot daemon wrote nothing within 30s"
+            time.sleep(0.05)
+        assert table.fingerprint() in service.state.snapshots.fingerprints()
+        # A second pass with no new statistics writes nothing new.
+        saved_before = service.state.snapshots.counters.saved
+        assert service.state.snapshot_pass() == 0
+        assert service.state.snapshots.counters.saved == saved_before
+        service.shutdown()
+
+    def test_clean_shutdown_compacts_journal_to_live_jobs(self, state_dir,
+                                                          table):
+        service = make_service(state_dir, table)
+        snaps = [service.submit(CharacterizeRequest(where=PREDICATE,
+                                                    table="boxoffice"))
+                 for _ in range(2)]
+        for snap in snaps:
+            service.wait(snap.job_id, timeout=120)
+        service.shutdown()
+        assert service.state.journal.counters.compactions >= 1
+        successor = make_service(state_dir, table)
+        report = successor.recover()
+        assert report.jobs_seen == 2
+        assert report.restored_terminal == 2
+        assert report.replay["corrupt"] == 0
+        successor.shutdown()
+
+    def test_mid_run_compaction_loses_nothing(self, state_dir, table):
+        service = make_service(state_dir, table)
+        first = service.submit(CharacterizeRequest(where=PREDICATE,
+                                                   table="boxoffice"))
+        service.wait(first.job_id, timeout=120)
+        assert service.jobs.compact_journal() > 0
+        second = service.submit(CharacterizeRequest(
+            where=OTHER_PREDICATE, table="boxoffice"))
+        service.wait(second.job_id, timeout=120)
+        # Crash-style restart: both the pre- and post-compaction jobs
+        # replay, results intact.
+        successor = make_service(state_dir, table)
+        report = successor.recover()
+        assert report.restored_terminal == 2
+        for job_id in (first.job_id, second.job_id):
+            assert successor.job_status(job_id).status == "done"
+            assert successor.job_status(job_id).result is not None
+        successor.shutdown()
+
+    def test_retention_prunes_survive_restart(self, state_dir, table):
+        service = ZiggyService(executor="inline", state_dir=state_dir,
+                               snapshot_interval=0, runtime=ZiggyRuntime())
+        service.register_table(table)
+        service.jobs.max_finished = 2
+        # The inline backend completes each job before submit returns,
+        # so retention prunes the oldest as later submissions arrive.
+        for _ in range(4):
+            service.submit(CharacterizeRequest(where=PREDICATE,
+                                               table="boxoffice"))
+        service.jobs.prune()
+        live = set(service.jobs.job_ids())
+        assert len(live) == 2
+        successor = make_service(state_dir, table)
+        report = successor.recover()
+        assert set(successor.jobs.job_ids()) == live
+        assert report.jobs_seen == 2
+        successor.shutdown()
+
+    def test_worker_sigkill_respawn_events_are_journaled(self, tmp_path):
+        """Self-healing × durability: a worker SIGKILLed mid-job heals
+        via respawn (PR 4), and the ``worker-restart`` seam it stamps on
+        the event log survives a coordinator restart (this PR)."""
+        from helpers.faults import kill_worker
+        from repro.data.crime import make_crime
+        from repro.runtime.executors import ProcessShardExecutor
+
+        state_dir = str(tmp_path / "state")
+        crime = make_crime(n_rows=600, seed=11)
+        executor = ProcessShardExecutor(workers=1, max_restarts=2,
+                                        max_retries=1)
+        service = ZiggyService(executor=executor, state_dir=state_dir,
+                               snapshot_interval=0, runtime=ZiggyRuntime())
+        try:
+            service.register_table(crime)
+            snap = service.submit(CharacterizeRequest(
+                where="violent_crime_rate > 0.2", table="us_crime",
+                options={"dependency_method": "nmi"}))
+            deadline = time.monotonic() + 120
+            while service.job_status(snap.job_id).status != "running":
+                assert time.monotonic() < deadline
+                time.sleep(0.05)
+            kill_worker(executor, 0)
+            done = service.wait(snap.job_id, timeout=300)
+            assert done.status == "done"
+            events, _ = service.job_events(snap.job_id, after_seq=0,
+                                           timeout=5)
+            assert "worker-restart" in [e.kind for e in events]
+        finally:
+            service.shutdown(wait=False)
+        successor = make_service(state_dir, crime, executor="thread")
+        report = successor.recover()
+        assert report.restored_terminal == 1
+        restored, _ = successor.job_events(snap.job_id, after_seq=0,
+                                           timeout=5)
+        assert [e.kind for e in restored] == [e.kind for e in events]
+        assert "worker-restart" in [e.kind for e in restored]
+        successor.shutdown()
+
+    def test_recover_without_state_dir_is_a_noop(self, table):
+        service = ZiggyService(executor="inline", runtime=ZiggyRuntime())
+        service.register_table(table)
+        assert service.recover() is None
+        assert service.state is None
+        service.shutdown()

@@ -1,0 +1,113 @@
+"""Tests for the warm-cache snapshot store: atomic blobs, fingerprint
+verification, corruption tolerance, change detection."""
+
+import os
+
+from repro.core.stats_cache import StatsCache
+from repro.persistence.snapshots import SnapshotStore
+
+
+def warmed_cache(table) -> StatsCache:
+    cache = StatsCache()
+    for column in table.numeric_column_names()[:3]:
+        cache.global_column_stats(table, column)
+    return cache
+
+
+def make_store(tmp_path) -> SnapshotStore:
+    return SnapshotStore(str(tmp_path / "snapshots"))
+
+
+class TestSaveLoad:
+    def test_round_trip_restores_entries(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        cache = warmed_cache(boxoffice_small)
+        fingerprint = boxoffice_small.fingerprint()
+        assert store.save(fingerprint, cache, table_name="boxoffice")
+        loaded = store.load(fingerprint)
+        assert loaded is not None
+        assert loaded.size == cache.size
+        # Restored entries serve without recomputation: all hits.
+        column = boxoffice_small.numeric_column_names()[0]
+        loaded.global_column_stats(boxoffice_small, column)
+        assert loaded.counters.misses == 0
+        assert loaded.counters.hits == 1
+
+    def test_empty_cache_is_not_saved(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        assert not store.save(boxoffice_small.fingerprint(), StatsCache())
+        assert store.fingerprints() == ()
+
+    def test_unchanged_cache_is_skipped(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        cache = warmed_cache(boxoffice_small)
+        fingerprint = boxoffice_small.fingerprint()
+        assert store.save(fingerprint, cache)
+        assert not store.save(fingerprint, cache)  # same entry count
+        assert store.counters.skipped_unchanged == 1
+        # Growth re-triggers the save.
+        cache.global_column_stats(boxoffice_small,
+                                  boxoffice_small.numeric_column_names()[4])
+        assert store.save(fingerprint, cache)
+
+    def test_load_for_table_verifies_fingerprint(self, tmp_path,
+                                                 boxoffice_small,
+                                                 crime_small):
+        store = make_store(tmp_path)
+        store.save(boxoffice_small.fingerprint(),
+                   warmed_cache(boxoffice_small))
+        assert store.load_for_table(boxoffice_small) is not None
+        assert store.load_for_table(crime_small) is None
+        assert store.counters.misses == 1
+
+
+class TestTrust:
+    def test_corrupt_blob_is_dropped(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        fingerprint = boxoffice_small.fingerprint()
+        store.save(fingerprint, warmed_cache(boxoffice_small))
+        path = store._path(fingerprint)
+        with open(path, "r+b") as fh:
+            fh.seek(-20, os.SEEK_END)
+            fh.write(b"\x00" * 8)
+        assert store.load(fingerprint) is None
+        assert store.counters.corrupt == 1
+
+    def test_renamed_blob_fails_embedded_fingerprint_check(
+            self, tmp_path, boxoffice_small, crime_small):
+        store = make_store(tmp_path)
+        source = boxoffice_small.fingerprint()
+        target = crime_small.fingerprint()
+        store.save(source, warmed_cache(boxoffice_small))
+        # An operator (or attacker) renames one table's blob onto
+        # another fingerprint: the embedded fingerprint disagrees.
+        os.rename(store._path(source), store._path(target))
+        assert store.load(target) is None
+        assert store.counters.corrupt == 1
+
+    def test_truncated_blob_is_dropped(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        fingerprint = boxoffice_small.fingerprint()
+        store.save(fingerprint, warmed_cache(boxoffice_small))
+        path = store._path(fingerprint)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+        assert store.load(fingerprint) is None
+
+
+class TestIntrospection:
+    def test_describe_and_stats(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        fingerprint = boxoffice_small.fingerprint()
+        store.save(fingerprint, warmed_cache(boxoffice_small),
+                   table_name="boxoffice")
+        described = store.describe()
+        assert len(described) == 1
+        assert described[0]["fingerprint"] == fingerprint
+        assert described[0]["table"] == "boxoffice"
+        assert described[0]["entries"] == 3
+        stats = store.stats()
+        assert stats["count"] == 1
+        assert stats["saved"] == 1
+        assert stats["bytes"] > 0

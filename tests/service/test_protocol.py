@@ -30,6 +30,8 @@ from repro.service.protocol import (
     JobEvent,
     JobSnapshot,
     JobSubmitRequest,
+    StateReport,
+    StateRequest,
     TableInfo,
     TableList,
     TablesRequest,
@@ -72,6 +74,7 @@ ALL_MESSAGES = [
     JobSubmitRequest(request=CharacterizeRequest(where="x > 1")),
     JobControlRequest(job_id="job-000001", op="cancel"),
     TablesRequest(),
+    StateRequest(),
     ConfigureRequest(client_id="c", weights={"w": 1.0},
                      options={"alpha": 0.01}),
     SAMPLE_PAGE,
@@ -92,6 +95,13 @@ ALL_MESSAGES = [
     TableList(tables=(TableInfo(name="t", rows=1, columns=1,
                                 column_names=("a",)),)),
     ConfigureResponse(weights={"mean_shift": 2.0}, applied=("alpha",)),
+    StateReport(enabled=True, state_dir="/tmp/state", uptime_seconds=12.5,
+                journal={"segments": 1, "appends": 42},
+                snapshots={"count": 2, "loaded": 1},
+                recovery={"policy": "resume", "resumed": 1},
+                runtime={"registry": {"hits": 3}},
+                jobs={"live": 2, "by_status": {"done": 2}}),
+    StateReport(enabled=False),
     ApiError(code=ErrorCode.UNKNOWN_COLUMN, message="nope",
              detail={"available": ["a", "b"]}),
 ]
