@@ -131,6 +131,22 @@ class StatsCache:
         clone.merge_from(self)
         return clone
 
+    def entry_signature(self) -> int:
+        """Order-independent hash of the cached entry *keys*.
+
+        Keys are content fingerprints (plus predicate/column/config
+        parts) and every value is derived deterministically from its
+        key, so two caches with equal signatures hold equal entries.
+        This is the snapshot store's change detector: it catches a cache
+        whose entries were invalidated and replaced without the total
+        count moving, which a size comparison cannot.  Process-local
+        (``hash`` of strings is seed-randomized) — never persist it.
+        """
+        with self._lock:
+            return hash(frozenset(
+                (name, key) for name in self._STORES
+                for key in getattr(self, name)))
+
     def merge_from(self, other: "StatsCache") -> int:
         """Absorb another cache's entries (existing keys win); returns the
         number of entries copied.  This is how a worker shard adopts a

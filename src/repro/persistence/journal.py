@@ -201,7 +201,21 @@ class JobJournal:
         self._lock = threading.Lock()
         self._closed = False
         os.makedirs(root, exist_ok=True)
+        # A crash between a compaction's temp write and its os.replace
+        # leaves an orphaned *.tmp behind; one directory belongs to one
+        # coordinator, so anything here at open time is dead weight.
+        for name in os.listdir(root):
+            if name.endswith(".tmp"):
+                try:
+                    os.remove(os.path.join(root, name))
+                except OSError:
+                    pass
         existing = self._segment_numbers()
+        #: Segments left by previous runs.  Non-zero means there is
+        #: journaled history a recovery pass has not replayed yet —
+        #: compacting against the live job table before that replay
+        #: would delete it (see ``DurableState.maybe_compact``).
+        self.preexisting_segments = len(existing)
         #: Running on-disk size of every segment, maintained at each
         #: mutation so hot callers (``/healthz``, the compaction
         #: trigger) never walk the directory.

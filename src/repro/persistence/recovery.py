@@ -177,9 +177,11 @@ def recover_jobs(service, state: DurableState,
                     service.resume_job(journaled.job_id, request)
                     report.resumed += 1
                     continue
-                except ReproError as exc:
-                    # An unresumable request (table gone, backend shut):
-                    # degrade to interrupted, with the reason on record.
+                except Exception as exc:  # noqa: BLE001
+                    # An unresumable request — table gone, backend shut,
+                    # or any fault a wedged executor raises: degrade to
+                    # interrupted with the reason on record.  Recovery
+                    # must never make a healthy server unstartable.
                     manager.record_external_event(
                         journaled.job_id, "recovery-error",
                         {"reason": str(exc)},

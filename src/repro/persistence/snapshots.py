@@ -76,11 +76,22 @@ class SnapshotStore:
         self.root = root
         self.counters = SnapshotCounters()
         self._lock = threading.Lock()
-        #: Entry count at the last save per fingerprint — the cheap
-        #: change detector that keeps the background cadence from
-        #: rewriting identical blobs every tick.
-        self._saved_sizes: dict[str, int] = {}
+        #: :meth:`StatsCache.entry_signature` at the last save per
+        #: fingerprint — the cheap change detector that keeps the
+        #: background cadence from rewriting identical blobs every tick
+        #: while still catching entries replaced without the count
+        #: moving.
+        self._saved_signatures: dict[str, int] = {}
         os.makedirs(root, exist_ok=True)
+        # Writers that crashed between their temp write and os.replace
+        # leave .tmp-<pid>-<tid> files behind; nothing will ever rename
+        # them, so drop them here (one store per directory at a time).
+        for name in os.listdir(root):
+            if f"{_SUFFIX}.tmp-" in name:
+                try:
+                    os.remove(os.path.join(root, name))
+                except OSError:
+                    pass
         #: On-disk bytes per blob, scanned once here and maintained on
         #: every save — ``stats()`` sits on the health-probe path and
         #: must not walk the directory per request.
@@ -105,14 +116,20 @@ class SnapshotStore:
         skipped (``force=True`` overrides the change detector, not the
         empty check — there is nothing to warm from an empty cache).
         """
+        # Signature first, on the live cache: the unchanged check must
+        # not cost a full deep copy per daemon tick.  Entries landing
+        # between this read and the snapshot below are simply picked up
+        # by the next pass (the stored baseline is this signature).
+        signature = cache.entry_signature()
+        with self._lock:
+            if not force \
+                    and self._saved_signatures.get(fingerprint) == signature:
+                self.counters.skipped_unchanged += 1
+                return False
         snapshot = cache.snapshot()
         entries = snapshot.size
         if entries == 0:
             return False
-        with self._lock:
-            if not force and self._saved_sizes.get(fingerprint) == entries:
-                self.counters.skipped_unchanged += 1
-                return False
         payload = pickle.dumps({
             "fingerprint": fingerprint,
             "table": table_name,
@@ -132,7 +149,7 @@ class SnapshotStore:
             os.fsync(fh.fileno())
         os.replace(tmp_path, path)
         with self._lock:
-            self._saved_sizes[fingerprint] = entries
+            self._saved_signatures[fingerprint] = signature
             self._blob_bytes[fingerprint] = len(blob)
             self.counters.saved += 1
         return True
@@ -182,11 +199,14 @@ class SnapshotStore:
             with self._lock:
                 self.counters.corrupt += 1
             return None
+        restored = meta["cache"]
+        baseline = restored.entry_signature()
         with self._lock:
             self.counters.loaded += 1
-            # A later save must see the restored size as the baseline.
-            self._saved_sizes.setdefault(fingerprint, meta["cache"].size)
-        return meta["cache"]
+            # A later save must see the restored entries as the baseline
+            # (a cache that only re-absorbed this blob needs no rewrite).
+            self._saved_signatures.setdefault(fingerprint, baseline)
+        return restored
 
     def load_for_table(self, table) -> StatsCache | None:
         """Fingerprint-verified load for a live table object."""

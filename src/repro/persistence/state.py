@@ -55,7 +55,21 @@ class DurableState:
                  max_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
                  compact_bytes: int = DEFAULT_COMPACT_BYTES):
         self.state_dir = os.path.abspath(state_dir)
-        os.makedirs(self.state_dir, exist_ok=True)
+        # Owner-only: snapshot blobs are pickled, so a state dir
+        # writable by another user would be arbitrary code execution at
+        # table registration (trust boundary in docs/persistence.md).
+        # The mode argument is the guarantee — the umask can only strip
+        # bits from 0o700, never widen it, so the directory is never
+        # observable with foreign write access.  The chmod only corrects
+        # an over-restrictive umask; an existing directory keeps the
+        # operator's chosen mode.
+        created = not os.path.isdir(self.state_dir)
+        os.makedirs(self.state_dir, mode=0o700, exist_ok=True)
+        if created:
+            try:
+                os.chmod(self.state_dir, 0o700)
+            except OSError:
+                pass
         self.journal = JobJournal(os.path.join(self.state_dir, "journal"),
                                   max_segment_bytes=max_segment_bytes,
                                   fsync=fsync)
@@ -128,16 +142,35 @@ class DurableState:
                 written += 1
         return written
 
+    def compaction_safe(self) -> bool:
+        """Whether compacting against the live job table is lossless.
+
+        Compaction rewrites the journal to exactly what the job manager
+        currently holds — safe only once any pre-existing journaled
+        history has been replayed into it.  Until
+        :func:`~repro.persistence.recovery.recover_jobs` sets
+        :attr:`recovery_report`, a journal that arrived with segments
+        from a previous run must not be compacted: the daemon would be
+        rewriting it to a still-empty job table, silently deleting every
+        journaled job before recovery could replay them (and racing the
+        replay itself).  A journal born empty this run has no such
+        history, so it never needs the gate.
+        """
+        return (self.recovery_report is not None
+                or self.journal.preexisting_segments == 0)
+
     def maybe_compact(self) -> bool:
         """Compact the journal when it outgrew ``compact_bytes``.
 
         Delegates to the job manager, whose append lock makes the
         snapshot-and-swap atomic with respect to in-flight journal
         writes (a record landing mid-compaction must not be dropped
-        with the deleted history).
+        with the deleted history).  A no-op until
+        :meth:`compaction_safe` — never before boot recovery replayed a
+        pre-existing journal.
         """
         jobs = self._jobs
-        if jobs is None or self._closed:
+        if jobs is None or self._closed or not self.compaction_safe():
             return False
         if self.journal.total_bytes() <= self.compact_bytes:
             return False
@@ -161,7 +194,7 @@ class DurableState:
         except Exception:  # noqa: BLE001 - drain must complete
             pass
         jobs = self._jobs
-        if jobs is not None:
+        if jobs is not None and self.compaction_safe():
             try:
                 jobs.compact_journal()
             except Exception:  # noqa: BLE001

@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import threading
 import time
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -192,7 +193,11 @@ class Job:
         exactly what the log holds.
         """
         with self.event_cond:
-            seq = len(self.events) + 1
+            # Next after the last *seq*, not len+1: a journal-restored
+            # log can have gaps (a dropped append, a corrupt record
+            # skipped on replay), and a duplicate seq would make the
+            # next restart's fold silently replace the real event.
+            seq = (self.events[-1][0] + 1) if self.events else 1
             item = payload if mapper is None else mapper(seq, stage, payload)
             self.events.append((seq, stage, item))
             self.event_cond.notify_all()
@@ -692,9 +697,12 @@ class JobManager:
             while True:
                 if job.pruned:
                     raise JobNotFoundError(job_id)
-                # Sequence numbers are contiguous (seq == index + 1), so
-                # the unseen tail is a slice, not a scan.
-                fresh = job.events[after_seq:]
+                # Sequence numbers ascend but need not be contiguous (a
+                # journal-restored log can have gaps), so the cursor is
+                # resolved by seq — bisect, since the log is sorted.
+                cut = bisect_right(job.events, after_seq,
+                                   key=lambda event: event[0])
+                fresh = job.events[cut:]
                 if fresh or job.finished:
                     return fresh, job.finished
                 if deadline is None:
@@ -702,7 +710,7 @@ class JobManager:
                     continue
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
-                    return job.events[after_seq:], job.finished
+                    return job.events[cut:], job.finished
                 job.event_cond.wait(min(remaining, _WAIT_SLICE_SECONDS))
 
     def wait(self, job_id: str, timeout: float | None = None) -> Job:

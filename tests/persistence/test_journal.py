@@ -172,6 +172,33 @@ class TestRotationAndCompaction:
         assert fold_records(records)["job-000030"].finished
 
 
+class TestStartupHygiene:
+    def test_stale_compaction_tmp_files_are_swept(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.append(submit_record("job-000001", {}))
+        journal.close()
+        # A predecessor that died between its compaction temp write and
+        # the os.replace leaves this behind; nothing will ever rename it.
+        stale = os.path.join(journal.root, "journal-00000042.log.tmp")
+        with open(stale, "wb") as fh:
+            fh.write(MAGIC)
+        successor = make_journal(tmp_path)
+        assert not os.path.exists(stale)
+        records, stats = successor.replay()
+        assert len(records) == 1
+        assert stats.corrupt == 0
+        successor.close()
+
+    def test_preexisting_segments_counted(self, tmp_path):
+        first = make_journal(tmp_path)
+        assert first.preexisting_segments == 0
+        first.append(submit_record("job-000001", {}))
+        first.close()
+        second = make_journal(tmp_path)
+        assert second.preexisting_segments == 1
+        second.close()
+
+
 class TestFolding:
     def test_later_state_wins_and_prune_deletes(self):
         records = [

@@ -10,13 +10,15 @@ Every service gets its own :class:`ZiggyRuntime`, so warm behaviour can
 only come from the snapshot store, never from process-global sharing.
 """
 
+import os
 import time
 
 import pytest
 
 from repro.data.boxoffice import make_boxoffice
 from repro.errors import JobNotFoundError
-from repro.persistence import DurableState, state_record, submit_record
+from repro.persistence import (DurableState, event_record, state_record,
+                               submit_record)
 from repro.persistence.recovery import COORDINATOR_RESTART_KIND
 from repro.runtime import ZiggyRuntime
 from repro.service import BatchRequest, CharacterizeRequest, ZiggyService
@@ -159,6 +161,59 @@ class TestResumePolicy:
         assert kinds.index(COORDINATOR_RESTART_KIND) \
             < kinds.index("prepared")
         assert [e.seq for e in events] == list(range(1, len(events) + 1))
+        service.shutdown()
+
+    def test_non_repro_resume_fault_degrades_to_interrupted(
+            self, state_dir, table, monkeypatch):
+        """A wedged backend raising something other than ReproError must
+        not fail the boot — recovery never makes a healthy server
+        unstartable."""
+        forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table, executor="thread")
+
+        def wedged(job_id, request):
+            raise RuntimeError("backend wedged")
+
+        monkeypatch.setattr(service, "resume_job", wedged)
+        report = service.recover(policy="resume")
+        assert report.resumed == 0
+        assert report.interrupted == 1
+        job = service.job_status("job-000007")
+        assert job.status == "interrupted"
+        events, _ = service.job_events("job-000007", after_seq=0, timeout=5)
+        assert "recovery-error" in [e.kind for e in events]
+        service.shutdown()
+
+    def test_restored_event_gaps_never_duplicate_seqs(self, state_dir,
+                                                      table):
+        """A journal with a seq gap (a dropped append, a corrupt record
+        skipped on replay) must restore without re-issuing a taken seq:
+        new events continue after the last journaled seq, and cursors
+        resolve by seq, not index."""
+        request = CharacterizeRequest(where=OTHER_PREDICATE,
+                                      table="boxoffice")
+        state = DurableState(state_dir, snapshot_interval=0)
+        state.journal.append(submit_record("job-000009", request.to_dict()))
+        state.journal.append(event_record("job-000009", 1, "prepared",
+                                          {"n": 1}))
+        state.journal.append(event_record("job-000009", 3, "progress",
+                                          {"k": 2}))
+        state.journal.append(state_record("job-000009", "running"))
+        state.journal.close()
+        service = make_service(state_dir, table, executor="thread")
+        service.recover(policy="resume")
+        service.wait("job-000009", timeout=120)
+        events, finished = service.job_events("job-000009", after_seq=0,
+                                              timeout=5)
+        assert finished
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == len(set(seqs))
+        # The restart marker landed after the gap, not inside it.
+        assert seqs[2] > 3
+        # A cursor across the gap yields exactly the strictly-later tail.
+        tail, _ = service.job_events("job-000009", after_seq=3, timeout=5)
+        assert [e.seq for e in tail] == [s for s in seqs if s > 3]
         service.shutdown()
 
     def test_unresumable_request_degrades_to_interrupted(self, state_dir,
@@ -344,6 +399,47 @@ class TestSnapshotsAndJournalHygiene:
         assert [e.kind for e in restored] == [e.kind for e in events]
         assert "worker-restart" in [e.kind for e in restored]
         successor.shutdown()
+
+    def test_compaction_waits_for_recovery(self, state_dir, table):
+        """The snapshot daemon firing between boot and recovery must not
+        compact a pre-existing journal: the live job table is still
+        empty, so compaction would silently delete every journaled job
+        before recovery could replay them."""
+        forge_in_flight_journal(state_dir)
+        state = DurableState(state_dir, snapshot_interval=0,
+                             compact_bytes=1)  # any journal "outgrows" this
+        service = ZiggyService(executor="thread", persistence=state,
+                               runtime=ZiggyRuntime())
+        service.register_table(table)
+        assert not state.compaction_safe()
+        assert not state.maybe_compact()
+        assert state.journal.counters.compactions == 0
+        report = service.recover(policy="resume")
+        assert report.resumed == 1
+        assert state.compaction_safe()
+        assert state.maybe_compact()
+        service.wait("job-000007", timeout=120)
+        service.shutdown()
+
+    def test_unrecovered_shutdown_preserves_journal(self, state_dir, table):
+        """A service that opens a pre-existing journal but never recovers
+        must not compact it away on drain — the next boot still gets to
+        replay the history."""
+        forge_in_flight_journal(state_dir)
+        service = make_service(state_dir, table)
+        service.shutdown()
+        assert service.state.journal.counters.compactions == 0
+        successor = make_service(state_dir, table)
+        report = successor.recover(policy="fail")
+        assert report.jobs_seen == 1
+        assert successor.job_status("job-000007").status == "interrupted"
+        successor.shutdown()
+
+    def test_fresh_state_dir_is_owner_only(self, state_dir):
+        import stat
+        state = DurableState(state_dir, snapshot_interval=0)
+        assert stat.S_IMODE(os.stat(state.state_dir).st_mode) == 0o700
+        state.close()
 
     def test_recover_without_state_dir_is_a_noop(self, table):
         service = ZiggyService(executor="inline", runtime=ZiggyRuntime())

@@ -43,12 +43,32 @@ class TestSaveLoad:
         cache = warmed_cache(boxoffice_small)
         fingerprint = boxoffice_small.fingerprint()
         assert store.save(fingerprint, cache)
-        assert not store.save(fingerprint, cache)  # same entry count
+        assert not store.save(fingerprint, cache)  # same entries
         assert store.counters.skipped_unchanged == 1
         # Growth re-triggers the save.
         cache.global_column_stats(boxoffice_small,
                                   boxoffice_small.numeric_column_names()[4])
         assert store.save(fingerprint, cache)
+
+    def test_replaced_entries_at_constant_size_resave(self, tmp_path,
+                                                      boxoffice_small):
+        store = make_store(tmp_path)
+        cache = warmed_cache(boxoffice_small)
+        fingerprint = boxoffice_small.fingerprint()
+        assert store.save(fingerprint, cache)
+        # Drop every entry and warm different columns: the count lands
+        # back where it was, but the content is new — a size-based
+        # detector would skip this save and warm restores would serve
+        # the stale statistics forever.
+        cache.clear()
+        for column in boxoffice_small.numeric_column_names()[3:6]:
+            cache.global_column_stats(boxoffice_small, column)
+        assert cache.size == 3
+        assert store.save(fingerprint, cache)
+        loaded = store.load(fingerprint)
+        loaded.global_column_stats(boxoffice_small,
+                                   boxoffice_small.numeric_column_names()[3])
+        assert loaded.counters.misses == 0
 
     def test_load_for_table_verifies_fingerprint(self, tmp_path,
                                                  boxoffice_small,
@@ -94,6 +114,20 @@ class TestTrust:
         with open(path, "r+b") as fh:
             fh.truncate(size // 2)
         assert store.load(fingerprint) is None
+
+
+class TestStartupHygiene:
+    def test_stale_tmp_files_are_swept(self, tmp_path, boxoffice_small):
+        store = make_store(tmp_path)
+        fingerprint = boxoffice_small.fingerprint()
+        store.save(fingerprint, warmed_cache(boxoffice_small))
+        # A writer that died between its temp write and the os.replace.
+        stale = store._path(fingerprint) + ".tmp-99999-88888"
+        with open(stale, "wb") as fh:
+            fh.write(b"half a blob")
+        successor = SnapshotStore(store.root)
+        assert not os.path.exists(stale)
+        assert successor.load(fingerprint) is not None
 
 
 class TestIntrospection:
