@@ -170,6 +170,44 @@ def build_serve_parser() -> argparse.ArgumentParser:
                              "shared runtime; exceeding it LRU-evicts tables "
                              "and their statistics caches (default "
                              "1073741824 = 1 GiB; 0 = unbounded)")
+    parser.add_argument("--frontend", choices=("threaded", "async"),
+                        default="threaded",
+                        help="HTTP front-end: 'threaded' (one OS thread "
+                             "per connection, the compatibility default) "
+                             "or 'async' (one event loop multiplexing "
+                             "thousands of concurrent SSE subscribers; "
+                             "see docs/gateway.md)")
+    parser.add_argument("--max-pending-jobs", type=int, default=None,
+                        metavar="N",
+                        help="bound the job queue: submissions beyond N "
+                             "open (pending+running) jobs are answered "
+                             "429 + Retry-After instead of queueing "
+                             "without limit (default: unbounded)")
+    parser.add_argument("--client-rate", type=float, default=None,
+                        metavar="R",
+                        help="per-client admission control: sustained "
+                             "compute requests/second per client_id "
+                             "(token bucket; default: off)")
+    parser.add_argument("--client-burst", type=float, default=None,
+                        metavar="B",
+                        help="per-client token-bucket burst capacity "
+                             "(default: max(1, --client-rate))")
+    parser.add_argument("--table-rate", type=float, default=None,
+                        metavar="R",
+                        help="per-table admission control: sustained "
+                             "compute requests/second per table "
+                             "(token bucket; default: off)")
+    parser.add_argument("--table-burst", type=float, default=None,
+                        metavar="B",
+                        help="per-table token-bucket burst capacity "
+                             "(default: max(1, --table-rate))")
+    parser.add_argument("--sse-eviction-seconds", type=float, default=None,
+                        metavar="S",
+                        help="evict an SSE subscriber whose socket stays "
+                             "unwritable this long — a slow consumer is "
+                             "dropped with a ': client-evicted' comment "
+                             "instead of pinning server resources "
+                             "(default 10)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-request access logging")
     return parser
@@ -181,8 +219,8 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
     args = build_serve_parser().parse_args(argv)
 
     # Imported here so plain CLI runs never pay for the service stack.
+    from repro.gateway import GatewayPolicy, make_frontend
     from repro.runtime import DEFAULT_MAX_BYTES, DEFAULT_MAX_TABLES, ZiggyRuntime
-    from repro.service.server import make_server
     from repro.service.service import ZiggyService
 
     # 0 means unbounded; absent means the documented defaults.
@@ -214,8 +252,23 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
         # Recovery runs after the catalog is registered (resume
         # re-executes against it) and before the first request lands.
         report = service.recover(policy=args.recover)
-        server = make_server(service, host=args.host, port=args.port,
-                             verbose=not args.quiet)
+        policy_kwargs = {}
+        if args.max_pending_jobs is not None:
+            policy_kwargs["max_pending_jobs"] = args.max_pending_jobs
+        if args.client_rate is not None:
+            policy_kwargs["client_rate"] = args.client_rate
+        if args.client_burst is not None:
+            policy_kwargs["client_burst"] = args.client_burst
+        if args.table_rate is not None:
+            policy_kwargs["table_rate"] = args.table_rate
+        if args.table_burst is not None:
+            policy_kwargs["table_burst"] = args.table_burst
+        if args.sse_eviction_seconds is not None:
+            policy_kwargs["sse_write_timeout"] = args.sse_eviction_seconds
+        policy = GatewayPolicy(**policy_kwargs) if policy_kwargs else None
+        server = make_frontend(service, frontend=args.frontend,
+                               host=args.host, port=args.port,
+                               verbose=not args.quiet, policy=policy)
     except (ReproError, OSError) as exc:  # bad data, port in use, ...
         service.shutdown(wait=False)
         print(f"error: {exc}", file=out)
@@ -241,6 +294,7 @@ def serve_main(argv: Sequence[str] | None = None, stream=None) -> int:
                   if service.state is not None else "")
     print(f"serving {', '.join(service.database.table_names())} "
           f"on http://{host}:{port} (protocol v2, "
+          f"frontend={args.frontend}, "
           f"executor={args.executor} x{args.workers}{state_note}; "
           f"Ctrl-C to stop)",
           file=out, flush=True)

@@ -200,6 +200,24 @@ class JobCancelled(ServiceError):
         super().__init__(f"job {job_id!r} was cancelled")
 
 
+class ThrottledError(ServiceError):
+    """A request was rejected by admission control or a bounded queue.
+
+    Maps to HTTP 429 with a ``Retry-After`` header; ``retry_after`` is
+    the seconds after which a retry can succeed, ``scope`` names the
+    limiter that fired (``client``, ``table`` or ``queue``).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0,
+                 scope: str = "client"):
+        #: Protocol error code carried explicitly (like restored-job
+        #: errors), so serialization never depends on the type mapping.
+        self.error_code = "throttled"
+        self.retry_after = float(retry_after)
+        self.scope = scope
+        super().__init__(message)
+
+
 class JobInterruptedError(ServiceError):
     """A job was in flight when the coordinator stopped and the recovery
     policy chose not to re-run it (``--recover fail``)."""

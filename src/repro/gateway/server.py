@@ -1,0 +1,470 @@
+"""The asyncio front-end: C10k SSE multiplexing on one event loop.
+
+The threaded server (:mod:`repro.service.server`) pins one OS thread
+per connection, so a few hundred concurrent ``GET /v2/jobs/<id>/events``
+subscribers exhaust the process long before the executor backends are
+the bottleneck.  This front-end multiplexes *thousands* of those
+streams on a single event loop:
+
+* **SSE fan-out is loop-native.**  Each subscriber is a coroutine that
+  polls the job's event log non-blockingly (``timeout=0``) and parks on
+  an :class:`asyncio.Event`.  The wakeup comes from the job side:
+  :meth:`JobManager.watch` registers a ``loop.call_soon_threadsafe``
+  ping that fires whenever the job appends an event, finishes or is
+  pruned — no thread per subscriber, no condition-variable polling.
+* **Compute never runs on the loop.**  JSON routes are bridged onto a
+  small thread pool with ``loop.run_in_executor``; the work itself
+  still runs wherever the service's executor backend puts it (thread
+  pool or worker-process shards).  Admission control and backpressure
+  are checked *on the loop* before the bridge, so 429s are served
+  instantly even when every dispatch thread is busy — which is exactly
+  the saturation scenario they exist for.
+* **Slow consumers are evicted, not accumulated.**  Every subscriber's
+  transport write buffer is bounded (``GatewayPolicy.sse_buffer_bytes``);
+  when a client stops draining its socket and a write stays parked past
+  ``sse_write_timeout``, the subscriber gets a best-effort
+  ``: client-evicted`` comment and its transport is aborted.  Healthy
+  subscribers never wait on a stalled one.
+* **Serialization is shared.**  An SSE block is rendered once per
+  ``(job, seq)`` and the bytes are reused across all subscribers of
+  that job, so fanning one event out to a thousand streams costs a
+  thousand socket writes, not a thousand ``json.dumps``.
+
+Route logic, payload bytes, admission and metrics all come from
+:class:`~repro.gateway.routes.GatewayRoutes` — the same object the
+threaded server uses — so the two front-ends are byte-identical at the
+protocol level and differ only in their concurrency model.  The public
+surface mirrors :class:`~repro.service.server.ZiggyServer`
+(``serve_forever`` / ``shutdown`` / ``server_close`` / ``close`` /
+``server_address``), so servers are interchangeable in tests and the
+CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any
+
+from repro.errors import ReproError
+from repro.gateway.routes import (
+    EventStreamReply,
+    GatewayPolicy,
+    GatewayRoutes,
+    JsonReply,
+)
+from repro.service.protocol import ApiError, ProtocolError, json_safe
+from repro.service.service import ZiggyService
+
+#: HTTP reason phrases for the statuses this server emits.
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout", 409: "Conflict",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+#: Seconds an idle kept-alive connection may sit between requests.
+_IDLE_TIMEOUT = 10.0
+
+#: Seconds allotted to reading one request head + body.
+_READ_TIMEOUT = 10.0
+
+#: Most serialized SSE blocks cached per job (seq -> bytes).
+_SSE_CACHE_BLOCKS = 4096
+
+
+def _sse_block(seq: int, kind: str, data: str) -> bytes:
+    """One SSE frame, byte-identical to the threaded server's."""
+    return f"id: {seq}\nevent: {kind}\ndata: {data}\n\n".encode("utf-8")
+
+
+class AsyncGateway:
+    """The asyncio HTTP/SSE server bound to one :class:`ZiggyService`.
+
+    Binds its listening socket synchronously in the constructor (so
+    ``server_address`` is valid immediately, like the stdlib server) and
+    runs the event loop inside :meth:`serve_forever` — typically on a
+    dedicated thread, with :meth:`shutdown` called from any other.
+    """
+
+    def __init__(self, address: tuple[str, int], service: ZiggyService,
+                 verbose: bool = False, policy: GatewayPolicy | None = None,
+                 dispatch_threads: int = 16):
+        self.service = service
+        self.verbose = verbose
+        self.routes = GatewayRoutes(service, policy=policy, frontend="async")
+        self._socket = socket.create_server(address, backlog=1024)
+        self._socket.setblocking(False)
+        self._dispatch_threads = dispatch_threads
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._stopped = threading.Event()
+        self._stopped.set()  # not serving yet
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._executor: ThreadPoolExecutor | None = None
+        #: job_id -> {"refs": n, "blocks": {seq: bytes}} — shared SSE
+        #: serialization, touched only from the event loop.
+        self._sse_cache: dict[str, dict[str, Any]] = {}
+        self.shutdown_error: BaseException | None = None
+
+    # -- lifecycle (threaded-server-compatible surface) --------------------------
+
+    @property
+    def server_address(self) -> tuple:
+        return self._socket.getsockname()
+
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the event loop until :meth:`shutdown` (blocking)."""
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._stopped.clear()
+        try:
+            loop.run_until_complete(self._serve())
+        finally:
+            try:
+                # A KeyboardInterrupt (Ctrl-C / SIGTERM) lands here with
+                # the accept task still pending: cancel and drain so the
+                # loop closes clean.
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(asyncio.gather(
+                        *pending, return_exceptions=True))
+                loop.run_until_complete(loop.shutdown_asyncgens())
+            finally:
+                loop.close()
+                self._loop = None
+                self._stopped.set()
+
+    async def _serve(self) -> None:
+        self._stop_event = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._dispatch_threads,
+            thread_name_prefix="ziggy-gateway")
+        server = await asyncio.start_server(self._handle_connection,
+                                            sock=self._socket)
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+            self._executor.shutdown(wait=False)
+
+    def shutdown(self) -> None:
+        """Stop the accept loop and drain connections (thread-safe)."""
+        loop = self._loop
+        stop = self._stop_event
+        if loop is not None and stop is not None:
+            try:
+                loop.call_soon_threadsafe(stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        self._stopped.wait(timeout=30)
+
+    def server_close(self) -> None:
+        """Release the listening socket (idempotent)."""
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def close(self, shutdown_service: bool = True,
+              wait: bool = True) -> None:
+        """Drain and stop everything, like :meth:`ZiggyServer.close`."""
+        self.shutdown()
+        self.server_close()
+        if shutdown_service:
+            try:
+                self.service.shutdown(wait=wait)
+            except ReproError as exc:
+                self.shutdown_error = exc
+
+    # -- connection handling -----------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, path, headers, body = request
+                keep_alive = await self._dispatch(method, path, headers,
+                                                  body, writer)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.TimeoutError, TimeoutError):
+            return  # client vanished or stalled mid-request
+        except asyncio.CancelledError:
+            return  # server draining
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await asyncio.wait_for(writer.wait_closed(), timeout=1.0)
+            except (asyncio.TimeoutError, TimeoutError, ConnectionError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> tuple[str, str, dict, bytes] | None:
+        """Parse one HTTP/1.1 request; None on EOF/garbage/idle."""
+        line = await asyncio.wait_for(reader.readline(),
+                                      timeout=_IDLE_TIMEOUT)
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: dict[str, str] = {}
+        while True:
+            raw = await asyncio.wait_for(reader.readline(),
+                                         timeout=_READ_TIMEOUT)
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length") or 0)
+        body = b""
+        if length:
+            body = await asyncio.wait_for(reader.readexactly(length),
+                                          timeout=_READ_TIMEOUT)
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    async def _dispatch(self, method: str, path: str, headers: dict,
+                        body: bytes, writer: asyncio.StreamWriter) -> bool:
+        """Route one request; returns whether to keep the connection."""
+        loop = asyncio.get_running_loop()
+        keep_alive = headers.get("connection", "").lower() != "close"
+        if method == "GET":
+            reply = await loop.run_in_executor(
+                self._executor, self.routes.handle_get, path, headers)
+            if isinstance(reply, EventStreamReply):
+                await self._stream_job_events(writer, reply)
+                return False  # SSE always ends the connection
+            await self._write_json(writer, reply, keep_alive)
+            return keep_alive
+        if method == "POST":
+            try:
+                decoded = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                await self._write_json(writer, JsonReply(
+                    payload=ApiError.from_exception(ProtocolError(
+                        f"request body is not valid JSON: {exc}")).to_dict(),
+                    status=400), keep_alive)
+                return keep_alive
+            # Admission control and the bounded submission queue are
+            # checked on the loop: a saturated dispatch pool (the very
+            # condition backpressure exists for) must not delay the 429.
+            rejected = self.routes.govern_post(path, decoded)
+            if rejected is not None:
+                await self._write_json(writer, rejected, keep_alive)
+                return keep_alive
+            reply = await loop.run_in_executor(
+                self._executor, lambda: self.routes.handle_post(
+                    path, decoded, governed=True))
+            await self._write_json(writer, reply, keep_alive)
+            return keep_alive
+        await self._write_json(writer, JsonReply(
+            payload=ApiError(code="bad_request",
+                             message=f"method {method} not supported"
+                             ).to_dict(),
+            status=405), keep_alive=False)
+        return False
+
+    async def _write_json(self, writer: asyncio.StreamWriter,
+                          reply: JsonReply, keep_alive: bool) -> None:
+        body = json.dumps(reply.payload).encode("utf-8")
+        head = [f"HTTP/1.1 {reply.status} "
+                f"{_REASONS.get(reply.status, 'OK')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}"]
+        for name, value in reply.headers:
+            head.append(f"{name}: {value}")
+        head.append("Connection: keep-alive" if keep_alive
+                    else "Connection: close")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+                     + body)
+        await writer.drain()
+
+    # -- SSE streaming -----------------------------------------------------------
+
+    async def _stream_job_events(self, writer: asyncio.StreamWriter,
+                                 request: EventStreamReply) -> None:
+        """Multiplex one job-event subscription on the loop.
+
+        The subscriber never blocks a thread: it polls the event log
+        with ``timeout=0`` and parks on an :class:`asyncio.Event` that
+        the job's watcher pings from whichever thread records events.
+        The wake flag is cleared *before* each poll, so an event landing
+        between the poll and the park just re-wakes immediately — no
+        lost wakeups, no polling loop.
+        """
+        loop = asyncio.get_running_loop()
+        routes, service = self.routes, self.service
+        job_id, after = request.job_id, request.after
+        policy = routes.policy
+        rejected = await loop.run_in_executor(
+            self._executor, routes.stream_precheck, job_id)
+        if rejected is not None:
+            await self._write_json(writer, rejected, keep_alive=False)
+            return
+        wake = asyncio.Event()
+
+        def ping() -> None:
+            # Fired with the job lock held: hand off to the loop and
+            # return immediately.
+            try:
+                loop.call_soon_threadsafe(wake.set)
+            except RuntimeError:
+                pass  # loop shut down mid-ping
+
+        try:
+            unwatch = service.watch_job(job_id, ping)
+        except ReproError as exc:
+            await self._write_json(
+                writer, JsonReply(
+                    payload=ApiError.from_exception(exc).to_dict(),
+                    status=404),
+                keep_alive=False)
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: text/event-stream\r\n"
+                     b"Cache-Control: no-cache\r\n"
+                     b"Connection: close\r\n\r\n")
+        transport = writer.transport
+        transport.set_write_buffer_limits(high=policy.sse_buffer_bytes)
+        # Bound the kernel's send buffer too: a stalled client then
+        # stops draining the transport quickly, instead of absorbing
+        # megabytes of backlog before the high-water mark ever fills.
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                policy.sse_buffer_bytes)
+            except OSError:
+                pass
+        cache = self._acquire_sse_cache(job_id)
+        routes.metrics.stream_opened()
+        try:
+            while True:
+                wake.clear()
+                try:
+                    events, finished = service.job_events(
+                        job_id, after_seq=after, timeout=0)
+                except ReproError:
+                    # Pruned mid-stream (bounded retention): terminate
+                    # like a vanished resource, not a hang.
+                    writer.write(_sse_block(after + 1, "done",
+                                            '{"status": "unknown"}'))
+                    await self._drain_or_evict(writer)
+                    return
+                for event in events:
+                    after = max(after, event.seq)
+                    writer.write(self._sse_bytes(cache, event))
+                if events and not await self._drain_or_evict(writer):
+                    return
+                if finished:
+                    try:
+                        status = service.job_status(job_id).status
+                    except ReproError:  # pruned between the two calls
+                        status = "unknown"
+                    writer.write(_sse_block(after + 1, "done",
+                                            json.dumps({"status": status})))
+                    await self._drain_or_evict(writer)
+                    return
+                if self._stop_event is not None \
+                        and self._stop_event.is_set():
+                    return  # server draining
+                if not events:
+                    try:
+                        await asyncio.wait_for(
+                            wake.wait(), timeout=policy.keepalive_seconds)
+                    except (asyncio.TimeoutError, TimeoutError):
+                        writer.write(b": keepalive\n\n")
+                        if not await self._drain_or_evict(writer):
+                            return
+        except (ConnectionError, ConnectionResetError):
+            return  # client went away; nothing to clean up
+        finally:
+            unwatch()
+            routes.metrics.stream_closed()
+            self._release_sse_cache(job_id)
+
+    async def _drain_or_evict(self, writer: asyncio.StreamWriter) -> bool:
+        """Wait for the subscriber's buffer to drain; evict laggards.
+
+        Returns False when the subscriber was evicted: its transport
+        buffer stayed above the high-water mark past the policy's write
+        timeout, meaning the client is not reading.  The eviction is a
+        best-effort ``: client-evicted`` comment followed by a transport
+        abort — the stalled socket must not leak, and healthy
+        subscribers (their own coroutines) are never delayed.
+        """
+        policy = self.routes.policy
+        try:
+            await asyncio.wait_for(writer.drain(),
+                                   timeout=policy.sse_write_timeout)
+            return True
+        except (asyncio.TimeoutError, TimeoutError):
+            self.routes.metrics.stream_evicted()
+            try:
+                writer.write(b": client-evicted\n\n")
+                writer.transport.abort()
+            except Exception:  # noqa: BLE001 - already tearing down
+                pass
+            return False
+
+    # -- shared SSE serialization ------------------------------------------------
+
+    def _acquire_sse_cache(self, job_id: str) -> dict:
+        entry = self._sse_cache.get(job_id)
+        if entry is None:
+            entry = {"refs": 0, "blocks": {}}
+            self._sse_cache[job_id] = entry
+        entry["refs"] += 1
+        return entry
+
+    def _release_sse_cache(self, job_id: str) -> None:
+        entry = self._sse_cache.get(job_id)
+        if entry is not None:
+            entry["refs"] -= 1
+            if entry["refs"] <= 0:
+                del self._sse_cache[job_id]
+
+    def _sse_bytes(self, cache: dict, event) -> bytes:
+        blocks = cache["blocks"]
+        block = blocks.get(event.seq)
+        if block is None:
+            block = _sse_block(event.seq, event.kind,
+                               json.dumps(json_safe(event.data)))
+            if len(blocks) < _SSE_CACHE_BLOCKS:
+                blocks[event.seq] = block
+        return block
+
+
+def make_async_server(service: ZiggyService, host: str = "127.0.0.1",
+                      port: int = 0, verbose: bool = False,
+                      policy: GatewayPolicy | None = None,
+                      dispatch_threads: int = 16) -> AsyncGateway:
+    """Build (but do not start) an async gateway; ``port=0`` picks a
+    free port.  The drop-in sibling of
+    :func:`repro.service.server.make_server`."""
+    return AsyncGateway((host, port), service, verbose=verbose,
+                        policy=policy, dispatch_threads=dispatch_threads)

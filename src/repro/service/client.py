@@ -43,18 +43,45 @@ from repro.service.protocol import (
 
 
 class RemoteError(ServiceError):
-    """The server answered with a structured :class:`ApiError`."""
+    """The server answered with a structured :class:`ApiError`.
 
-    def __init__(self, error: ApiError, status: int = 0):
+    ``retry_after`` is populated on 429 (throttled/backpressure)
+    responses: the exact wait from ``error.detail.retry_after`` when the
+    server sent one, else the integer ``Retry-After`` header.
+    """
+
+    def __init__(self, error: ApiError, status: int = 0,
+                 retry_after: float | None = None):
         self.error = error
         self.code = error.code
         self.status = status
+        self.retry_after = retry_after
         super().__init__(f"[{error.code}] {error.message}")
 
 
 class TransportError(ServiceError):
     """The server could not be reached or spoke something other than the
     protocol (connection refused, timeouts, non-JSON bodies)."""
+
+
+def _retry_after_seconds(decoded: Mapping,
+                         header: str | None) -> float | None:
+    """The server's retry hint: exact float from ``detail.retry_after``
+    when present, else the integer ``Retry-After`` header."""
+    error = decoded.get("error")
+    if isinstance(error, Mapping):
+        detail = error.get("detail")
+        if isinstance(detail, Mapping) and "retry_after" in detail:
+            try:
+                return float(detail["retry_after"])
+            except (TypeError, ValueError):
+                pass
+    if header is not None:
+        try:
+            return float(str(header).strip())
+        except ValueError:
+            pass
+    return None
 
 
 class ZiggyClient:
@@ -65,18 +92,43 @@ class ZiggyClient:
             needed).
         timeout: per-request socket timeout in seconds.
         client_id: the session key sent with every stateful request.
+        throttle_retries: how many times a request answered ``429`` is
+            retried after honouring the server's ``Retry-After`` before
+            the :class:`RemoteError` is surfaced; 0 disables retrying.
+        max_retry_wait: upper bound (seconds) on any single throttle
+            wait, whatever the server asked for.
     """
 
     def __init__(self, base_url: str, timeout: float = 30.0,
-                 client_id: str = "default"):
+                 client_id: str = "default", throttle_retries: int = 2,
+                 max_retry_wait: float = 30.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.client_id = client_id
+        self.throttle_retries = throttle_retries
+        self.max_retry_wait = max_retry_wait
 
     # -- transport ---------------------------------------------------------------
 
     def _request(self, method: str, path: str,
                  payload: Mapping | None = None) -> Any:
+        """One round trip, transparently retrying throttled (429)
+        responses up to ``throttle_retries`` times, pacing each retry by
+        the server's ``Retry-After``."""
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except RemoteError as exc:
+                if (exc.status != 429 or exc.retry_after is None
+                        or attempt >= self.throttle_retries):
+                    raise
+                attempt += 1
+                time.sleep(max(0.0, min(exc.retry_after,
+                                        self.max_retry_wait)))
+
+    def _request_once(self, method: str, path: str,
+                      payload: Mapping | None = None) -> Any:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -85,6 +137,7 @@ class ZiggyClient:
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(url, data=data, headers=headers,
                                          method=method)
+        retry_header = None
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
@@ -93,6 +146,7 @@ class ZiggyClient:
         except urllib.error.HTTPError as exc:
             body = exc.read()
             status = exc.code
+            retry_header = exc.headers.get("Retry-After")
         except (urllib.error.URLError, OSError) as exc:
             raise TransportError(f"{method} {url}: {exc}") from exc
         try:
@@ -102,13 +156,15 @@ class ZiggyClient:
                 f"{method} {url}: non-JSON response "
                 f"(HTTP {status}): {exc}") from None
         if isinstance(decoded, Mapping) and decoded.get("ok") is False:
+            retry_after = _retry_after_seconds(decoded, retry_header)
             if decoded.get("type") == ApiError.TYPE:
-                raise RemoteError(ApiError.from_dict(decoded), status=status)
+                raise RemoteError(ApiError.from_dict(decoded), status=status,
+                                  retry_after=retry_after)
             # v1 endpoint errors are plain {"ok": False, "error": str}.
             raise RemoteError(ApiError(
                 code=str(decoded.get("code", "error")),
                 message=str(decoded.get("error", "request failed"))),
-                status=status)
+                status=status, retry_after=retry_after)
         return decoded
 
     def _post(self, path: str, payload: Mapping) -> Any:
@@ -192,8 +248,9 @@ class ZiggyClient:
         """Ask the server to cancel a job."""
         return parse_response(self._post(f"/v2/jobs/{job_id}/cancel", {}))
 
-    def stream_events(self, job_id: str,
-                      timeout: float | None = None) -> Iterator[JobEvent]:
+    def stream_events(self, job_id: str, timeout: float | None = None,
+                      after: int = 0,
+                      reconnects: int = 3) -> Iterator[JobEvent]:
         """Iterate a job's events as the server streams them (SSE).
 
         Yields :class:`JobEvent` objects in order — ``prepared``,
@@ -208,13 +265,52 @@ class ZiggyClient:
                 if event.kind == "view-ready":
                     print(event.data["rank"], event.data["explanation"])
 
-        ``timeout`` bounds each socket read, not the whole stream; the
-        server sends keep-alives, so the default is safe for long
-        searches.
+        The connection carries a ``Last-Event-ID`` cursor: when the
+        socket is cut mid-job (server restart, proxy hiccup, eviction),
+        the client reconnects up to ``reconnects`` times and resumes
+        after the last sequence number it saw — no events duplicated or
+        lost across the gap.  ``after`` starts the stream past an
+        already-consumed prefix.  ``timeout`` bounds each socket read,
+        not the whole stream; the server sends keep-alives, so the
+        default is safe for long searches.
         """
+        last_seq = max(0, int(after))
+        attempts = 0
+        while True:
+            progressed = False
+            try:
+                for event in self._stream_once(job_id, last_seq, timeout):
+                    last_seq = max(last_seq, event.seq)
+                    progressed = True
+                    yield event
+                    if event.kind == JobEvent.DONE:
+                        return
+                # The stream ended (connection closed) without the
+                # terminal "done" event: the server died or the socket
+                # was cut mid-job.
+                raise TransportError(
+                    f"GET {self.base_url}/v2/jobs/{job_id}/events: event "
+                    f"stream ended before the 'done' event "
+                    f"(connection lost mid-job?)")
+            except TransportError:
+                # A truncated stream must never look like success, but
+                # it is also the one failure Last-Event-ID exists for:
+                # reconnect and resume after what was already consumed.
+                if progressed:
+                    attempts = 0
+                if attempts >= max(0, reconnects):
+                    raise
+                attempts += 1
+                time.sleep(min(0.2 * attempts, 1.0))
+
+    def _stream_once(self, job_id: str, after: int,
+                     timeout: float | None) -> Iterator[JobEvent]:
+        """One SSE connection, resuming after sequence ``after``."""
         url = f"{self.base_url}/v2/jobs/{job_id}/events"
-        request = urllib.request.Request(
-            url, headers={"Accept": "text/event-stream"})
+        headers = {"Accept": "text/event-stream"}
+        if after > 0:
+            headers["Last-Event-ID"] = str(after)
+        request = urllib.request.Request(url, headers=headers)
         try:
             response = urllib.request.urlopen(
                 request, timeout=timeout if timeout is not None
@@ -234,38 +330,35 @@ class ZiggyClient:
             raise TransportError(f"GET {url}: {exc}") from exc
         with response:
             seq, kind, data_lines = 0, None, []
-            for raw in response:
-                line = raw.decode("utf-8").rstrip("\r\n")
-                if line.startswith(":"):
-                    continue  # keep-alive comment
-                if line.startswith("id:"):
-                    seq = int(line[len("id:"):].strip() or 0)
-                    continue
-                if line.startswith("event:"):
-                    kind = line[len("event:"):].strip()
-                    continue
-                if line.startswith("data:"):
-                    data_lines.append(line[len("data:"):].strip())
-                    continue
-                if line == "" and kind is not None:
-                    try:
-                        data = json.loads("\n".join(data_lines) or "{}")
-                    except json.JSONDecodeError as exc:
-                        raise TransportError(
-                            f"GET {url}: bad event data: {exc}") from None
-                    event = JobEvent(seq=seq, kind=kind,
-                                     data=data if isinstance(data, dict)
-                                     else {"value": data})
-                    yield event
-                    if event.kind == JobEvent.DONE:
-                        return
-                    seq, kind, data_lines = 0, None, []
-        # The stream ended (connection closed) without the terminal
-        # "done" event: the server died or the socket was cut mid-job.
-        # Surface it — a truncated stream must never look like success.
-        raise TransportError(
-            f"GET {url}: event stream ended before the 'done' event "
-            f"(connection lost mid-job?)")
+            try:
+                for raw in response:
+                    line = raw.decode("utf-8").rstrip("\r\n")
+                    if line.startswith(":"):
+                        continue  # keep-alive / eviction comment
+                    if line.startswith("id:"):
+                        seq = int(line[len("id:"):].strip() or 0)
+                        continue
+                    if line.startswith("event:"):
+                        kind = line[len("event:"):].strip()
+                        continue
+                    if line.startswith("data:"):
+                        data_lines.append(line[len("data:"):].strip())
+                        continue
+                    if line == "" and kind is not None:
+                        try:
+                            data = json.loads("\n".join(data_lines) or "{}")
+                        except json.JSONDecodeError as exc:
+                            raise TransportError(
+                                f"GET {url}: bad event data: {exc}") \
+                                from None
+                        yield JobEvent(seq=seq, kind=kind,
+                                       data=data if isinstance(data, dict)
+                                       else {"value": data})
+                        if kind == JobEvent.DONE:
+                            return
+                        seq, kind, data_lines = 0, None, []
+            except OSError as exc:
+                raise TransportError(f"GET {url}: {exc}") from exc
 
     def wait(self, job_id: str, timeout: float = 60.0,
              poll: float = 0.05) -> JobSnapshot:

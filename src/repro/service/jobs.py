@@ -168,11 +168,28 @@ class Job:
     #: Timings carried over from a journal restore; when set they win
     #: over the perf-counter fields (which describe *this* process).
     restored_timings: dict | None = None
+    #: Zero-argument callbacks fired (with the job lock held) whenever
+    #: waiters are woken — events appended, terminal transitions,
+    #: prunes.  This is the async front-end's wakeup path: instead of
+    #: parking a thread per subscriber in :meth:`JobManager.events_since`,
+    #: an event loop registers ``loop.call_soon_threadsafe`` here and
+    #: polls the log non-blockingly when pinged.  Watchers MUST be
+    #: non-blocking and must not touch the job.
+    watchers: list = field(default_factory=list, repr=False)
 
     def __post_init__(self):
         # Shares the job lock, so event appends and state transitions
         # wake streaming waiters atomically.
         self.event_cond = threading.Condition(self.lock)
+
+    def wake(self) -> None:
+        """Wake condition waiters and fire watchers (lock must be held)."""
+        self.event_cond.notify_all()
+        for watcher in tuple(self.watchers):
+            try:
+                watcher()
+            except Exception:  # noqa: BLE001 - a watcher must never kill a job
+                pass
 
     @property
     def finished(self) -> bool:
@@ -200,7 +217,7 @@ class Job:
             seq = (self.events[-1][0] + 1) if self.events else 1
             item = payload if mapper is None else mapper(seq, stage, payload)
             self.events.append((seq, stage, item))
-            self.event_cond.notify_all()
+            self.wake()
         return seq, item
 
     def timings_ms(self) -> dict[str, float]:
@@ -341,7 +358,7 @@ class JobManager:
                    error: BaseException | None) -> None:
             with job.event_cond:
                 if job.finished:  # cancel/finish races resolve first-wins
-                    job.event_cond.notify_all()
+                    job.wake()
                     return
             # Map outside the job lock (the mapper may take session
             # locks) and only for a job that is still live — a job
@@ -353,13 +370,13 @@ class JobManager:
                     status, result, error = "failed", None, exc
             with job.event_cond:
                 if job.finished:
-                    job.event_cond.notify_all()
+                    job.wake()
                     return
                 job.status = status
                 job.result = result
                 job.error = error
                 job.finished_at = time.perf_counter()
-                job.event_cond.notify_all()
+                job.wake()
             self._journal_terminal(job)
 
         try:
@@ -547,7 +564,7 @@ class JobManager:
                 job.status = "interrupted"
                 job.error = error
                 job.finished_at = time.perf_counter()
-            job.event_cond.notify_all()
+            job.wake()
         self._journal_terminal(job)
         return job
 
@@ -621,7 +638,7 @@ class JobManager:
         for job in doomed:
             with job.event_cond:
                 job.pruned = True
-                job.event_cond.notify_all()
+                job.wake()
 
     def prune(self) -> int:
         """Apply the retention policy now; returns pruned-job count."""
@@ -646,6 +663,40 @@ class JobManager:
         with self._lock:
             return tuple(self._jobs)
 
+    def open_jobs(self) -> int:
+        """How many jobs are not yet terminal (pending + running).
+
+        The front-ends' bounded-submission-queue gauge: O(live jobs),
+        which retention keeps small.  Reads statuses without the per-job
+        locks — a gauge may be one transition stale.
+        """
+        with self._lock:
+            return sum(1 for job in self._jobs.values() if not job.finished)
+
+    def watch(self, job_id: str, callback: Callable[[], None]
+              ) -> Callable[[], None]:
+        """Register a wakeup callback on a job; returns the unregister.
+
+        ``callback`` fires — with the job lock held, so it must be
+        non-blocking (e.g. ``loop.call_soon_threadsafe``) — whenever the
+        job appends an event, reaches a terminal state, or is pruned.
+        It may fire spuriously; consumers re-read :meth:`events_since`
+        with ``timeout=0`` and decide for themselves.  Raises
+        :class:`JobNotFoundError` for unknown jobs.
+        """
+        job = self.get(job_id)
+        with job.event_cond:
+            job.watchers.append(callback)
+
+        def unwatch() -> None:
+            with job.event_cond:
+                try:
+                    job.watchers.remove(callback)
+                except ValueError:
+                    pass  # already removed (idempotent)
+
+        return unwatch
+
     def cancel(self, job_id: str) -> Job:
         """Request cancellation; returns the job record.
 
@@ -665,7 +716,7 @@ class JobManager:
                     job.status = "cancelled"
                     job.finished_at = time.perf_counter()
                     cancelled_here = True
-                job.event_cond.notify_all()
+                job.wake()
             if cancelled_here:
                 # The backend never ran the work, so no finish() will
                 # journal this transition — do it here.

@@ -37,6 +37,7 @@ from repro.errors import (
     ProtocolError,
     QuerySyntaxError,
     ReproError,
+    ThrottledError,
     UnknownColumnError,
     UnknownDatasetError,
     UnknownTableError,
@@ -64,6 +65,7 @@ class ErrorCode:
     JOB_NOT_FOUND = "job_not_found"
     CANCELLED = "cancelled"
     INTERRUPTED = "interrupted"
+    THROTTLED = "throttled"
     ERROR = "error"
     INTERNAL = "internal"
 
@@ -80,6 +82,7 @@ _EXCEPTION_CODES: tuple[tuple[type, str], ...] = (
     (JobNotFoundError, ErrorCode.JOB_NOT_FOUND),
     (JobCancelled, ErrorCode.CANCELLED),
     (JobInterruptedError, ErrorCode.INTERRUPTED),
+    (ThrottledError, ErrorCode.THROTTLED),
     (ProtocolError, ErrorCode.BAD_REQUEST),
     (ReproError, ErrorCode.ERROR),
 )
@@ -776,11 +779,15 @@ class StateReport:
     recovery: dict | None = None
     runtime: dict = field(default_factory=dict)
     jobs: dict = field(default_factory=dict)
+    #: Front-end saturation counters (open/peak SSE subscribers,
+    #: evictions, throttle/queue rejections); None when the report was
+    #: produced outside an HTTP front-end.
+    gateway: dict | None = None
 
     TYPE = "state_report"
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "type": self.TYPE, "protocol": PROTOCOL_VERSION, "ok": True,
             "enabled": self.enabled, "state_dir": self.state_dir,
             "uptime_seconds": json_safe(self.uptime_seconds),
@@ -790,6 +797,9 @@ class StateReport:
             "runtime": json_safe(self.runtime),
             "jobs": json_safe(self.jobs),
         }
+        if self.gateway is not None:
+            payload["gateway"] = json_safe(self.gateway)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "StateReport":
@@ -804,6 +814,9 @@ class StateReport:
             recovery=dict(recovery) if recovery else None,
             runtime=dict(payload.get("runtime") or {}),
             jobs=dict(payload.get("jobs") or {}),
+            gateway=(dict(payload["gateway"])
+                     if isinstance(payload.get("gateway"), Mapping)
+                     else None),
         )
 
 

@@ -1,18 +1,27 @@
-"""A stdlib HTTP veneer over :class:`ZiggyService`.
+"""The threaded stdlib HTTP front-end over :class:`ZiggyService`.
 
 The paper's demo architecture is "the query characterization engine and a
 Web server"; this is that web server, speaking protocol v2 as JSON over
-HTTP with no dependencies beyond the standard library.
+HTTP with no dependencies beyond the standard library.  It is the
+*compatibility baseline* front-end: one OS thread per connection, which
+is simple and debuggable but tops out at a few hundred concurrent SSE
+subscribers — the asyncio front-end (:mod:`repro.gateway.server`)
+multiplexes thousands on one event loop and is selected with
+``repro serve --frontend async``.
 
-Routes:
+All route logic — paths, payload shapes, admission control,
+backpressure, the healthz/state bodies — lives in the shared
+:class:`~repro.gateway.routes.GatewayRoutes`, so the two front-ends
+answer byte-identical payloads; this module only owns the
+thread-per-connection transport:
 
 ==========  =========================  =====================================
 method      path                       meaning
 ==========  =========================  =====================================
 GET         /healthz                   liveness, uptime, shard restarts,
-                                       journal/snapshot stats
+                                       journal/snapshot stats, gateway load
 GET         /v2/state                  durable-state report (journal,
-                                       snapshots, recovery, runtime)
+                                       snapshots, recovery, runtime, gateway)
 GET         /v2/tables                 catalog
 POST        /v2                        any protocol request (tag-dispatched)
 POST        /v2/characterize           characterize (type implied)
@@ -29,26 +38,37 @@ POST        /v1                        legacy v1 action dict (adapter)
 The events route streams Server-Sent Events (``text/event-stream``,
 stdlib only — the response is written incrementally on a
 ``Connection: close`` socket): one ``id:``/``event:``/``data:`` block
-per :class:`JobEvent` as the job produces them — ``prepared``,
-``component-scored``, ``view-ranked`` (views arrive as they are kept,
-*before* the job finishes), ``search-complete``, ``view-ready``,
-``result`` — terminated by a ``done`` event carrying the final job
-status.  Idle gaps are filled with ``: keepalive`` comments so client
-read timeouts don't fire mid-search.
+per :class:`JobEvent` as the job produces them, terminated by a ``done``
+event carrying the final job status.  Idle gaps are filled with
+``: keepalive`` comments so client read timeouts don't fire mid-search.
+A ``Last-Event-ID`` request header resumes the stream after that
+sequence number (no events duplicated or lost across reconnects), and a
+subscriber whose socket stays unwritable past the policy's
+``sse_write_timeout`` is **evicted** — a best-effort ``: client-evicted``
+comment, then the connection is dropped — instead of pinning its handler
+thread forever.
 
 Error payloads are structured :class:`ApiError` dicts; the HTTP status
 mirrors the error code (400 family for caller mistakes, 404 for unknown
-jobs/routes, 500 for internal faults).
+jobs/routes, 429 + ``Retry-After`` for throttled work, 500 for internal
+faults).
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.errors import ReproError
+from repro.gateway.routes import (
+    EventStreamReply,
+    GatewayPolicy,
+    GatewayRoutes,
+    JsonReply,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     ApiError,
@@ -58,42 +78,9 @@ from repro.service.protocol import (
 )
 from repro.service.service import ZiggyService
 
-#: Error code -> HTTP status for error payloads.
-_STATUS_FOR_CODE = {
-    ErrorCode.BAD_REQUEST: 400,
-    ErrorCode.UNKNOWN_ACTION: 400,
-    ErrorCode.UNKNOWN_TABLE: 404,
-    ErrorCode.UNKNOWN_COLUMN: 400,
-    ErrorCode.SYNTAX_ERROR: 400,
-    ErrorCode.EMPTY_SELECTION: 400,
-    ErrorCode.INVALID_CONFIG: 400,
-    ErrorCode.NO_ACTIVE_QUERY: 409,
-    ErrorCode.JOB_NOT_FOUND: 404,
-    ErrorCode.CANCELLED: 200,
-    ErrorCode.INTERRUPTED: 200,
-    ErrorCode.ERROR: 400,
-    ErrorCode.INTERNAL: 500,
-}
-
-#: POST /v2/<suffix> -> implied protocol request type.
-_IMPLIED_TYPES = {
-    "characterize": "characterize",
-    "batch": "batch",
-    "views": "views",
-    "configure": "configure",
-    "jobs": "submit",
-}
-
-
-def _status_for(payload: dict) -> int:
-    if payload.get("ok", True):
-        return 200
-    code = (payload.get("error") or {}).get("code", ErrorCode.ERROR)
-    return _STATUS_FOR_CODE.get(code, 400)
-
 
 class ZiggyRequestHandler(BaseHTTPRequestHandler):
-    """Translates HTTP traffic onto the service; holds no state itself."""
+    """Translates HTTP traffic onto the shared routes; holds no state."""
 
     server_version = f"ZiggyServe/{PROTOCOL_VERSION}"
     protocol_version = "HTTP/1.1"
@@ -108,25 +95,32 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
     def service(self) -> ZiggyService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def routes(self) -> GatewayRoutes:
+        return self.server.routes  # type: ignore[attr-defined]
+
     # -- plumbing ----------------------------------------------------------------
 
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
-    def _send_json(self, payload: dict, status: int | None = None) -> None:
+    def _send_reply(self, reply: JsonReply) -> None:
+        self._send_json(reply.payload, status=reply.status,
+                        headers=reply.headers)
+
+    def _send_json(self, payload: dict, status: int | None = None,
+                   headers: tuple = ()) -> None:
+        from repro.gateway.routes import status_for
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status if status is not None
-                           else _status_for(payload))
+                           else status_for(payload))
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
-
-    def _send_error_payload(self, code: str, message: str,
-                            status: int | None = None) -> None:
-        self._send_json(ApiError(code=code, message=message).to_dict(),
-                        status=status)
 
     def _read_body(self) -> Any:
         length = int(self.headers.get("Content-Length") or 0)
@@ -142,89 +136,64 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
     # -- verbs -------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.rstrip("/")
-        if path in ("", "/healthz"):
-            from repro import __version__
-            executor = self.service.executor.describe()
-            state = self.service.state
-            persistence: dict[str, Any] = {"enabled": state is not None}
-            if state is not None:
-                persistence["state_dir"] = state.state_dir
-                journal = state.journal.stats()
-                persistence["journal"] = {
-                    "segments": journal["segments"],
-                    "bytes": journal["bytes"],
-                    "appends": journal["appends"],
-                }
-                snapshots = state.snapshots.stats()
-                persistence["snapshots"] = {
-                    "count": snapshots["count"],
-                    "bytes": snapshots["bytes"],
-                    "loaded": snapshots["loaded"],
-                }
-            self._send_json({"ok": True, "protocol": PROTOCOL_VERSION,
-                             "version": __version__,
-                             "uptime_seconds": round(
-                                 self.service.uptime_seconds, 3),
-                             "executor": executor,
-                             # Per-shard respawn counts, surfaced even
-                             # when zero so probes need no key checks
-                             # (local backends report an empty map).
-                             "restarts": executor.get("restarts", {}),
-                             "persistence": persistence,
-                             "tables": list(self.service.database
-                                            .table_names())})
+        reply = self.routes.handle_get(self.path, self.headers)
+        if isinstance(reply, EventStreamReply):
+            self._stream_job_events(reply.job_id, after=reply.after)
             return
-        if path == "/v2/state":
-            self._send_json(self.service.dispatch({"type": "state"}))
+        self._send_reply(reply)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        try:
+            body = self._read_body()
+        except ProtocolError as exc:
+            self._send_json(ApiError.from_exception(exc).to_dict())
             return
-        if path == "/v2/tables":
-            self._send_json(self.service.dispatch({"type": "tables"}))
-            return
-        if path.startswith("/v2/jobs/") and path.endswith("/events"):
-            job_id = path[len("/v2/jobs/"):-len("/events")]
-            self._stream_job_events(job_id)
-            return
-        if path.startswith("/v2/jobs/"):
-            job_id = path[len("/v2/jobs/"):]
-            self._send_json(self.service.dispatch(
-                {"type": "job", "job_id": job_id, "op": "status"}))
-            return
-        self._send_error_payload(ErrorCode.BAD_REQUEST,
-                                 f"no route for GET {self.path}", status=404)
+        self._send_reply(self.routes.handle_post(self.path, body))
 
     # -- event streaming ---------------------------------------------------------
 
-    #: Longest idle stretch (seconds) before a keep-alive comment.
-    EVENT_POLL_SECONDS = 1.0
-
-    def _stream_job_events(self, job_id: str) -> None:
+    def _stream_job_events(self, job_id: str, after: int = 0) -> None:
         """Relay a job's event stream as Server-Sent Events.
 
         The response carries no Content-Length and is terminated by
         closing the connection (``Connection: close``), which every
         HTTP/1.1 client understands — no chunked-encoding machinery
-        needed from the stdlib server.
+        needed from the stdlib server.  ``after`` is the reconnect
+        cursor (the client's ``Last-Event-ID``).
         """
-        try:
-            self.service.job_status(job_id)  # 404 before committing to SSE
-        except ReproError as exc:
-            self._send_json(ApiError.from_exception(exc).to_dict())
+        routes = self.routes
+        rejected = routes.stream_precheck(job_id)  # 404 before committing
+        if rejected is not None:
+            self._send_reply(rejected)
             return
+        policy = routes.policy
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
         self.send_header("Connection", "close")
         self.end_headers()
         self.close_connection = True
-        after = 0
+        # From here on this thread only writes; the read timeout becomes
+        # the slow-consumer bound — a send() blocked longer than this
+        # (client not draining its socket) raises and the subscriber is
+        # evicted instead of pinning the handler thread forever.
+        self.connection.settimeout(policy.sse_write_timeout)
+        # Bound the kernel's per-subscriber send buffer too, so a
+        # stalled client blocks the send (and trips the eviction
+        # timeout) instead of absorbing megabytes of backlog first.
+        try:
+            self.connection.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF,
+                                       policy.sse_buffer_bytes)
+        except OSError:
+            pass
         stopping = getattr(self.server, "stopping", None)
+        routes.metrics.stream_opened()
         try:
             while True:
                 try:
                     events, finished = self.service.job_events(
                         job_id, after_seq=after,
-                        timeout=self.EVENT_POLL_SECONDS)
+                        timeout=policy.keepalive_seconds)
                 except ReproError:
                     # The job was pruned mid-stream (bounded retention);
                     # terminate like a vanished resource, not a hang.
@@ -250,64 +219,31 @@ class ZiggyRequestHandler(BaseHTTPRequestHandler):
                 if not events:
                     self.wfile.write(b": keepalive\n\n")
                     self.wfile.flush()
+        except TimeoutError:
+            # Slow consumer: its socket stayed unwritable past the
+            # eviction bound.  Best-effort goodbye, then drop it — the
+            # job and every other subscriber are unaffected.
+            routes.metrics.stream_evicted()
+            try:
+                self.connection.settimeout(0.2)
+                self.wfile.write(b": client-evicted\n\n")
+                self.wfile.flush()
+            except OSError:
+                pass
+            return
         except (BrokenPipeError, ConnectionResetError):
             return  # client went away; nothing to clean up
+        finally:
+            routes.metrics.stream_closed()
 
     def _write_sse(self, seq: int, kind: str, data: str) -> None:
         block = f"id: {seq}\nevent: {kind}\ndata: {data}\n\n"
         self.wfile.write(block.encode("utf-8"))
         self.wfile.flush()
 
-    def do_POST(self) -> None:  # noqa: N802 - http.server API
-        try:
-            body = self._read_body()
-        except ProtocolError as exc:
-            self._send_json(ApiError.from_exception(exc).to_dict())
-            return
-        path = self.path.rstrip("/")
-        if path == "/v1":
-            legacy = self.server.legacy_api  # type: ignore[attr-defined]
-            if not isinstance(body, dict):
-                self._send_json({"ok": False,
-                                 "error": "v1 request must be an object",
-                                 "code": ErrorCode.BAD_REQUEST}, status=400)
-                return
-            response = legacy.handle(body)
-            self._send_json(response,
-                            status=200 if response.get("ok") else 400)
-            return
-        if path == "/v2":
-            self._send_json(self.service.dispatch(body))
-            return
-        if path.startswith("/v2/jobs/") and path.endswith("/cancel"):
-            job_id = path[len("/v2/jobs/"):-len("/cancel")]
-            self._send_json(self.service.dispatch(
-                {"type": "job", "job_id": job_id, "op": "cancel"}))
-            return
-        if path.startswith("/v2/"):
-            suffix = path[len("/v2/"):]
-            implied = _IMPLIED_TYPES.get(suffix)
-            if implied is not None:
-                payload = dict(body) if isinstance(body, dict) else body
-                if isinstance(payload, dict):
-                    if implied == "submit":
-                        # POST /v2/jobs accepts a characterize request
-                        # (bare or tagged) and always submits it as a job;
-                        # a pre-wrapped submit envelope passes through.
-                        if payload.get("type") != "submit":
-                            payload = {"type": "submit",
-                                       "request": {**payload,
-                                                   "type": "characterize"}}
-                    else:
-                        payload.setdefault("type", implied)
-                self._send_json(self.service.dispatch(payload))
-                return
-        self._send_error_payload(ErrorCode.BAD_REQUEST,
-                                 f"no route for POST {self.path}", status=404)
-
 
 class ZiggyServer(ThreadingHTTPServer):
-    """The HTTP server bound to one :class:`ZiggyService`.
+    """The threaded HTTP server bound to one :class:`ZiggyService`.
 
     Handler threads are daemonic (a crashed handler must never pin the
     interpreter), but ``block_on_close`` keeps them joinable: a clean
@@ -321,10 +257,12 @@ class ZiggyServer(ThreadingHTTPServer):
     block_on_close = True
 
     def __init__(self, address: tuple[str, int], service: ZiggyService,
-                 verbose: bool = False):
+                 verbose: bool = False, policy: GatewayPolicy | None = None):
         super().__init__(address, ZiggyRequestHandler)
         self.service = service
         self.verbose = verbose
+        self.routes = GatewayRoutes(service, policy=policy,
+                                    frontend="threaded")
         #: Set while a clean shutdown is draining handlers; streaming
         #: handlers poll it so they terminate instead of outliving the
         #: accept loop.
@@ -334,10 +272,11 @@ class ZiggyServer(ThreadingHTTPServer):
         #: completes, sockets and threads released.
         self.shutdown_error: BaseException | None = None
         self._serving = False
-        # Lazy import: app.api imports the service layer; importing it at
-        # module top would be circular.
-        from repro.app.api import ZiggyApi
-        self.legacy_api = ZiggyApi(service=service)
+
+    @property
+    def legacy_api(self):
+        """The v1 compatibility adapter (owned by the shared routes)."""
+        return self.routes.legacy_api
 
     def serve_forever(self, poll_interval: float = 0.5) -> None:  # noqa: D102
         self._serving = True
@@ -376,9 +315,10 @@ class ZiggyServer(ThreadingHTTPServer):
 
 
 def make_server(service: ZiggyService, host: str = "127.0.0.1",
-                port: int = 0, verbose: bool = False) -> ZiggyServer:
+                port: int = 0, verbose: bool = False,
+                policy: GatewayPolicy | None = None) -> ZiggyServer:
     """Build (but do not start) a server; ``port=0`` picks a free port."""
-    return ZiggyServer((host, port), service, verbose=verbose)
+    return ZiggyServer((host, port), service, verbose=verbose, policy=policy)
 
 
 def serve_forever(service: ZiggyService, host: str = "127.0.0.1",

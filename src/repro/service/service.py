@@ -635,6 +635,16 @@ class ZiggyService:
         # is a plain unwrap.
         return [event for _seq, _stage, event in raw], finished
 
+    def watch_job(self, job_id: str, callback: Callable[[], None]
+                  ) -> Callable[[], None]:
+        """Register a non-blocking wakeup callback on a job's event log
+        (see :meth:`JobManager.watch`); returns the unregister callable.
+
+        The async front-end uses this instead of parking a thread per
+        subscriber in :meth:`job_events`.
+        """
+        return self.jobs.watch(job_id, callback)
+
     def view_page(self, request: ViewPageRequest) -> ViewPage:
         """Page through the client's current (latest) result."""
         session = self.session(request.client_id)

@@ -1,0 +1,61 @@
+"""Fixtures for the gateway suite: both front-ends behind one surface.
+
+Every test in this package runs twice — once against the threaded
+baseline, once against the asyncio gateway — because the whole point of
+the shared route layer is that the two are interchangeable.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.gateway import GatewayPolicy, make_frontend
+from repro.runtime import ZiggyRuntime
+from repro.service import ZiggyService
+
+FRONTENDS = ("threaded", "async")
+
+
+@pytest.fixture(params=FRONTENDS)
+def frontend(request) -> str:
+    return request.param
+
+
+@pytest.fixture
+def serve_factory(frontend):
+    """Start front-ends over arbitrary services/policies; all cleaned up.
+
+    Returns ``start(service, policy=None) -> base_url``.  The factory
+    owns teardown: servers are closed (which shuts their service down)
+    and serve threads joined, whatever the test outcome.
+    """
+    started: list[tuple] = []
+
+    def start(service: ZiggyService,
+              policy: GatewayPolicy | None = None) -> str:
+        server = make_frontend(service, frontend=frontend, policy=policy)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    yield start
+    for server, thread in started:
+        server.close(shutdown_service=True, wait=False)
+        thread.join(timeout=15)
+        assert not thread.is_alive(), "serve thread failed to stop"
+
+
+@pytest.fixture
+def box_service(boxoffice_small) -> ZiggyService:
+    """A fresh two-worker service over the small box-office table.
+
+    No teardown here: tests hand it to ``serve_factory``, whose server
+    close shuts the service down.
+    """
+    service = ZiggyService(max_workers=2, runtime=ZiggyRuntime())
+    service.register_table(boxoffice_small)
+    return service

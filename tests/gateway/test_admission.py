@@ -1,0 +1,109 @@
+"""Unit tests for the token-bucket admission layer (no HTTP involved)."""
+
+import pytest
+
+from repro.gateway.admission import (
+    AdmissionController,
+    TokenBucket,
+    _BucketMap,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_rejection(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        now = 100.0
+        assert bucket.try_acquire(now) == 0.0
+        assert bucket.try_acquire(now) == 0.0
+        assert bucket.try_acquire(now) == 0.0
+        wait = bucket.try_acquire(now)
+        assert wait == pytest.approx(1.0)
+
+    def test_refill_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_acquire(50.0) == 0.0
+        # Empty; half a second accrues one token at 2/s.
+        assert bucket.try_acquire(50.1) == pytest.approx(0.4, abs=1e-6)
+        assert bucket.try_acquire(50.5) == 0.0
+
+    def test_refill_never_exceeds_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.peek(0.0) == 2.0
+        assert bucket.peek(1000.0) == 2.0  # a long idle doesn't bank up
+
+    def test_rejection_leaves_bucket_untouched(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_acquire(10.0) == 0.0
+        before = bucket.peek(10.0)
+        bucket.try_acquire(10.0)  # rejected
+        assert bucket.peek(10.0) == before
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestBucketMap:
+    def test_lru_bound(self):
+        buckets = _BucketMap(rate=1.0, burst=1.0, max_keys=3)
+        first = buckets.bucket("a")
+        for key in ("b", "c", "d"):  # "a" is the LRU; "d" evicts it
+            buckets.bucket(key)
+        assert len(buckets) == 3
+        assert buckets.bucket("a") is not first  # resurrected fresh
+
+    def test_touch_refreshes_recency(self):
+        buckets = _BucketMap(rate=1.0, burst=1.0, max_keys=2)
+        a = buckets.bucket("a")
+        buckets.bucket("b")
+        buckets.bucket("a")  # refresh: "b" is now the LRU
+        buckets.bucket("c")
+        assert buckets.bucket("a") is a
+
+
+class TestAdmissionController:
+    def test_default_admits_everything(self):
+        controller = AdmissionController()
+        assert not controller.enabled
+        for _ in range(1000):
+            assert controller.admit("anyone", "anything")
+
+    def test_per_client_isolation(self):
+        controller = AdmissionController(client_rate=0.001, client_burst=1)
+        assert controller.admit("alice", None)
+        rejected = controller.admit("alice", None)
+        assert not rejected
+        assert rejected.scope == "client"
+        assert rejected.retry_after > 0
+        # A different client has its own bucket.
+        assert controller.admit("bob", None)
+
+    def test_per_table_scope(self):
+        controller = AdmissionController(table_rate=0.001, table_burst=1)
+        assert controller.admit("alice", "movies")
+        rejected = controller.admit("bob", "movies")  # other client, same table
+        assert not rejected
+        assert rejected.scope == "table"
+        assert controller.admit("alice", "crimes")  # other table is fine
+
+    def test_table_rejection_refunds_client_token(self):
+        controller = AdmissionController(client_rate=0.001, client_burst=2,
+                                         table_rate=0.001, table_burst=1)
+        assert controller.admit("alice", "movies")
+        rejected = controller.admit("alice", "movies")
+        assert rejected.scope == "table"
+        # The table said no, so alice's second token was refunded: a
+        # request against another table must still be admitted.
+        assert controller.admit("alice", "crimes")
+
+    def test_describe_reports_configuration(self):
+        controller = AdmissionController(client_rate=5.0, table_rate=2.0,
+                                         table_burst=7.0)
+        controller.admit("alice", "movies")
+        info = controller.describe()
+        assert info["enabled"] is True
+        assert info["client"]["rate"] == 5.0
+        assert info["client"]["keys"] == 1
+        assert info["table"] == {"rate": 2.0, "burst": 7.0, "keys": 1}

@@ -1,0 +1,161 @@
+"""Front-end parity: the threaded and async servers must answer the
+same payloads for an identical job lifecycle — submit, stream, status,
+cancel, errors, throttling — byte-for-byte once wall-clock timings are
+stripped."""
+
+import json
+import threading
+
+import pytest
+
+from repro.gateway import GatewayPolicy, make_frontend
+from repro.runtime import ZiggyRuntime
+from repro.service import ZiggyService
+
+from helpers.http_probe import http_get, http_post
+
+#: Keys whose values are wall-clock measurements (never identical
+#: between two runs) — stripped recursively before comparison.
+VOLATILE = {"timings_ms", "uptime_seconds"}
+
+
+def _stable(value):
+    if isinstance(value, dict):
+        return {k: _stable(v) for k, v in sorted(value.items())
+                if k not in VOLATILE}
+    if isinstance(value, list):
+        return [_stable(v) for v in value]
+    return value
+
+
+def _sse_blocks(raw: bytes) -> list[tuple[str, str, dict]]:
+    """Parse an SSE byte stream into (id, event, stable-data) blocks,
+    dropping comment lines (keepalives)."""
+    blocks = []
+    seq, kind, data = None, None, []
+    for line in raw.decode("utf-8").split("\n"):
+        if line.startswith(":"):
+            continue
+        if line.startswith("id:"):
+            seq = line[3:].strip()
+        elif line.startswith("event:"):
+            kind = line[6:].strip()
+        elif line.startswith("data:"):
+            data.append(line[5:].strip())
+        elif line == "" and kind is not None:
+            blocks.append((seq, kind, _stable(json.loads("\n".join(data)))))
+            seq, kind, data = None, None, []
+    return blocks
+
+
+@pytest.fixture
+def both_frontends(boxoffice_small):
+    """Two fresh, identically configured servers — one per front-end.
+
+    Fresh services mean identical job-id sequences (both start at
+    job-000001), so even id-bearing payloads compare equal.
+    """
+    started = []
+
+    def boot(frontend):
+        service = ZiggyService(max_workers=2, runtime=ZiggyRuntime())
+        service.register_table(boxoffice_small)
+        server = make_frontend(
+            service, frontend=frontend,
+            policy=GatewayPolicy(max_pending_jobs=50))
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        started.append((server, thread))
+        host, port = server.server_address[:2]
+        return f"http://{host}:{port}"
+
+    yield boot("threaded"), boot("async")
+    for server, thread in started:
+        server.close(shutdown_service=True, wait=False)
+        thread.join(timeout=15)
+
+
+def _lifecycle(base: str) -> dict:
+    """One full lifecycle against a server; returns comparable artifacts."""
+    out = {}
+    status, _, body = http_post(f"{base}/v2/characterize",
+                                {"where": "gross > 200000000"})
+    out["characterize"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_post(f"{base}/v2/jobs",
+                                {"where": "gross > 150000000"})
+    out["submit"] = (status, _stable(json.loads(body)))
+    job_id = json.loads(body)["job_id"]
+
+    status, _, body = http_get(f"{base}/v2/jobs/{job_id}/events",
+                               timeout=120)
+    out["stream_status"] = status
+    out["stream"] = _sse_blocks(body)
+
+    # Resume from the midpoint: the replay must pick up after the
+    # cursor, not duplicate or skip.
+    midpoint = out["stream"][len(out["stream"]) // 2][0]
+    _, _, body = http_get(f"{base}/v2/jobs/{job_id}/events",
+                          headers={"Last-Event-ID": midpoint},
+                          timeout=120)
+    out["resumed"] = _sse_blocks(body)
+
+    status, _, body = http_get(f"{base}/v2/jobs/{job_id}")
+    out["status"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_post(f"{base}/v2/jobs/{job_id}/cancel", {})
+    out["cancel_done"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_get(f"{base}/v2/jobs/does-not-exist")
+    out["missing_job"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_get(f"{base}/v2/jobs/does-not-exist/events")
+    out["missing_stream"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_post(f"{base}/nowhere", {})
+    out["missing_route"] = (status, _stable(json.loads(body)))
+
+    status, _, body = http_get(f"{base}/v2/tables")
+    out["tables"] = (status, _stable(json.loads(body)))
+    return out
+
+
+class TestFrontendParity:
+    def test_full_lifecycle_is_identical(self, both_frontends):
+        threaded_base, async_base = both_frontends
+        threaded = _lifecycle(threaded_base)
+        asynced = _lifecycle(async_base)
+        assert sorted(threaded) == sorted(asynced)
+        for key in threaded:
+            assert threaded[key] == asynced[key], \
+                f"front-ends disagree on {key!r}"
+        # Sanity on the artifacts themselves, not just their equality:
+        assert threaded["stream"][-1][1] == "done"
+        assert len(threaded["resumed"]) < len(threaded["stream"])
+        assert threaded["missing_job"][0] == 404
+        assert threaded["missing_stream"][0] == 404
+
+    def test_throttled_payloads_are_identical(self, boxoffice_small):
+        artifacts = {}
+        for frontend in ("threaded", "async"):
+            service = ZiggyService(max_workers=2, runtime=ZiggyRuntime())
+            service.register_table(boxoffice_small)
+            server = make_frontend(
+                service, frontend=frontend,
+                policy=GatewayPolicy(max_pending_jobs=0,
+                                     queue_retry_after=1.0))
+            thread = threading.Thread(target=server.serve_forever,
+                                      daemon=True)
+            thread.start()
+            host, port = server.server_address[:2]
+            try:
+                status, headers, body = http_post(
+                    f"http://{host}:{port}/v2/jobs",
+                    {"where": "gross > 200000000"})
+                retry = {k.lower(): v for k, v in headers.items()}
+                artifacts[frontend] = (status, retry["retry-after"], body)
+            finally:
+                server.close(shutdown_service=True, wait=False)
+                thread.join(timeout=15)
+        assert artifacts["threaded"] == artifacts["async"]
+        assert artifacts["threaded"][0] == 429

@@ -1,0 +1,32 @@
+"""Raw-urllib HTTP probes for tests that assert on status codes and
+headers without the client's error mapping or retry behaviour."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+
+def http_get(url: str, headers: dict | None = None,
+             timeout: float = 30.0) -> tuple[int, dict, bytes]:
+    """GET returning ``(status, headers, body)`` without raising on 4xx."""
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def http_post(url: str, payload: dict,
+              timeout: float = 30.0) -> tuple[int, dict, bytes]:
+    """POST JSON returning ``(status, headers, body)``; 4xx not raised."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()

@@ -27,6 +27,8 @@ import threading
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.service.client import ZiggyClient
 
 SLOW_PREDICATE = "violent_crime_rate > 0.2"
@@ -103,10 +105,17 @@ class ServeProcess:
                 self.proc.wait(timeout=15)
 
 
-def test_sigkill_mid_job_then_resume_matches_uninterrupted_run(tmp_path):
+@pytest.fixture(params=("threaded", "async"))
+def frontend(request) -> str:
+    """Both front-ends must survive SIGKILL and recover identically."""
+    return request.param
+
+
+def test_sigkill_mid_job_then_resume_matches_uninterrupted_run(tmp_path,
+                                                               frontend):
     state_dir = str(tmp_path / "state")
 
-    first = ServeProcess("--state-dir", state_dir)
+    first = ServeProcess("--state-dir", state_dir, "--frontend", frontend)
     job_id = None
     try:
         client = ZiggyClient(first.base_url(), timeout=30)
@@ -129,7 +138,8 @@ def test_sigkill_mid_job_then_resume_matches_uninterrupted_run(tmp_path):
         first.stop()
         raise
 
-    second = ServeProcess("--state-dir", state_dir, "--recover", "resume")
+    second = ServeProcess("--state-dir", state_dir, "--recover", "resume",
+                          "--frontend", frontend)
     try:
         recovery_line = second.wait_for_line(r"recovery \(resume\)")
         assert "1 resumed" in recovery_line, recovery_line
@@ -174,9 +184,10 @@ def test_sigkill_mid_job_then_resume_matches_uninterrupted_run(tmp_path):
         second.stop()
 
 
-def test_sigkill_with_recover_fail_marks_job_interrupted(tmp_path):
+def test_sigkill_with_recover_fail_marks_job_interrupted(tmp_path,
+                                                        frontend):
     state_dir = str(tmp_path / "state")
-    first = ServeProcess("--state-dir", state_dir)
+    first = ServeProcess("--state-dir", state_dir, "--frontend", frontend)
     try:
         client = ZiggyClient(first.base_url(), timeout=30)
         job_id = client.submit(SLOW_PREDICATE,
@@ -191,7 +202,8 @@ def test_sigkill_with_recover_fail_marks_job_interrupted(tmp_path):
         first.stop()
         raise
 
-    second = ServeProcess("--state-dir", state_dir, "--recover", "fail")
+    second = ServeProcess("--state-dir", state_dir, "--recover", "fail",
+                          "--frontend", frontend)
     try:
         second.wait_for_line(r"1 interrupted")
         client = ZiggyClient(second.base_url(), timeout=30)

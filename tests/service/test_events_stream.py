@@ -6,11 +6,11 @@ import threading
 import pytest
 
 from repro.errors import JobNotFoundError
+from repro.gateway import make_frontend
 from repro.runtime import ZiggyRuntime
 from repro.service import CharacterizeRequest, ZiggyService
 from repro.service.client import RemoteError, ZiggyClient
 from repro.service.jobs import JobManager
-from repro.service.server import make_server
 
 
 @pytest.fixture
@@ -21,11 +21,12 @@ def service(boxoffice_small):
     s.shutdown(wait=False)
 
 
-@pytest.fixture
-def http(boxoffice_small):
+@pytest.fixture(params=("threaded", "async"))
+def http(request, boxoffice_small):
+    # SSE end-to-end tests run against both front-ends.
     service = ZiggyService(max_workers=2, runtime=ZiggyRuntime())
     service.register_table(boxoffice_small)
-    server = make_server(service, port=0)
+    server = make_frontend(service, frontend=request.param, port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     host, port = server.server_address[:2]
@@ -181,7 +182,10 @@ class TestHttpStreaming:
             host, port = srv.server_address
             client = ZiggyClient(f"http://{host}:{port}", timeout=10)
             events = []
+            # reconnects=0: the fake server answers exactly one request,
+            # so the truncation must surface instead of being retried.
             with pytest.raises(TransportError, match="before the 'done'"):
-                for event in client.stream_events("job-000001"):
+                for event in client.stream_events("job-000001",
+                                                  reconnects=0):
                     events.append(event)
             assert [e.kind for e in events] == ["prepared"]
