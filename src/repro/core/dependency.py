@@ -26,8 +26,11 @@ import numpy as np
 from repro.engine.column import CategoricalColumn
 from repro.engine.table import Table
 from repro.errors import InsufficientDataError, SearchError
-from repro.stats.correlation import masked_correlation_matrix
-from repro.stats.entropy import binned_mutual_information, normalized_mutual_information
+from repro.stats.correlation import masked_correlation_matrix, rankdata_matrix
+from repro.stats.entropy import (
+    binned_mutual_information_matrix,
+    normalized_mutual_information,
+)
 
 
 @dataclass(frozen=True)
@@ -95,10 +98,12 @@ def correlation_ratio(codes: np.ndarray, values: np.ndarray) -> float:
     ss_total = float(((values - grand) ** 2).sum())
     if ss_total <= 0.0:
         return 0.0
-    ss_between = 0.0
-    for code in np.unique(codes):
-        group = values[codes == code]
-        ss_between += group.size * (group.mean() - grand) ** 2
+    # Group sizes and sums in two bincounts — no per-group Python loop.
+    counts = np.bincount(codes)
+    sums = np.bincount(codes, weights=values)
+    present = counts > 0
+    means = sums[present] / counts[present]
+    ss_between = float((counts[present] * (means - grand) ** 2).sum())
     return float(math.sqrt(min(1.0, max(0.0, ss_between / ss_total))))
 
 
@@ -147,23 +152,14 @@ def compute_dependency_matrix(table: Table, columns: tuple[str, ...],
                 # Rank per column (NaNs stay NaN), then pairwise-complete
                 # Pearson on the ranks — the standard pairwise-deletion
                 # Spearman estimator, fully vectorized.
-                from repro.stats.correlation import rankdata
-                data = np.column_stack(
-                    [rankdata(data[:, j]) for j in range(data.shape[1])])
+                data = rankdata_matrix(data)
             corr, _ = masked_correlation_matrix(data)
             block = np.abs(corr)
         elif method == "nmi":
-            k = len(numeric)
-            block = np.full((k, k), np.nan)
-            np.fill_diagonal(block, 1.0)
-            for i in range(k):
-                for j in range(i + 1, k):
-                    try:
-                        nmi = binned_mutual_information(
-                            data[:, i], data[:, j], bins=mi_bins)
-                    except InsufficientDataError:
-                        nmi = float("nan")
-                    block[i, j] = block[j, i] = nmi
+            # Per-column bin codes are computed once; each pair is then a
+            # single bincount instead of two sorts — the matrix form of
+            # the estimator replaces the O(k^2) Python pair loop.
+            block = binned_mutual_information_matrix(data, bins=mi_bins)
         else:
             raise SearchError(f"unknown dependency method {method!r}")
         idx = [pos[c] for c in numeric]

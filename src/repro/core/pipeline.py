@@ -44,6 +44,7 @@ from repro.core.events import (
 )
 from repro.core.explain.generator import ExplanationGenerator
 from repro.core.preparation import PreparationEngine, PreparedData
+from repro.core.profiling import PROFILER
 from repro.core.search.searcher import SearchOutput, ViewSearcher
 from repro.core.significance.validator import validate_views
 from repro.core.stats_cache import StatsCache
@@ -161,32 +162,47 @@ class PlanExecutor:
         timings: dict[str, float] = {}
         notes: list[str] = []
 
-        t0 = time.perf_counter()
-        prepared = self.preparation.prepare(plan.selection, cfg,
-                                            cache=plan.cache,
-                                            registry=plan.registry)
-        timings["preparation"] = time.perf_counter() - t0
-        notes.extend(prepared.notes)
-        self.last_prepared = prepared
-        if emit is not None:
-            emit(StageEvent(PREPARED, prepared))
-            emit(StageEvent(COMPONENT_SCORED, prepared.catalog))
+        # The run-scoped profile picks up every kernel timer fired below
+        # (statistics cache, sketch answers, dependency matrix); its
+        # totals join the stage timings on the result, and the same
+        # records accumulate in the process-wide PROFILER for /v2/state.
+        with PROFILER.collect() as profile:
+            t0 = time.perf_counter()
+            prepared = self.preparation.prepare(plan.selection, cfg,
+                                                cache=plan.cache,
+                                                registry=plan.registry)
+            timings["preparation"] = time.perf_counter() - t0
+            PROFILER.record("stage.preparation", timings["preparation"])
+            notes.extend(prepared.notes)
+            self.last_prepared = prepared
+            if emit is not None:
+                emit(StageEvent(PREPARED, prepared))
+                emit(StageEvent(COMPONENT_SCORED, prepared.catalog))
 
-        t1 = time.perf_counter()
-        search = ViewSearcher(cfg).search(prepared, emit=emit)
-        timings["view_search"] = time.perf_counter() - t1
-        notes.extend(search.notes)
-        self.last_search = search
+            t1 = time.perf_counter()
+            search = ViewSearcher(cfg).search(prepared, emit=emit)
+            timings["view_search"] = time.perf_counter() - t1
+            PROFILER.record("stage.view_search", timings["view_search"])
+            notes.extend(search.notes)
+            self.last_search = search
 
-        t2 = time.perf_counter()
-        validated, val_notes = validate_views(
-            search.views, cfg, n_candidates=search.n_candidates)
-        explained = ExplanationGenerator(cfg).annotate(validated)
-        timings["post_processing"] = time.perf_counter() - t2
-        notes.extend(val_notes)
-        if emit is not None:
-            for rank, view in enumerate(explained, start=1):
-                emit(StageEvent(VIEW_READY, (rank, view)))
+            t2 = time.perf_counter()
+            validated, val_notes = validate_views(
+                search.views, cfg, n_candidates=search.n_candidates)
+            explained = ExplanationGenerator(cfg).annotate(validated)
+            timings["post_processing"] = time.perf_counter() - t2
+            PROFILER.record("stage.post_processing",
+                            timings["post_processing"])
+            notes.extend(val_notes)
+            if emit is not None:
+                for rank, view in enumerate(explained, start=1):
+                    emit(StageEvent(VIEW_READY, (rank, view)))
+
+        # Per-kernel totals ride the result next to the stage timings —
+        # the profile a client sees explains where its own run went.
+        for name, record in profile.snapshot().items():
+            if name.startswith("kernel."):
+                timings[name] = record["total_s"]
 
         result = CharacterizationResult(
             views=tuple(explained),

@@ -28,7 +28,7 @@ from repro.core.dissimilarity import (
     build_normalizer,
     make_component_score,
 )
-from repro.core.stats_cache import StatsCache
+from repro.core.stats_cache import StatsCache, TieredStatsCache
 from repro.engine.column import CategoricalColumn
 from repro.engine.database import Selection
 from repro.errors import EmptySelectionError
@@ -118,7 +118,8 @@ class PreparationEngine:
                          f"{selection.table.n_rows} rows "
                          f"({selection.n_inside} inside)")
         columns = self._active_columns(selection, config, notes)
-        slices = self._build_column_slices(selection, columns, cache)
+        slices = self._build_column_slices(selection, columns, cache, config,
+                                           notes)
         dependency = cache.dependency_matrix(
             selection.table, columns, config.dependency_method, config.mi_bins)
         pair_slices = self._build_pair_slices(
@@ -203,11 +204,24 @@ class PreparationEngine:
             out.append(col.name)
         return tuple(out)
 
+    @staticmethod
+    def _sketch_cache(cache: StatsCache,
+                      config: ZiggyConfig) -> TieredStatsCache | None:
+        """The cache's sketch tier, when present and enabled."""
+        if config.sketch_tier == "off":
+            return None
+        return cache if isinstance(cache, TieredStatsCache) else None
+
     def _build_column_slices(self, selection: Selection,
                              columns: tuple[str, ...],
-                             cache: StatsCache) -> dict[str, ColumnSlice]:
+                             cache: StatsCache,
+                             config: ZiggyConfig,
+                             notes: list[str]) -> dict[str, ColumnSlice]:
         table = selection.table
         mask = selection.mask
+        tiered = self._sketch_cache(cache, config)
+        sketched = 0
+        numeric_total = 0
         slices: dict[str, ColumnSlice] = {}
         for name in columns:
             col = table.column(name)
@@ -220,16 +234,39 @@ class PreparationEngine:
                     inside_profile=_profile_from_codes(col, mask),
                     outside_profile=_profile_from_codes(col, ~mask),
                 )
-            else:
-                values = col.numeric_values()
+                continue
+            numeric_total += 1
+            answer = (tiered.sketch_column_answer(selection, name,
+                                                  config.sketch_margin)
+                      if tiered is not None else None)
+            if answer is not None:
+                inside_stats, outside_stats, sample_in, sample_out = answer
+                # Raw arrays are the *sampled* rows: raw-value tests
+                # (Levene, Mann-Whitney) run on the sample — honest, and
+                # conservative at the sample size.
                 slices[name] = ColumnSlice(
                     name=name,
                     is_categorical=False,
-                    inside=values[mask],
-                    outside=values[~mask],
-                    inside_stats=cache.inside_column_stats(selection, name),
-                    outside_stats=cache.outside_column_stats(selection, name),
+                    inside=sample_in,
+                    outside=sample_out,
+                    inside_stats=inside_stats,
+                    outside_stats=outside_stats,
                 )
+                sketched += 1
+                continue
+            values = col.numeric_values()
+            slices[name] = ColumnSlice(
+                name=name,
+                is_categorical=False,
+                inside=values[mask],
+                outside=values[~mask],
+                inside_stats=cache.inside_column_stats(selection, name),
+                outside_stats=cache.outside_column_stats(selection, name),
+            )
+        if sketched:
+            notes.append(
+                f"sketch tier answered {sketched}/{numeric_total} numeric "
+                f"columns (margin {config.sketch_margin})")
         return slices
 
     def _build_pair_slices(self, selection: Selection,
@@ -245,8 +282,16 @@ class PreparationEngine:
         numeric = tuple(c for c in columns if not slices[c].is_categorical)
         if len(numeric) < 2:
             return {}
-        corr_in, n_in, corr_out, n_out = cache.group_correlations(
-            selection, numeric)
+        tiered = self._sketch_cache(cache, config)
+        answer = (tiered.sketch_group_correlations(selection, numeric,
+                                                   config.sketch_margin)
+                  if tiered is not None else None)
+        if answer is not None:
+            corr_in, n_in, corr_out, n_out = answer
+            notes.append("sketch tier answered pairwise correlations")
+        else:
+            corr_in, n_in, corr_out, n_out = cache.group_correlations(
+                selection, numeric)
         # Vectorized threshold scan over the dependency submatrix —
         # wide tables make a per-pair Python loop the bottleneck.
         dep_index = [dependency.index_of(c) for c in numeric]

@@ -1,0 +1,130 @@
+"""A lightweight stage/kernel profiler for the characterization pipeline.
+
+The perf story of this engine is a chain of specific kernels (dependency
+matrix, moment scans, sketch answers); when a deployment is slow the
+question is always "which kernel, how often, how long".  This module
+answers it with near-zero overhead:
+
+* a process-wide :data:`PROFILER` accumulates per-name totals
+  (``stage.preparation``, ``kernel.dependency_matrix``, ...) across every
+  run in the process — the ``/v2/state`` endpoint surfaces its
+  :meth:`~Profiler.snapshot`;
+* :meth:`Profiler.collect` additionally scopes collection to one run on
+  the current thread, which is how :class:`~repro.core.pipeline.PlanExecutor`
+  attaches per-run kernel timings to its result and stage events.
+
+Timings are wall-clock (``perf_counter``).  Recording is a dict update
+under a lock — microseconds per call, invisible next to the kernels it
+measures.  Everything is safe to call from multiple threads; per-run
+collection is thread-local so concurrent jobs never see each other's
+kernels.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class RunProfile:
+    """The per-run view handed out by :meth:`Profiler.collect`."""
+
+    __slots__ = ("_records",)
+
+    def __init__(self, records: dict[str, list]):
+        self._records = records
+
+    def snapshot(self) -> dict[str, dict]:
+        """``{name: {calls, total_s, max_s}}`` for this run so far."""
+        return {name: {"calls": rec[0], "total_s": rec[1], "max_s": rec[2]}
+                for name, rec in sorted(self._records.items())}
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under ``name`` in this run (0 if none)."""
+        rec = self._records.get(name)
+        return rec[1] if rec else 0.0
+
+
+class Profiler:
+    """Named wall-clock accumulators with optional per-run scoping."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._totals: dict[str, list] = {}
+        self._local = threading.local()
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one observation to the global and any active run scopes."""
+        if not self.enabled:
+            return
+        with self._lock:
+            rec = self._totals.get(name)
+            if rec is None:
+                rec = self._totals[name] = [0, 0.0, 0.0]
+            rec[0] += 1
+            rec[1] += seconds
+            rec[2] = max(rec[2], seconds)
+        # Run scopes belong to this thread only — no lock needed.
+        for records in getattr(self._local, "scopes", ()):
+            rec = records.get(name)
+            if rec is None:
+                rec = records[name] = [0, 0.0, 0.0]
+            rec[0] += 1
+            rec[1] += seconds
+            rec[2] = max(rec[2], seconds)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block under ``name``; exceptions still record."""
+        if not self.enabled:
+            yield
+            return
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - t0)
+
+    @contextmanager
+    def collect(self) -> Iterator[RunProfile]:
+        """Scope recording to one run on the current thread.
+
+        Nested collects each see every record made while they are open.
+        """
+        records: dict[str, list] = {}
+        scopes = getattr(self._local, "scopes", None)
+        if scopes is None:
+            scopes = self._local.scopes = []
+        scopes.append(records)
+        try:
+            yield RunProfile(records)
+        finally:
+            # Remove by identity — equal-contented scope dicts (nested
+            # collects over the same kernels) must not alias each other.
+            for i in range(len(scopes) - 1, -1, -1):
+                if scopes[i] is records:
+                    del scopes[i]
+                    break
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict]:
+        """Process-lifetime totals: ``{name: {calls, total_s, max_s}}``."""
+        with self._lock:
+            return {name: {"calls": rec[0], "total_s": rec[1],
+                           "max_s": rec[2]}
+                    for name, rec in sorted(self._totals.items())}
+
+    def reset(self) -> None:
+        """Drop all global totals (per-run scopes are unaffected)."""
+        with self._lock:
+            self._totals.clear()
+
+
+#: The process-wide profiler every pipeline and cache records into.
+PROFILER = Profiler()

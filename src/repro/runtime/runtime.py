@@ -64,17 +64,26 @@ class ZiggyRuntime:
     # -- borrowing ----------------------------------------------------------------
 
     def register_table(self, table: Table, name: str | None = None) -> TableEntry:
-        """Make a table known to the runtime (idempotent, LRU bump)."""
-        return self.tables.register(table, name=name)
+        """Make a table known to the runtime (idempotent, LRU bump).
+
+        Registration also warms the table's shared cache with its sketch
+        tier (built once per content fingerprint; a no-op when a sketch
+        already arrived via snapshot restore or shard handoff), so the
+        first query already runs on the sublinear path.
+        """
+        entry = self.tables.register(table, name=name)
+        self.stats.warm(table)
+        return entry
 
     def stats_for(self, table: Table,
                   borrower: str = "anonymous") -> StatsCache:
         """The shared statistics cache for one table.
 
         Registers the table as a side effect so the store's eviction
-        policy governs how long its derived state stays resident.
+        policy governs how long its derived state stays resident (and
+        warms the sketch tier, amortized to a lookup after first build).
         """
-        self.tables.register(table)
+        self.register_table(table)
         return self.stats.cache_for(table, borrower=borrower)
 
     @contextmanager

@@ -26,7 +26,7 @@ import threading
 from dataclasses import dataclass
 from zlib import crc32
 
-from repro.core.stats_cache import StatsCache
+from repro.core.stats_cache import StatsCache, TieredStatsCache
 from repro.engine.table import Table
 
 #: Default number of lock stripes (power of two; collisions are harmless,
@@ -95,6 +95,12 @@ class SharedStatsRegistry:
     def _shard(self, fingerprint: str) -> "_Shard":
         return self._shards[crc32(fingerprint.encode()) % len(self._shards)]
 
+    @staticmethod
+    def _make_cache() -> StatsCache:
+        """Registry-created caches are tiered: the sketch underneath is
+        what converts the warm hot path from linear to sublinear."""
+        return TieredStatsCache()
+
     # -- lookup -------------------------------------------------------------------
 
     def cache_for(self, table: Table,
@@ -116,7 +122,7 @@ class SharedStatsRegistry:
             cache = shard.caches.get(fingerprint)
             created = cache is None
             if created:
-                cache = StatsCache()
+                cache = self._make_cache()
                 shard.caches[fingerprint] = cache
                 shard.borrowers[fingerprint] = set()
             borrowers = shard.borrowers[fingerprint]
@@ -129,6 +135,32 @@ class SharedStatsRegistry:
                 self.hits += 1
                 if cross:
                     self.cross_client_hits += 1
+        return cache
+
+    def warm(self, table: Table,
+             snapshot: StatsCache | None = None) -> StatsCache:
+        """Warm the table's cache without counting a borrow.
+
+        Registration-time plumbing: gets (or creates) the cache for the
+        table, merges an optional pre-warmed ``snapshot`` first (so a
+        persisted or shipped sketch short-circuits the build), then
+        ensures the sketch tier exists.  Neither the registry's
+        hit/miss/borrower accounting nor the cache's own counters move —
+        warming is infrastructure, not a client lookup, and the sharing
+        metrics the benchmarks assert on must not be polluted by it.
+        """
+        fingerprint = table.fingerprint()
+        shard = self._shard(fingerprint)
+        with shard.lock:
+            cache = shard.caches.get(fingerprint)
+            if cache is None:
+                cache = self._make_cache()
+                shard.caches[fingerprint] = cache
+                shard.borrowers[fingerprint] = set()
+        if snapshot is not None:
+            cache.merge_from(snapshot)
+        if isinstance(cache, TieredStatsCache):
+            cache.ensure_sketch(table)
         return cache
 
     def peek(self, fingerprint: str) -> StatsCache | None:

@@ -783,6 +783,10 @@ class StateReport:
     #: evictions, throttle/queue rejections); None when the report was
     #: produced outside an HTTP front-end.
     gateway: dict | None = None
+    #: Process-wide stage/kernel timing aggregates from the profiler
+    #: (``{name: {calls, total_s, max_s}}``); empty when profiling is
+    #: disabled or nothing has run yet.
+    profile: dict = field(default_factory=dict)
 
     TYPE = "state_report"
 
@@ -796,6 +800,7 @@ class StateReport:
             "recovery": json_safe(self.recovery),
             "runtime": json_safe(self.runtime),
             "jobs": json_safe(self.jobs),
+            "profile": json_safe(self.profile),
         }
         if self.gateway is not None:
             payload["gateway"] = json_safe(self.gateway)
@@ -814,6 +819,7 @@ class StateReport:
             recovery=dict(recovery) if recovery else None,
             runtime=dict(payload.get("runtime") or {}),
             jobs=dict(payload.get("jobs") or {}),
+            profile=dict(payload.get("profile") or {}),
             gateway=(dict(payload["gateway"])
                      if isinstance(payload.get("gateway"), Mapping)
                      else None),

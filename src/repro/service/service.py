@@ -29,6 +29,7 @@ from typing import Any, Callable, Mapping
 
 from repro.app.session import SessionEntry, ZiggySession
 from repro.core.config import ZiggyConfig
+from repro.core.profiling import PROFILER
 from repro.core.views import CharacterizationResult
 from repro.engine.database import Database
 from repro.engine.table import Table
@@ -184,18 +185,19 @@ class ZiggyService:
         self._share_table(table, name=name)
 
     def _share_table(self, table: Table, name: str | None = None) -> None:
-        """Runtime + executor registration, with snapshot warm restore."""
-        self.runtime.register_table(table, name=name)
+        """Runtime + executor registration, with snapshot warm restore.
+
+        The snapshot (if any) is merged *before* registration so a
+        restored sketch short-circuits the registration-time sketch
+        build instead of racing it."""
         snapshot = None
         if self.state is not None:
             fingerprint = table.fingerprint()
             self.state.note_table(name or table.name, fingerprint)
             snapshot = self.state.snapshots.load(fingerprint)
             if snapshot is not None:
-                self.runtime.stats.cache_for_fingerprint(
-                    fingerprint,
-                    borrower=f"snapshot-restore@{self._instance}"
-                ).merge_from(snapshot)
+                self.runtime.stats.warm(table, snapshot=snapshot)
+        self.runtime.register_table(table, name=name)
         self.executor.register_table(table, name=name, cache=snapshot)
 
     def session(self, client_id: str = "default") -> ZiggySession:
@@ -591,11 +593,13 @@ class ZiggyService:
             by_status[status] = by_status.get(status, 0) + 1
         jobs = {"live": sum(by_status.values()), "by_status": by_status,
                 "journal_errors": self.jobs.journal_errors}
+        profile = PROFILER.snapshot()
         if self.state is None:
             return StateReport(enabled=False,
                                uptime_seconds=self.uptime_seconds,
                                runtime=self.runtime.stats_snapshot(),
-                               jobs=jobs)
+                               jobs=jobs,
+                               profile=profile)
         stats = self.state.stats()
         return StateReport(
             enabled=True,
@@ -606,6 +610,7 @@ class ZiggyService:
             recovery=stats["recovery"],
             runtime=self.runtime.stats_snapshot(),
             jobs=jobs,
+            profile=profile,
         )
 
     def job_status(self, job_id: str) -> JobSnapshot:

@@ -74,13 +74,29 @@ def rankdata(values: np.ndarray) -> np.ndarray:
     boundaries = np.flatnonzero(np.diff(sorted_vals) != 0) + 1
     starts = np.concatenate(([0], boundaries))
     ends = np.concatenate((boundaries, [data.size]))
-    avg = np.empty(data.size, dtype=np.float64)
-    for s, e in zip(starts, ends):
-        avg[s:e] = (s + 1 + e) / 2.0
+    # Each tie group of sorted positions [s, e) gets the average rank
+    # (s + 1 + e) / 2; np.repeat expands the per-group values without a
+    # Python-level loop over groups.
+    avg = np.repeat((starts + 1 + ends) / 2.0, ends - starts)
     tied = np.empty(data.size, dtype=np.float64)
     tied[order] = avg
     ranks[valid] = tied
     return ranks
+
+
+def rankdata_matrix(mat: np.ndarray) -> np.ndarray:
+    """Column-wise :func:`rankdata` of a 2-d array.
+
+    The full-matrix form the dependency layer uses for Spearman: rank
+    every column once, then one pairwise-complete Pearson pass over the
+    rank matrix replaces the per-pair rank-and-correlate loop.
+    """
+    mat = np.asarray(mat, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError("mat must be a 2-d array (rows x columns)")
+    if mat.shape[1] == 0:
+        return mat.copy()
+    return np.column_stack([rankdata(mat[:, j]) for j in range(mat.shape[1])])
 
 
 def spearman(x, y) -> float:
@@ -209,8 +225,7 @@ def correlation_matrix(columns: np.ndarray, method: str = "pearson") -> np.ndarr
     if mat.ndim != 2:
         raise ValueError("columns must be a 2-d array (rows x columns)")
     if method == "spearman":
-        if mat.shape[1]:
-            mat = np.column_stack([rankdata(mat[:, j]) for j in range(mat.shape[1])])
+        mat = rankdata_matrix(mat)
     elif method != "pearson":
         raise ValueError(f"unknown correlation method {method!r}")
     n, m = mat.shape
@@ -218,29 +233,18 @@ def correlation_matrix(columns: np.ndarray, method: str = "pearson") -> np.ndarr
     np.fill_diagonal(corr, 1.0)
     if n < 2 or m == 0:
         return corr
-    nan_cols = np.flatnonzero(np.isnan(mat).any(axis=0))
-    clean_cols = np.setdiff1d(np.arange(m), nan_cols)
-    # Fast path: all clean columns in one matrix product.
-    if clean_cols.size >= 2:
-        sub = mat[:, clean_cols]
-        centered = sub - sub.mean(axis=0)
+    if not np.isnan(mat).any():
+        # Fast path: no missing values, one centered matrix product.
+        centered = mat - mat.mean(axis=0)
         cov = centered.T @ centered
         diag = np.sqrt(np.diag(cov))
         with np.errstate(divide="ignore", invalid="ignore"):
-            block = cov / np.outer(diag, diag)
-        block[~np.isfinite(block)] = np.nan
-        np.clip(block, -1.0, 1.0, out=block)
-        corr[np.ix_(clean_cols, clean_cols)] = block
-        corr[clean_cols, clean_cols] = 1.0
-    # Slow path: only pairs that involve a column with missing values.
-    for i in nan_cols:
-        for j in range(m):
-            if j == i or (j in nan_cols and j < i):
-                continue
-            try:
-                r = pearson(mat[:, i], mat[:, j])
-            except InsufficientDataError:
-                r = float("nan")
-            corr[i, j] = corr[j, i] = r
+            corr = cov / np.outer(diag, diag)
+        corr[~np.isfinite(corr)] = np.nan
+        np.clip(corr, -1.0, 1.0, out=corr)
+    else:
+        # Missing values: the four-GEMM pairwise-complete estimator covers
+        # every pair at once — no per-pair Python loop over NaN columns.
+        corr, _ = masked_correlation_matrix(mat)
     np.fill_diagonal(corr, 1.0)
     return corr

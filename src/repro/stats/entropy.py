@@ -123,3 +123,62 @@ def binned_mutual_information(x, y, bins: int = 10,
     if normalized:
         return normalized_mutual_information(table)
     return mutual_information(table)
+
+
+def binned_mutual_information_matrix(mat: np.ndarray, bins: int = 10,
+                                     normalized: bool = True) -> np.ndarray:
+    """All-pairs binned (N)MI of a rows-by-columns matrix.
+
+    Equi-depth edges and bin codes are computed **once per column** (the
+    expensive part: a sort per column), so each pair costs only one
+    ``bincount`` over its complete rows instead of two sorts — this is
+    the matrix form the dependency layer's ``nmi`` method uses in place
+    of a per-pair Python loop.
+
+    Pairs with fewer than 4 complete rows (or a column whose support
+    collapsed entirely) are NaN; the diagonal is 1 (0 for raw MI the
+    convention does not apply, so ``normalized=False`` callers should
+    ignore the diagonal).
+    """
+    mat = np.asarray(mat, dtype=np.float64)
+    if mat.ndim != 2:
+        raise ValueError("mat must be a 2-d array (rows x columns)")
+    n, m = mat.shape
+    out = np.full((m, m), np.nan)
+    np.fill_diagonal(out, 1.0)
+    if m == 0:
+        return out
+    valid = ~np.isnan(mat)
+    any_nan = not valid.all()
+    codes = np.zeros((n, m), dtype=np.int64)
+    supports = np.zeros(m, dtype=np.int64)
+    for j in range(m):
+        col = mat[valid[:, j], j]
+        if col.size < 4:
+            continue
+        edges = equi_depth_edges(col, bins)
+        k = edges.size - 1
+        # Interior edges only; values (NaN rows included, they are masked
+        # per pair) map to 0..k-1.
+        cj = np.searchsorted(edges[1:-1], np.nan_to_num(mat[:, j]),
+                             side="right")
+        codes[:, j] = np.clip(cj, 0, k - 1)
+        supports[j] = k
+    for i in range(m):
+        if supports[i] == 0:
+            continue
+        for j in range(i + 1, m):
+            if supports[j] == 0:
+                continue
+            if any_nan:
+                keep = valid[:, i] & valid[:, j]
+                if int(keep.sum()) < 4:
+                    continue
+                ci, cj = codes[keep, i], codes[keep, j]
+            else:
+                ci, cj = codes[:, i], codes[:, j]
+            table = _joint_counts(ci, cj, int(supports[i]), int(supports[j]))
+            value = (normalized_mutual_information(table) if normalized
+                     else mutual_information(table))
+            out[i, j] = out[j, i] = value
+    return out

@@ -84,8 +84,11 @@ class TestCharacterize:
     def test_timings_cover_stages(self, planted_table):
         z = Ziggy(planted_table)
         result = z.characterize("driver > 1")
-        assert set(result.timings) == {"preparation", "view_search",
-                                       "post_processing"}
+        stages = {"preparation", "view_search", "post_processing"}
+        assert stages <= set(result.timings)
+        # anything beyond the stages is a profiler kernel aggregate
+        assert all(name.startswith("kernel.")
+                   for name in set(result.timings) - stages)
         assert all(t >= 0 for t in result.timings.values())
 
     def test_null_selection_mostly_filtered(self, planted_table):

@@ -1,0 +1,96 @@
+"""Tests for the stage/kernel profiler."""
+
+import threading
+
+from repro.core.profiling import PROFILER, Profiler
+
+
+class TestRecording:
+    def test_record_accumulates(self):
+        p = Profiler()
+        p.record("kernel.a", 0.5)
+        p.record("kernel.a", 0.25)
+        snap = p.snapshot()
+        assert snap["kernel.a"]["calls"] == 2
+        assert snap["kernel.a"]["total_s"] == 0.75
+        assert snap["kernel.a"]["max_s"] == 0.5
+
+    def test_timer_records_wall_clock(self):
+        p = Profiler()
+        with p.timer("kernel.t"):
+            pass
+        snap = p.snapshot()
+        assert snap["kernel.t"]["calls"] == 1
+        assert snap["kernel.t"]["total_s"] >= 0.0
+
+    def test_timer_records_on_exception(self):
+        p = Profiler()
+        try:
+            with p.timer("kernel.err"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert p.snapshot()["kernel.err"]["calls"] == 1
+
+    def test_disabled_profiler_is_silent(self):
+        p = Profiler(enabled=False)
+        p.record("kernel.a", 1.0)
+        with p.timer("kernel.b"):
+            pass
+        assert p.snapshot() == {}
+
+    def test_reset_clears_totals(self):
+        p = Profiler()
+        p.record("kernel.a", 1.0)
+        p.reset()
+        assert p.snapshot() == {}
+
+
+class TestCollect:
+    def test_scope_sees_only_its_records(self):
+        p = Profiler()
+        p.record("kernel.before", 1.0)
+        with p.collect() as run:
+            p.record("kernel.inside", 2.0)
+        snap = run.snapshot()
+        assert "kernel.before" not in snap
+        assert snap["kernel.inside"]["total_s"] == 2.0
+        assert run.total("kernel.inside") == 2.0
+        assert run.total("kernel.absent") == 0.0
+
+    def test_nested_scopes_both_record(self):
+        p = Profiler()
+        with p.collect() as outer:
+            with p.collect() as inner:
+                p.record("kernel.x", 1.0)
+            p.record("kernel.y", 1.0)
+        assert inner.total("kernel.x") == 1.0
+        assert inner.total("kernel.y") == 0.0
+        assert outer.total("kernel.x") == 1.0
+        assert outer.total("kernel.y") == 1.0
+
+    def test_scopes_are_thread_local(self):
+        p = Profiler()
+        seen = {}
+
+        def other_thread():
+            p.record("kernel.other", 5.0)
+            with p.collect() as run:
+                p.record("kernel.mine", 1.0)
+            seen["other"] = run.snapshot()
+
+        with p.collect() as run:
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert "kernel.other" not in run.snapshot()
+        assert "kernel.mine" not in run.snapshot()
+        assert set(seen["other"]) == {"kernel.mine"}
+        # the global totals saw everything
+        assert p.snapshot()["kernel.other"]["calls"] == 1
+
+
+class TestGlobalProfiler:
+    def test_module_singleton_enabled(self):
+        assert isinstance(PROFILER, Profiler)
+        assert PROFILER.enabled

@@ -13,9 +13,10 @@ subsystem:
 * the successor's warm state answers a repeat batch with **zero** cache
   misses, and ``/v2/state`` / ``/healthz`` report the recovery.
 
-The crime table at paper size with the NMI dependency estimator keeps a
-cold characterization running for seconds, so the kill lands mid-job
-deterministically.
+The crime table at 10k rows with the NMI dependency estimator keeps a
+cold characterization running for seconds (the exact dependency matrix
+is 128² column pairs over every row; only per-query statistics ride the
+sketch tier), so the kill lands mid-job deterministically.
 """
 
 import os
@@ -34,7 +35,7 @@ from repro.service.client import ZiggyClient
 SLOW_PREDICATE = "violent_crime_rate > 0.2"
 
 #: The NMI dependency estimator turns this characterization into
-#: seconds of work (128² column pairs binned over ~2000 rows), so the
+#: seconds of work (128² column pairs binned over 10k rows), so the
 #: SIGKILL lands mid-job deterministically; the option travels in the
 #: journaled request, so the resumed run and the control run match.
 SLOW_OPTIONS = {"dependency_method": "nmi"}
@@ -52,7 +53,7 @@ class ServeProcess:
         env["PYTHONUNBUFFERED"] = "1"
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve",
-             "--dataset", "us_crime", "--seed-rows", "1994",
+             "--dataset", "us_crime", "--seed-rows", "10000",
              "--port", "0", "--quiet", *extra_args],
             stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env,
             text=True)
